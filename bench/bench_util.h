@@ -1,0 +1,56 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench binary regenerates one figure or table of the paper as a text
+// table: the same series/rows the paper plots, with simulated milliseconds
+// (and, where meaningful, wall-clock milliseconds of the host run). Point
+// counts are scaled down from the paper's (the simulator runs on one CPU);
+// every binary prints its scale so rows can be compared like for like.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace minuet {
+namespace bench {
+
+inline void PrintTitle(const std::string& figure, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintNote(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+// Fixed-width row printing: Row("%-14s %8.2f", ...).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void Rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// Benches read their point-count scale from MINUET_BENCH_POINTS when set, so
+// the full suite can be re-run quickly at reduced scale.
+inline int64_t PointsFromEnv(int64_t default_points) {
+  const char* env = std::getenv("MINUET_BENCH_POINTS");
+  if (env == nullptr) {
+    return default_points;
+  }
+  int64_t value = std::atoll(env);
+  return value > 0 ? value : default_points;
+}
+
+}  // namespace bench
+}  // namespace minuet
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Figure 3: L2 cache hit ratio while building kernel maps, for the hash-table
+// implementations of TorchSparse, MinkowskiEngine and Open3D versus Minuet,
+// as the number of input points grows (RTX 3090 model).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/point_cloud.h"
+#include "src/core/weight_offsets.h"
+#include "src/data/generators.h"
+#include "src/gpusim/device_config.h"
+#include "src/map/hash_map.h"
+#include "src/map/minuet_map.h"
+
+namespace minuet {
+namespace {
+
+void Run(const std::vector<int64_t>& sizes) {
+  auto offsets = MakeWeightOffsets(3, 1);
+  bench::Row("%-10s %-24s %10s", "points", "implementation", "L2 hit");
+  bench::Rule();
+  for (int64_t n : sizes) {
+    auto coords = GenerateCoords(DatasetKind::kRandom, n, /*seed=*/3);
+    auto keys = PackCoords(coords);
+    MapBuildInput input;
+    input.source_keys = keys;
+    input.output_keys = keys;
+    input.offsets = offsets;
+    input.source_sorted = true;
+    input.output_sorted = true;
+
+    struct Impl {
+      const char* label;
+      std::unique_ptr<MapBuilderBase> builder;
+    };
+    std::vector<Impl> impls;
+    impls.push_back(
+        {"TorchSparse(cuckoo)", std::make_unique<HashMapBuilder>(HashTableKind::kCuckoo)});
+    impls.push_back({"MinkowskiEngine(linear)",
+                     std::make_unique<HashMapBuilder>(HashTableKind::kLinearProbe)});
+    impls.push_back(
+        {"Open3D(spatial)", std::make_unique<HashMapBuilder>(HashTableKind::kSpatial)});
+    impls.push_back({"Minuet(ours)", std::make_unique<MinuetMapBuilder>()});
+    for (auto& impl : impls) {
+      Device device(MakeRtx3090());
+      MapBuildResult result = impl.builder->Build(device, input);
+      bench::Row("%-10lld %-24s %9.1f%%", static_cast<long long>(n), impl.label,
+                 100.0 * result.lookup_stats.L2HitRatio());
+    }
+    bench::Rule();
+  }
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main() {
+  using namespace minuet;
+  bench::PrintTitle("Figure 3",
+                    "L2 hit ratio of kernel-map building (lookup kernels), random clouds");
+  bench::PrintNote("point counts scaled ~5x down from the paper (1e5..5e6 -> 2e4..1e6)");
+  Run({20000, 50000, 100000, 200000, 500000, 1000000});
+  return 0;
+}

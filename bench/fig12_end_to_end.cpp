@@ -1,0 +1,99 @@
+// Figure 12: end-to-end speedup of Minuet over MinkowskiEngine and
+// TorchSparse for both evaluation networks on all four datasets (RTX 3090
+// model), plus a GPU-architecture sweep on MinkUNet42/kitti.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/summary.h"
+
+namespace minuet {
+namespace {
+
+double RunEndToEnd(EngineKind kind, const Network& net, const PointCloud& cloud,
+                   const PointCloud& sample, const DeviceConfig& device) {
+  EngineConfig config;
+  config.kind = kind;
+  config.functional = false;
+  Engine engine(config, device);
+  engine.Prepare(net, /*seed=*/5);
+  if (kind == EngineKind::kMinuet) {
+    engine.Autotune(sample);  // excluded from timing, as in the paper
+  }
+  RunResult result = engine.Run(cloud);
+  return device.CyclesToMillis(result.total.TotalCycles());
+}
+
+void Run() {
+  const int64_t points = bench::PointsFromEnv(100000);
+  std::vector<Network> networks = {MakeSparseResNet21(4, 20), MakeMinkUNet42(4)};
+
+  std::vector<double> over_mink, over_ts;
+  bench::Row("%-16s %-10s %12s %12s %12s %10s %10s", "network", "dataset", "Mink(ms)",
+             "TS(ms)", "Minuet(ms)", "vs Mink", "vs TS");
+  bench::Rule();
+  DeviceConfig rtx3090 = MakeRtx3090();
+  for (const Network& net : networks) {
+    for (DatasetKind dataset : AllRealDatasets()) {
+      GeneratorConfig gen;
+      gen.target_points = points;
+      gen.channels = net.in_channels;
+      gen.seed = 21;
+      PointCloud cloud = GenerateCloud(dataset, gen);
+      GeneratorConfig tune = gen;
+      tune.target_points = points / 4;
+      tune.seed = 22;
+      PointCloud sample = GenerateCloud(dataset, tune);
+
+      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, rtx3090);
+      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, rtx3090);
+      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, rtx3090);
+      over_mink.push_back(mink / mn);
+      over_ts.push_back(ts / mn);
+      bench::Row("%-16s %-10s %12.2f %12.2f %12.2f %9.2fx %9.2fx", net.name.c_str(),
+                 DatasetName(dataset), mink, ts, mn, mink / mn, ts / mn);
+    }
+  }
+  bench::Rule();
+  bench::Row("%-27s %38s %9.2fx %9.2fx", "geomean (RTX 3090)", "", GeoMean(over_mink),
+             GeoMean(over_ts));
+
+  std::printf("\nGPU-architecture sweep — MinkUNet42, kitti-like cloud:\n");
+  bench::Row("%-16s %12s %12s %12s %10s %10s", "GPU", "Mink(ms)", "TS(ms)", "Minuet(ms)",
+             "vs Mink", "vs TS");
+  bench::Rule();
+  {
+    Network net = MakeMinkUNet42(4);
+    GeneratorConfig gen;
+    gen.target_points = points;
+    gen.channels = 4;
+    gen.seed = 21;
+    PointCloud cloud = GenerateCloud(DatasetKind::kKitti, gen);
+    GeneratorConfig tune = gen;
+    tune.target_points = points / 4;
+    tune.seed = 22;
+    PointCloud sample = GenerateCloud(DatasetKind::kKitti, tune);
+    for (const DeviceConfig& device : AllDeviceConfigs()) {
+      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, device);
+      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, device);
+      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, device);
+      bench::Row("%-16s %12.2f %12.2f %12.2f %9.2fx %9.2fx", device.name.c_str(), mink, ts, mn,
+                 mink / mn, ts / mn);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main() {
+  using namespace minuet;
+  bench::PrintTitle("Figure 12", "End-to-end speedup across networks, datasets and GPUs");
+  bench::PrintNote("100K-point clouds (MINUET_BENCH_POINTS overrides), timing-only mode;");
+  bench::PrintNote("Minuet autotuned per layer beforehand (tuning excluded, as in the paper)");
+  Run();
+  return 0;
+}

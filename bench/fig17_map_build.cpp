@@ -1,0 +1,68 @@
+// Figure 17: build process of the Map step — the time to build the hash
+// tables (prior engines) versus the time to radix-sort the source array
+// (Minuet), as the point count grows.
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/point_cloud.h"
+#include "src/data/generators.h"
+#include "src/gpusim/device_config.h"
+#include "src/gpusort/radix_sort.h"
+#include "src/map/hash_map.h"
+
+namespace minuet {
+namespace {
+
+void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
+  std::printf("\ndataset: %s\n", DatasetName(dataset));
+  bench::Row("%-10s %-24s %12s %10s", "points", "engine", "build(ms)", "vs Minuet");
+  bench::Rule();
+  for (int64_t n : sizes) {
+    auto coords = GenerateCoords(dataset, n, /*seed=*/11);
+    auto keys = PackCoords(coords);
+
+    // Minuet: radix sort of (key, index) pairs.
+    double minuet_ms;
+    {
+      Device device(MakeRtx3090());
+      std::vector<uint64_t> k = keys;
+      std::vector<uint32_t> v(k.size());
+      std::iota(v.begin(), v.end(), 0u);
+      SortStats stats = RadixSortCoordPairs(device, k, v);
+      minuet_ms = device.config().CyclesToMillis(stats.kernels.cycles);
+    }
+
+    struct Table {
+      const char* label;
+      HashTableKind kind;
+    };
+    std::vector<Table> tables = {{"MinkowskiEngine(hash)", HashTableKind::kLinearProbe},
+                                 {"TorchSparse(hash)", HashTableKind::kCuckoo},
+                                 {"Open3D(hash)", HashTableKind::kSpatial}};
+    for (auto& t : tables) {
+      Device device(MakeRtx3090());
+      KernelStats stats = BuildEngineHashTable(device, t.kind, keys, nullptr);
+      double ms = device.config().CyclesToMillis(stats.cycles);
+      bench::Row("%-10lld %-24s %12.3f %9.2fx", static_cast<long long>(keys.size()), t.label,
+                 ms, ms / minuet_ms);
+    }
+    bench::Row("%-10lld %-24s %12.3f %9.2fx", static_cast<long long>(keys.size()),
+               "Minuet(sort)", minuet_ms, 1.0);
+    bench::Rule();
+  }
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main() {
+  using namespace minuet;
+  bench::PrintTitle("Figure 17", "Map-step build: hash-table build vs Minuet's radix sort");
+  bench::PrintNote("point counts scaled ~10x down from the paper; RTX 3090 device model");
+  RunSweep(DatasetKind::kSem3d, {100000, 200000, 400000, 800000});
+  RunSweep(DatasetKind::kRandom, {100000, 200000, 400000, 800000});
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 20: best-performing Gather and Scatter tile size for each conv layer
+// of MinkUNet42, across (a) GPU architectures and (b) datasets, plus the
+// total autotuning cost (Section 6.1 reports < 2 minutes on real hardware).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+
+namespace minuet {
+namespace {
+
+std::vector<std::pair<int, int>> TunedTiles(const DeviceConfig& device, DatasetKind dataset,
+                                            int64_t points, double* tuning_ms) {
+  Network net = MakeMinkUNet42(4);
+  EngineConfig config;
+  config.kind = EngineKind::kMinuet;
+  Engine engine(config, device);
+  engine.Prepare(net, /*seed=*/5);
+  GeneratorConfig gen;
+  gen.target_points = points;
+  gen.channels = 4;
+  gen.seed = 51;
+  PointCloud sample = GenerateCloud(dataset, gen);
+  *tuning_ms = engine.Autotune(sample);
+  return engine.layer_tiles();
+}
+
+void PrintTiles(const char* label, const std::vector<std::pair<int, int>>& tiles) {
+  std::printf("%-16s gather:", label);
+  for (const auto& [g, s] : tiles) {
+    std::printf(" %d", g);
+  }
+  std::printf("\n%-16s scatter:", "");
+  for (const auto& [g, s] : tiles) {
+    std::printf(" %d", s);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main() {
+  using namespace minuet;
+  bench::PrintTitle("Figure 20",
+                    "Best-performing tile sizes per MinkUNet42 conv layer (42 layers)");
+  const int64_t points = bench::PointsFromEnv(60000);
+  bench::PrintNote("values are per conv layer in network order; 1x1 convs show the fixed tile");
+
+  std::printf("\n(a) across GPU architectures (kitti-like cloud):\n");
+  double total_tuning_ms = 0.0;
+  for (const DeviceConfig& device : AllDeviceConfigs()) {
+    double ms = 0.0;
+    auto tiles = TunedTiles(device, DatasetKind::kKitti, points, &ms);
+    total_tuning_ms += ms;
+    PrintTiles(device.name.c_str(), tiles);
+  }
+
+  std::printf("\n(b) across datasets (RTX 3090):\n");
+  for (DatasetKind dataset : AllRealDatasets()) {
+    double ms = 0.0;
+    auto tiles = TunedTiles(MakeRtx3090(), dataset, points, &ms);
+    total_tuning_ms += ms;
+    PrintTiles(DatasetName(dataset), tiles);
+  }
+
+  std::printf("\ntotal autotuning wall time for all 8 configurations: %.1f s"
+              " (paper: < 2 min per configuration on real GPUs)\n",
+              total_tuning_ms / 1000.0);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared machinery for the layerwise benches (Figures 15 and 19): run a
+// single SC layer under each engine on each dataset and report per-engine
+// cycle breakdowns.
+#ifndef BENCH_LAYER_SWEEP_H_
+#define BENCH_LAYER_SWEEP_H_
+
+#include <vector>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+
+namespace minuet {
+namespace bench {
+
+struct LayerConfigCase {
+  int64_t c_in;
+  int64_t c_out;
+};
+
+inline std::vector<LayerConfigCase> PaperLayerConfigs() {
+  // The x-axis of Figures 15/19.
+  return {{4, 16}, {16, 32}, {32, 64}, {64, 96}, {96, 128}, {128, 128}, {128, 256}, {256, 256}};
+}
+
+inline Network SingleLayerNetwork(int64_t c_in, int64_t c_out) {
+  Network net;
+  net.name = "layer";
+  net.in_channels = c_in;
+  Instr instr;
+  instr.op = Instr::Op::kConv;
+  instr.conv = ConvParams{3, 1, false, c_in, c_out};
+  net.instrs.push_back(instr);
+  return net;
+}
+
+// Runs one layer under one engine; returns the conv layer's StepBreakdown.
+inline StepBreakdown RunLayer(EngineKind kind, const PointCloud& cloud, int64_t c_in,
+                              int64_t c_out, const DeviceConfig& device,
+                              const PointCloud* tuning_sample) {
+  EngineConfig config;
+  config.kind = kind;
+  config.functional = false;
+  Engine engine(config, device);
+  engine.Prepare(SingleLayerNetwork(c_in, c_out), /*seed=*/7);
+  if (tuning_sample != nullptr) {
+    engine.Autotune(*tuning_sample);
+  }
+  RunResult result = engine.Run(cloud);
+  return result.total;
+}
+
+}  // namespace bench
+}  // namespace minuet
+
+#endif  // BENCH_LAYER_SWEEP_H_

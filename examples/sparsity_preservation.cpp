@@ -1,0 +1,84 @@
+// Figure 1's motivation, executable: dense convolution dilutes sparsity layer
+// after layer, submanifold sparse convolution preserves it exactly, and
+// generative sparse convolution sits in between. Stacks three conv layers in
+// each mode and prints the active-site counts.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/point_cloud.h"
+#include "src/core/voxelizer.h"
+#include "src/core/weight_offsets.h"
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+
+using namespace minuet;
+
+namespace {
+
+// "Dense" active-site growth: every voxel whose 3^3 window touches an active
+// site becomes active (what a dense conv's nonzero support does).
+std::vector<Coord3> DenseDilate(const std::vector<Coord3>& coords) {
+  return DilateCoords(coords, MakeWeightOffsets(3, 1));
+}
+
+Network StackedConvs(bool generative) {
+  Network net;
+  net.name = generative ? "generative" : "submanifold";
+  net.in_channels = 4;
+  for (int i = 0; i < 3; ++i) {
+    Instr conv;
+    conv.op = Instr::Op::kConv;
+    conv.conv.kernel_size = 3;
+    conv.conv.c_in = 4;
+    conv.conv.c_out = 4;
+    conv.conv.generative = generative;
+    net.instrs.push_back(conv);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  GeneratorConfig gen;
+  gen.target_points = 20000;
+  gen.channels = 4;
+  gen.seed = 3;
+  PointCloud cloud = GenerateCloud(DatasetKind::kKitti, gen);
+  double initial_sparsity = Sparsity(cloud.coords);
+  std::printf("input: %lld active sites, sparsity %.4f%%\n\n",
+              static_cast<long long>(cloud.num_points()), 100.0 * initial_sparsity);
+
+  // Dense convolution: support dilates every layer (computed on coordinates
+  // only; the feature math would be identical everywhere).
+  std::printf("dense convolution (active-site growth):\n");
+  std::vector<Coord3> dense = cloud.coords;
+  for (int layer = 1; layer <= 3; ++layer) {
+    dense = DenseDilate(dense);
+    std::printf("  after layer %d: %10lld sites (%.1fx input), sparsity %.4f%%\n", layer,
+                static_cast<long long>(dense.size()),
+                static_cast<double>(dense.size()) / static_cast<double>(cloud.num_points()),
+                100.0 * Sparsity(dense));
+  }
+
+  for (bool generative : {false, true}) {
+    Network net = StackedConvs(generative);
+    EngineConfig config;
+    config.kind = EngineKind::kMinuet;
+    config.functional = false;
+    Engine engine(config, MakeRtx3090());
+    engine.Prepare(net, 1);
+    RunResult result = engine.Run(cloud);
+    std::printf("\n%s sparse convolution x3:\n", net.name.c_str());
+    for (const LayerRecord& layer : result.layers) {
+      std::printf("  after layer %d: %10lld sites (%.1fx input)\n", layer.conv_index + 1,
+                  static_cast<long long>(layer.num_outputs),
+                  static_cast<double>(layer.num_outputs) /
+                      static_cast<double>(cloud.num_points()));
+    }
+  }
+  std::printf("\nSC preserves the input sparsity pattern exactly — this is what makes the\n"
+              "Map step (find who contributes where) the interesting problem.\n");
+  return 0;
+}

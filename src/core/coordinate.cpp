@@ -1,0 +1,51 @@
+#include "src/core/coordinate.h"
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+std::ostream& operator<<(std::ostream& os, const Coord3& c) {
+  return os << "(" << c.x << ", " << c.y << ", " << c.z << ")";
+}
+
+uint64_t PackCoord(const Coord3& c) {
+  MINUET_DCHECK(CoordInRange(c));
+  uint64_t fx = static_cast<uint64_t>(static_cast<int64_t>(c.x) + kCoordBias);
+  uint64_t fy = static_cast<uint64_t>(static_cast<int64_t>(c.y) + kCoordBias);
+  uint64_t fz = static_cast<uint64_t>(static_cast<int64_t>(c.z) + kCoordBias);
+  return (fx << (2 * kCoordFieldBits)) | (fy << kCoordFieldBits) | fz;
+}
+
+Coord3 UnpackCoord(uint64_t key) {
+  Coord3 c;
+  c.z = static_cast<int32_t>(key & kCoordFieldMask) - kCoordBias;
+  c.y = static_cast<int32_t>((key >> kCoordFieldBits) & kCoordFieldMask) - kCoordBias;
+  c.x = static_cast<int32_t>((key >> (2 * kCoordFieldBits)) & kCoordFieldMask) - kCoordBias;
+  return c;
+}
+
+uint64_t PackDelta(const Coord3& d) {
+  // The arithmetic (not bitwise) combination: PackCoord(c) + PackDelta(d)
+  // evaluated modulo 2^64 equals PackCoord(c + d) for every in-range c + d,
+  // because each biased field of the sum then lands back in [0, 2^21) and no
+  // residual carry or borrow crosses a field boundary.
+  int64_t v = (static_cast<int64_t>(d.x) << (2 * kCoordFieldBits)) +
+              (static_cast<int64_t>(d.y) << kCoordFieldBits) + static_cast<int64_t>(d.z);
+  return static_cast<uint64_t>(v);
+}
+
+bool CoordInRange(const Coord3& c) {
+  return c.x >= kCoordMin && c.x <= kCoordMax && c.y >= kCoordMin && c.y <= kCoordMax &&
+         c.z >= kCoordMin && c.z <= kCoordMax;
+}
+
+int32_t FloorDiv(int32_t value, int32_t divisor) {
+  MINUET_DCHECK(divisor > 0);
+  int32_t q = value / divisor;
+  if ((value % divisor) != 0 && value < 0) {
+    --q;
+  }
+  return q;
+}
+
+}  // namespace minuet

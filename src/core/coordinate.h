@@ -1,0 +1,86 @@
+// 3-D integer lattice coordinates and their order-preserving 63-bit packing.
+//
+// A coordinate packs into a uint64 as three 21-bit biased fields laid out
+// x:y:z from the most significant bits, so that unsigned integer order over
+// keys equals lexicographic order over (x, y, z). This single property is
+// what the whole Map step of Minuet is built on: sorting keys sorts
+// coordinates, and adding a packed weight-offset delta to a packed output
+// coordinate yields the packed query coordinate with one 64-bit add
+// (Section 5.1.1 of the paper, "queries are created on the fly").
+#ifndef SRC_CORE_COORDINATE_H_
+#define SRC_CORE_COORDINATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace minuet {
+
+struct Coord3 {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t z = 0;
+
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+
+  friend Coord3 operator+(const Coord3& a, const Coord3& b) {
+    return Coord3{a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Coord3 operator-(const Coord3& a, const Coord3& b) {
+    return Coord3{a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+
+  // Lexicographic order, matching packed-key order.
+  friend bool operator<(const Coord3& a, const Coord3& b) {
+    if (a.x != b.x) {
+      return a.x < b.x;
+    }
+    if (a.y != b.y) {
+      return a.y < b.y;
+    }
+    return a.z < b.z;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Coord3& c);
+
+// Each axis is stored in 21 bits with a +2^20 bias. Valid coordinates are
+// [kCoordMin, kCoordMax]; generators and the voxelizer stay well inside this
+// range so that adding any realistic weight offset cannot leave it (out-of-
+// range sums would wrap across fields and could alias another coordinate).
+inline constexpr int kCoordFieldBits = 21;
+inline constexpr int32_t kCoordBias = 1 << 20;
+inline constexpr int32_t kCoordMin = -kCoordBias;
+inline constexpr int32_t kCoordMax = kCoordBias - 1;
+inline constexpr uint64_t kCoordFieldMask = (uint64_t{1} << kCoordFieldBits) - 1;
+
+// Packs a coordinate into its sort key. All fields must be in range.
+uint64_t PackCoord(const Coord3& c);
+
+// Inverse of PackCoord.
+Coord3 UnpackCoord(uint64_t key);
+
+// Packs a *delta* (weight offset) so that PackCoord(c) + PackDelta(d) ==
+// PackCoord(c + d) whenever c + d is a valid coordinate. This works because
+// each field performs independent two's-complement arithmetic modulo 2^21 and
+// in-range results never carry or borrow across field boundaries.
+uint64_t PackDelta(const Coord3& d);
+
+// True iff all three axes are within [kCoordMin, kCoordMax].
+bool CoordInRange(const Coord3& c);
+
+// Floor division/modulo (round toward -inf), used by Eq. 1 downsampling.
+int32_t FloorDiv(int32_t value, int32_t divisor);
+
+struct Coord3Hash {
+  size_t operator()(const Coord3& c) const {
+    // Only used by host-side test oracles; quality over speed.
+    uint64_t h = PackCoord(Coord3{c.x & 0xFFFFF, c.y & 0xFFFFF, c.z & 0xFFFFF});
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace minuet
+
+#endif  // SRC_CORE_COORDINATE_H_

@@ -1,0 +1,123 @@
+#include "src/core/dense_reference.h"
+
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+namespace {
+
+std::unordered_map<uint64_t, uint32_t> BuildIndex(const std::vector<Coord3>& coords) {
+  std::unordered_map<uint64_t, uint32_t> index;
+  index.reserve(coords.size() * 2);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    auto [it, inserted] = index.emplace(PackCoord(coords[i]), static_cast<uint32_t>(i));
+    MINUET_CHECK(inserted) << "duplicate coordinate " << coords[i];
+  }
+  return index;
+}
+
+}  // namespace
+
+MapPositionTable ReferenceMapPositions(const std::vector<Coord3>& input_coords,
+                                       const std::vector<Coord3>& output_coords,
+                                       const std::vector<Coord3>& offsets) {
+  auto index = BuildIndex(input_coords);
+  MapPositionTable table;
+  table.num_offsets = static_cast<int64_t>(offsets.size());
+  table.num_outputs = static_cast<int64_t>(output_coords.size());
+  table.positions.assign(static_cast<size_t>(table.num_offsets * table.num_outputs), kNoMatch);
+  for (int64_t k = 0; k < table.num_offsets; ++k) {
+    for (int64_t i = 0; i < table.num_outputs; ++i) {
+      Coord3 candidate = output_coords[static_cast<size_t>(i)] + offsets[static_cast<size_t>(k)];
+      if (!CoordInRange(candidate)) {
+        continue;
+      }
+      auto it = index.find(PackCoord(candidate));
+      if (it != index.end()) {
+        table.positions[static_cast<size_t>(k * table.num_outputs + i)] = it->second;
+      }
+    }
+  }
+  return table;
+}
+
+FeatureMatrix ReferenceSparseConv(const PointCloud& input,
+                                  const std::vector<Coord3>& output_coords,
+                                  const std::vector<Coord3>& offsets,
+                                  const std::vector<FeatureMatrix>& weights) {
+  MINUET_CHECK_EQ(offsets.size(), weights.size());
+  const int64_t c_in = input.channels();
+  MINUET_CHECK_GT(weights.size(), 0u);
+  const int64_t c_out = weights[0].cols();
+  for (const FeatureMatrix& w : weights) {
+    MINUET_CHECK_EQ(w.rows(), c_in);
+    MINUET_CHECK_EQ(w.cols(), c_out);
+  }
+
+  MapPositionTable table = ReferenceMapPositions(input.coords, output_coords, offsets);
+  FeatureMatrix out(static_cast<int64_t>(output_coords.size()), c_out, 0.0f);
+  for (int64_t k = 0; k < table.num_offsets; ++k) {
+    const FeatureMatrix& w = weights[static_cast<size_t>(k)];
+    for (int64_t i = 0; i < table.num_outputs; ++i) {
+      uint32_t j = table.At(k, i);
+      if (j == kNoMatch) {
+        continue;
+      }
+      auto in_row = input.features.Row(j);
+      auto out_row = out.Row(i);
+      for (int64_t a = 0; a < c_in; ++a) {
+        float v = in_row[static_cast<size_t>(a)];
+        if (v == 0.0f) {
+          continue;
+        }
+        for (int64_t b = 0; b < c_out; ++b) {
+          out_row[static_cast<size_t>(b)] += v * w.At(a, b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+FeatureMatrix ReferenceSparseConvTransposed(const PointCloud& input,
+                                            const std::vector<Coord3>& output_coords,
+                                            const std::vector<Coord3>& offsets,
+                                            const std::vector<FeatureMatrix>& weights) {
+  MINUET_CHECK_EQ(offsets.size(), weights.size());
+  const int64_t c_in = input.channels();
+  const int64_t c_out = weights.empty() ? 0 : weights[0].cols();
+
+  auto out_index = BuildIndex(output_coords);
+  FeatureMatrix out(static_cast<int64_t>(output_coords.size()), c_out, 0.0f);
+  for (size_t k = 0; k < offsets.size(); ++k) {
+    const FeatureMatrix& w = weights[k];
+    MINUET_CHECK_EQ(w.rows(), c_in);
+    MINUET_CHECK_EQ(w.cols(), c_out);
+    for (size_t p = 0; p < input.coords.size(); ++p) {
+      Coord3 q = input.coords[p] + offsets[k];
+      if (!CoordInRange(q)) {
+        continue;
+      }
+      auto it = out_index.find(PackCoord(q));
+      if (it == out_index.end()) {
+        continue;
+      }
+      auto in_row = input.features.Row(static_cast<int64_t>(p));
+      auto out_row = out.Row(it->second);
+      for (int64_t a = 0; a < c_in; ++a) {
+        float v = in_row[static_cast<size_t>(a)];
+        if (v == 0.0f) {
+          continue;
+        }
+        for (int64_t b = 0; b < c_out; ++b) {
+          out_row[static_cast<size_t>(b)] += v * w.At(a, b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace minuet

@@ -1,0 +1,38 @@
+// Brute-force oracles used only by tests: a direct evaluation of Eq. 2 and a
+// direct kernel-map builder. Both use std::unordered_map, deliberately
+// independent of every substrate they are used to verify.
+#ifndef SRC_CORE_DENSE_REFERENCE_H_
+#define SRC_CORE_DENSE_REFERENCE_H_
+
+#include <vector>
+
+#include "src/core/kernel_map.h"
+#include "src/core/point_cloud.h"
+
+namespace minuet {
+
+// Dense position table via hash lookups: positions[k * |Q| + i] = j such that
+// p_j == q_i + delta_k, or kNoMatch.
+MapPositionTable ReferenceMapPositions(const std::vector<Coord3>& input_coords,
+                                       const std::vector<Coord3>& output_coords,
+                                       const std::vector<Coord3>& offsets);
+
+// Direct evaluation of Eq. 2. weights[k] is the C_in x C_out matrix for
+// offsets[k]. Returns the |Q| x C_out output feature matrix.
+FeatureMatrix ReferenceSparseConv(const PointCloud& input,
+                                  const std::vector<Coord3>& output_coords,
+                                  const std::vector<Coord3>& offsets,
+                                  const std::vector<FeatureMatrix>& weights);
+
+// Transposed ("generative") convolution oracle: output feature at q sums
+// W_delta^T-free form F_p W_delta over input points p with p == q + delta
+// under the *swapped* map convention used by the engine's transposed layers:
+// entry (p, q, delta) exists when q == p + delta.
+FeatureMatrix ReferenceSparseConvTransposed(const PointCloud& input,
+                                            const std::vector<Coord3>& output_coords,
+                                            const std::vector<Coord3>& offsets,
+                                            const std::vector<FeatureMatrix>& weights);
+
+}  // namespace minuet
+
+#endif  // SRC_CORE_DENSE_REFERENCE_H_

@@ -1,0 +1,20 @@
+#include "src/core/feature_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minuet {
+
+float MaxAbsDiff(const FeatureMatrix& a, const FeatureMatrix& b) {
+  MINUET_CHECK_EQ(a.rows(), b.rows());
+  MINUET_CHECK_EQ(a.cols(), b.cols());
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      max_diff = std::max(max_diff, std::fabs(a.At(i, j) - b.At(i, j)));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace minuet

@@ -1,0 +1,61 @@
+// Dense row-major feature storage: one row of C channels per point.
+#ifndef SRC_CORE_FEATURE_MATRIX_H_
+#define SRC_CORE_FEATURE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(int64_t rows, int64_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
+    MINUET_CHECK_GE(rows, 0);
+    MINUET_CHECK_GT(cols, 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  std::span<float> Row(int64_t i) {
+    MINUET_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<const float> Row(int64_t i) const {
+    MINUET_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+
+  float& At(int64_t i, int64_t j) {
+    MINUET_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  float At(int64_t i, int64_t j) const {
+    MINUET_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Max absolute elementwise difference; the engine-equivalence tests use this.
+float MaxAbsDiff(const FeatureMatrix& a, const FeatureMatrix& b);
+
+}  // namespace minuet
+
+#endif  // SRC_CORE_FEATURE_MATRIX_H_

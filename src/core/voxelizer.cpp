@@ -1,0 +1,86 @@
+#include "src/core/voxelizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+PointCloud Voxelize(const std::vector<FloatPoint>& points, const FeatureMatrix& features,
+                    const VoxelizerConfig& config) {
+  MINUET_CHECK_EQ(static_cast<int64_t>(points.size()), features.rows());
+  MINUET_CHECK_GT(config.voxel_size, 0.0f);
+  const int64_t c = features.cols();
+
+  struct Entry {
+    uint64_t key;
+    uint32_t point_index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    Coord3 coord{static_cast<int32_t>(std::floor(points[i].x / config.voxel_size)),
+                 static_cast<int32_t>(std::floor(points[i].y / config.voxel_size)),
+                 static_cast<int32_t>(std::floor(points[i].z / config.voxel_size))};
+    MINUET_CHECK(CoordInRange(coord)) << "point " << i << " outside the packable lattice";
+    entries.push_back(Entry{PackCoord(coord), static_cast<uint32_t>(i)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) {
+      return a.key < b.key;
+    }
+    return a.point_index < b.point_index;
+  });
+
+  PointCloud cloud;
+  std::vector<std::vector<float>> rows;  // staged because voxel count is unknown upfront
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i;
+    std::vector<float> acc(static_cast<size_t>(c), 0.0f);
+    while (j < entries.size() && entries[j].key == entries[i].key) {
+      auto row = features.Row(entries[j].point_index);
+      for (int64_t k = 0; k < c; ++k) {
+        acc[static_cast<size_t>(k)] += row[static_cast<size_t>(k)];
+      }
+      ++j;
+    }
+    float inv = 1.0f / static_cast<float>(j - i);
+    for (float& v : acc) {
+      v *= inv;
+    }
+    cloud.coords.push_back(UnpackCoord(entries[i].key));
+    rows.push_back(std::move(acc));
+    i = j;
+  }
+
+  cloud.features = FeatureMatrix(static_cast<int64_t>(rows.size()), c);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    auto dst = cloud.features.Row(static_cast<int64_t>(r));
+    std::copy(rows[r].begin(), rows[r].end(), dst.begin());
+  }
+  return cloud;
+}
+
+double Sparsity(const std::vector<Coord3>& coords) {
+  if (coords.empty()) {
+    return 0.0;
+  }
+  Coord3 lo = coords[0];
+  Coord3 hi = coords[0];
+  for (const Coord3& c : coords) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  double volume = (static_cast<double>(hi.x) - lo.x + 1) * (static_cast<double>(hi.y) - lo.y + 1) *
+                  (static_cast<double>(hi.z) - lo.z + 1);
+  return static_cast<double>(coords.size()) / volume;
+}
+
+}  // namespace minuet

@@ -1,0 +1,39 @@
+// Voxelization: floating-point points -> unique integer lattice coordinates.
+//
+// Point clouds from sensors carry float positions; SC networks consume
+// integer coordinates (Section 6.1: "the floating-point number coordinates
+// are first voxelized into integers"). Points that land in the same voxel are
+// merged by averaging their features, which is the MinkowskiEngine behaviour.
+#ifndef SRC_CORE_VOXELIZER_H_
+#define SRC_CORE_VOXELIZER_H_
+
+#include <array>
+#include <vector>
+
+#include "src/core/point_cloud.h"
+
+namespace minuet {
+
+struct FloatPoint {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+};
+
+struct VoxelizerConfig {
+  float voxel_size = 0.05f;  // metres per voxel
+};
+
+// Quantises `points` to the lattice and merges duplicates (feature rows are
+// averaged per voxel). The result is sorted by packed key and satisfies
+// HasUniqueCoords. `features` must have one row per input point.
+PointCloud Voxelize(const std::vector<FloatPoint>& points, const FeatureMatrix& features,
+                    const VoxelizerConfig& config);
+
+// Sparsity as the paper defines it (footnote 2): unique voxels divided by the
+// bounding-box volume of the voxelized cloud.
+double Sparsity(const std::vector<Coord3>& coords);
+
+}  // namespace minuet
+
+#endif  // SRC_CORE_VOXELIZER_H_

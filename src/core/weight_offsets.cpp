@@ -1,0 +1,49 @@
+#include "src/core/weight_offsets.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+std::vector<int32_t> MakeAxisOffsets(int kernel_size, int32_t tensor_stride) {
+  MINUET_CHECK_GE(kernel_size, 1);
+  MINUET_CHECK_GE(tensor_stride, 1);
+  std::vector<int32_t> axis(kernel_size);
+  if (kernel_size % 2 == 1) {
+    int32_t half = (kernel_size - 1) / 2;
+    for (int i = 0; i < kernel_size; ++i) {
+      axis[i] = tensor_stride * (i - half);
+    }
+  } else {
+    for (int i = 0; i < kernel_size; ++i) {
+      axis[i] = tensor_stride * i;
+    }
+  }
+  return axis;
+}
+
+std::vector<Coord3> MakeWeightOffsets(int kernel_size, int32_t tensor_stride) {
+  std::vector<int32_t> axis = MakeAxisOffsets(kernel_size, tensor_stride);
+  std::vector<Coord3> offsets;
+  offsets.reserve(static_cast<size_t>(kernel_size) * kernel_size * kernel_size);
+  for (int32_t dx : axis) {
+    for (int32_t dy : axis) {
+      for (int32_t dz : axis) {
+        offsets.push_back(Coord3{dx, dy, dz});
+      }
+    }
+  }
+  return offsets;
+}
+
+std::vector<uint32_t> SortedOffsetPermutation(const std::vector<Coord3>& offsets) {
+  std::vector<uint32_t> perm(offsets.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&offsets](uint32_t a, uint32_t b) { return offsets[a] < offsets[b]; });
+  return perm;
+}
+
+}  // namespace minuet

@@ -1,0 +1,33 @@
+// Weight-offset set Δ(K, t) for a sparse-convolution layer (Section 2.1).
+//
+// Offsets live on the input lattice whose pitch is the layer's *tensor
+// stride* t (the paper's Δ(5, 2) = {-4, -2, 0, 2, 4}^3 example has t = 2).
+// For odd K the window is centred; for even K (the common K=2 stride-2
+// downsampling conv) it covers {0 .. K-1}·t, the MinkowskiEngine convention.
+#ifndef SRC_CORE_WEIGHT_OFFSETS_H_
+#define SRC_CORE_WEIGHT_OFFSETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/coordinate.h"
+
+namespace minuet {
+
+// Returns the K^3 offsets in the deterministic enumeration order used by the
+// Map step of hash-based engines: x-major, then y, then z (ascending). This
+// is the "order induced by the Map step" that makes TorchSparse-style GEMM
+// grouping pad poorly (Shortcoming #3).
+std::vector<Coord3> MakeWeightOffsets(int kernel_size, int32_t tensor_stride);
+
+// One-dimensional offsets for a single axis, exposed for tests.
+std::vector<int32_t> MakeAxisOffsets(int kernel_size, int32_t tensor_stride);
+
+// Offsets sorted by packed key (Minuet sorts the K^3 offsets once per layer
+// as a preprocessing step; Section 5.1.1 reason 1). Returns the permutation
+// such that sorted[i] = offsets[perm[i]].
+std::vector<uint32_t> SortedOffsetPermutation(const std::vector<Coord3>& offsets);
+
+}  // namespace minuet
+
+#endif  // SRC_CORE_WEIGHT_OFFSETS_H_

@@ -1,0 +1,886 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "src/core/weight_offsets.h"
+#include "src/gmas/autotune.h"
+#include "src/gmas/metadata.h"
+#include "src/gmas/pooling.h"
+#include "src/gpusort/radix_sort.h"
+#include "src/map/binary_baselines.h"
+#include "src/map/hash_map.h"
+#include "src/map/minuet_map.h"
+#include "src/util/check.h"
+#include "src/util/half.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace minuet {
+
+namespace {
+
+// A coordinate set at one tensor stride. `parent` is the finer level this one
+// was downsampled from; transposed convs upsample back to it. Keys are always
+// sorted (library invariant) — this is the cross-layer reuse of Section 5.1.1.
+struct CoordLevel {
+  int32_t tensor_stride = 1;
+  std::vector<Coord3> coords;
+  std::vector<uint64_t> keys;
+  std::shared_ptr<CoordLevel> parent;
+
+  int64_t size() const { return static_cast<int64_t>(coords.size()); }
+};
+using LevelPtr = std::shared_ptr<CoordLevel>;
+
+struct Activation {
+  LevelPtr level;
+  FeatureMatrix features;
+};
+
+void AccumulateKernel(StepBreakdown& breakdown, double StepBreakdown::*field,
+                      const KernelStats& stats) {
+  breakdown.*field += stats.cycles;
+  breakdown.launches += stats.num_launches;
+}
+
+// Elementwise kernels. BN parameters are folded constants (inference mode);
+// the nonlinearity is a leaky ReLU so that signal survives for the
+// engine-equivalence tests.
+KernelStats ApplyBnRelu(Device& device, FeatureMatrix& features, bool functional) {
+  constexpr int64_t kRowsPerBlock = 256;
+  const int64_t rows = features.rows();
+  const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
+  return device.Launch("bn_relu", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kRowsPerBlock;
+    int64_t end = std::min(begin + kRowsPerBlock, rows);
+    if (begin >= end) {
+      return;
+    }
+    float* data = features.data() + begin * features.cols();
+    size_t bytes = static_cast<size_t>((end - begin) * features.cols()) * sizeof(float);
+    ctx.GlobalRead(data, bytes);
+    if (functional) {
+      for (int64_t i = 0; i < (end - begin) * features.cols(); ++i) {
+        data[i] = data[i] > 0.0f ? data[i] : 0.1f * data[i];
+      }
+    }
+    ctx.GlobalWrite(data, bytes);
+    ctx.Compute(bytes / 4);
+  });
+}
+
+KernelStats AddInto(Device& device, FeatureMatrix& dst, const FeatureMatrix& src,
+                    bool functional) {
+  MINUET_CHECK_EQ(dst.rows(), src.rows());
+  MINUET_CHECK_EQ(dst.cols(), src.cols());
+  constexpr int64_t kRowsPerBlock = 256;
+  const int64_t rows = dst.rows();
+  const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
+  return device.Launch("residual_add", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kRowsPerBlock;
+    int64_t end = std::min(begin + kRowsPerBlock, rows);
+    if (begin >= end) {
+      return;
+    }
+    int64_t n = (end - begin) * dst.cols();
+    float* d = dst.data() + begin * dst.cols();
+    const float* s = src.data() + begin * src.cols();
+    ctx.GlobalRead(s, static_cast<size_t>(n) * sizeof(float));
+    ctx.GlobalRead(d, static_cast<size_t>(n) * sizeof(float));
+    if (functional) {
+      for (int64_t i = 0; i < n; ++i) {
+        d[i] += s[i];
+      }
+    }
+    ctx.GlobalWrite(d, static_cast<size_t>(n) * sizeof(float));
+    ctx.Compute(static_cast<uint64_t>(n));
+  });
+}
+
+// Copies (or concatenates) rows; used by skip saves and concat.
+KernelStats CopyColumns(Device& device, const FeatureMatrix& src, FeatureMatrix& dst,
+                        int64_t dst_col_offset, bool functional) {
+  MINUET_CHECK_EQ(src.rows(), dst.rows());
+  MINUET_CHECK_LE(dst_col_offset + src.cols(), dst.cols());
+  constexpr int64_t kRowsPerBlock = 256;
+  const int64_t rows = src.rows();
+  const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
+  return device.Launch("copy_features", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kRowsPerBlock;
+    int64_t end = std::min(begin + kRowsPerBlock, rows);
+    for (int64_t i = begin; i < end; ++i) {
+      auto s = src.Row(i);
+      ctx.GlobalRead(s.data(), s.size_bytes());
+      float* d = dst.data() + i * dst.cols() + dst_col_offset;
+      if (functional) {
+        std::copy(s.begin(), s.end(), d);
+      }
+      ctx.GlobalWrite(d, s.size_bytes());
+    }
+    ctx.Compute(static_cast<uint64_t>((end - begin) * src.cols()) / 4);
+  });
+}
+
+KernelStats GlobalAvgPool(Device& device, const FeatureMatrix& src, FeatureMatrix& dst,
+                          bool functional) {
+  MINUET_CHECK_EQ(dst.rows(), 1);
+  MINUET_CHECK_EQ(dst.cols(), src.cols());
+  const int64_t rows = std::max<int64_t>(src.rows(), 1);
+  constexpr int64_t kRowsPerBlock = 256;
+  const int64_t blocks = std::max<int64_t>(1, (src.rows() + kRowsPerBlock - 1) / kRowsPerBlock);
+  return device.Launch("global_avg_pool", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kRowsPerBlock;
+    int64_t end = std::min(begin + kRowsPerBlock, src.rows());
+    if (begin >= end) {
+      return;
+    }
+    ctx.GlobalRead(src.data() + begin * src.cols(),
+                   static_cast<size_t>((end - begin) * src.cols()) * sizeof(float));
+    if (functional) {
+      for (int64_t i = begin; i < end; ++i) {
+        for (int64_t j = 0; j < src.cols(); ++j) {
+          dst.At(0, j) += src.At(i, j) / static_cast<float>(rows);
+        }
+      }
+    }
+    ctx.GlobalWrite(dst.data(), static_cast<size_t>(dst.cols()) * sizeof(float));
+    ctx.Compute(static_cast<uint64_t>((end - begin) * src.cols()));
+  });
+}
+
+// Rounds all activations through binary16 (fp16 inference mode).
+void RoundFeaturesToHalf(FeatureMatrix& features) {
+  float* data = features.data();
+  const int64_t n = features.rows() * features.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] = RoundToHalf(data[i]);
+  }
+}
+
+// Charges coordinate generation of a generative conv: K^3 |P| dilated
+// candidates deduplicated (sorted engines: one big sort + unique; hash
+// engines: insert-with-duplicate-checks). Approximated as the sorted-engine
+// sort over the candidate count or a hash pass of the same volume.
+KernelStats ChargeDilationDedup(Device& device, std::span<const uint64_t> input_keys,
+                                size_t num_offsets, int64_t num_unique, bool sorted_engine) {
+  KernelStats stats;
+  const int64_t n = static_cast<int64_t>(input_keys.size() * num_offsets);
+  if (n == 0) {
+    return stats;
+  }
+  std::vector<uint64_t> candidates(static_cast<size_t>(n));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = input_keys[i % input_keys.size()] + (i / input_keys.size());
+  }
+  constexpr int64_t kItemsPerBlock = 1024;
+  const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
+  stats += device.Launch("dilate_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kItemsPerBlock;
+    int64_t end = std::min(begin + kItemsPerBlock, n);
+    ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
+                   static_cast<size_t>(end - begin) * sizeof(uint64_t));
+    ctx.Compute(static_cast<uint64_t>(end - begin) * 4);
+    ctx.GlobalWrite(&candidates[static_cast<size_t>(begin)],
+                    static_cast<size_t>(end - begin) * sizeof(uint64_t));
+  });
+  if (sorted_engine) {
+    stats += RadixSortCoordPairs(device, candidates, {}).kernels;
+    stats += device.Launch("dilate_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+      int64_t begin = ctx.block_index() * kItemsPerBlock;
+      int64_t end = std::min(begin + kItemsPerBlock, n);
+      ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
+                     static_cast<size_t>(end - begin) * sizeof(uint64_t));
+      ctx.Compute(static_cast<uint64_t>(end - begin));
+      int64_t share = num_unique * (end - begin) / n;
+      ctx.GlobalWrite(&candidates[static_cast<size_t>(begin)],
+                      static_cast<size_t>(share) * sizeof(uint64_t));
+    });
+  } else {
+    std::vector<uint64_t> unique = candidates;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    std::unique_ptr<HashTableBase> table;
+    stats += BuildEngineHashTable(device, HashTableKind::kCuckoo, unique, &table);
+    std::vector<uint32_t> results(candidates.size());
+    stats += table->Query(device, candidates, results);
+  }
+  return stats;
+}
+
+// Charges the coordinate-deduplication work that a strided layer's output
+// generation costs (Eq. 1 removes duplicates). Minuet sorts the |P|
+// downsampled candidates and compacts runs; hash engines insert the
+// candidates into a fresh table and compact it. The functional result comes
+// from DownsampleCoords; this accounts for the kernels behind it.
+KernelStats ChargeDownsampleDedup(Device& device, std::span<const uint64_t> input_keys,
+                                  int32_t step, int64_t num_unique, bool sorted_engine) {
+  KernelStats stats;
+  const int64_t n = static_cast<int64_t>(input_keys.size());
+  if (n == 0) {
+    return stats;
+  }
+  // Candidate generation: floor-snap every input coordinate.
+  std::vector<uint64_t> candidates(static_cast<size_t>(n));
+  constexpr int64_t kItemsPerBlock = 1024;
+  const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
+  stats += device.Launch("downsample_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kItemsPerBlock;
+    int64_t end = std::min(begin + kItemsPerBlock, n);
+    ctx.GlobalRead(&input_keys[static_cast<size_t>(begin)],
+                   static_cast<size_t>(end - begin) * sizeof(uint64_t));
+    for (int64_t i = begin; i < end; ++i) {
+      Coord3 c = UnpackCoord(input_keys[static_cast<size_t>(i)]);
+      candidates[static_cast<size_t>(i)] =
+          PackCoord(Coord3{FloorDiv(c.x, step) * step, FloorDiv(c.y, step) * step,
+                           FloorDiv(c.z, step) * step});
+    }
+    ctx.Compute(static_cast<uint64_t>(end - begin) * 6);
+    ctx.GlobalWrite(&candidates[static_cast<size_t>(begin)],
+                    static_cast<size_t>(end - begin) * sizeof(uint64_t));
+  });
+
+  if (sorted_engine) {
+    // Sort + adjacent-unique compaction.
+    stats += RadixSortCoordPairs(device, candidates, {}).kernels;
+    stats += device.Launch("downsample_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+      int64_t begin = ctx.block_index() * kItemsPerBlock;
+      int64_t end = std::min(begin + kItemsPerBlock, n);
+      ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
+                     static_cast<size_t>(end - begin) * sizeof(uint64_t));
+      ctx.Compute(static_cast<uint64_t>(end - begin));
+      int64_t share = num_unique * (end - begin) / n;
+      ctx.GlobalWrite(&candidates[static_cast<size_t>(begin)],
+                      static_cast<size_t>(share) * sizeof(uint64_t));
+    });
+  } else {
+    // Hash-based dedup: insert every candidate (duplicates probe and bail),
+    // then compact the table. Modelled as a build over the unique set plus a
+    // probe pass over all candidates.
+    std::vector<uint64_t> unique = candidates;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    std::unique_ptr<HashTableBase> table;
+    stats += BuildEngineHashTable(device, HashTableKind::kCuckoo, unique, &table);
+    std::vector<uint32_t> results(candidates.size());
+    stats += table->Query(device, candidates, results);
+  }
+  return stats;
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMinuet:
+      return "Minuet";
+    case EngineKind::kTorchSparse:
+      return "TorchSparse";
+    case EngineKind::kMinkowski:
+      return "MinkowskiEngine";
+  }
+  return "unknown";
+}
+
+StepBreakdown& StepBreakdown::operator+=(const StepBreakdown& other) {
+  map_build += other.map_build;
+  map_query += other.map_query;
+  metadata += other.metadata;
+  gather += other.gather;
+  gemm += other.gemm;
+  scatter += other.scatter;
+  elementwise += other.elementwise;
+  launches += other.launches;
+  gemm_kernels += other.gemm_kernels;
+  padded_rows += other.padded_rows;
+  actual_rows += other.actual_rows;
+  return *this;
+}
+
+Engine::Engine(const EngineConfig& config, const DeviceConfig& device_config)
+    : config_(config),
+      device_config_(device_config),
+      device_(std::make_unique<Device>(device_config)) {}
+
+void Engine::Prepare(const Network& network, uint64_t seed) {
+  network_ = network;
+  prepared_ = true;
+  conv_weights_.clear();
+  linear_weights_.clear();
+  layer_tiles_.clear();
+
+  uint64_t state = seed;
+  for (const Instr& instr : network_.instrs) {
+    if (instr.op == Instr::Op::kConv) {
+      Pcg32 rng(SplitMix64(state), 17);
+      ConvWeights weights;
+      const int64_t n_off = instr.conv.NumOffsets();
+      // He-style scale keeps activations in range through deep networks.
+      float scale =
+          std::sqrt(2.0f / static_cast<float>(instr.conv.c_in * std::max<int64_t>(n_off, 1)));
+      for (int64_t k = 0; k < n_off; ++k) {
+        FeatureMatrix w(instr.conv.c_in, instr.conv.c_out);
+        for (int64_t a = 0; a < instr.conv.c_in; ++a) {
+          for (int64_t b = 0; b < instr.conv.c_out; ++b) {
+            w.At(a, b) = static_cast<float>(rng.NextGaussian()) * scale;
+          }
+        }
+        weights.per_offset.push_back(std::move(w));
+      }
+      conv_weights_.push_back(std::move(weights));
+      layer_tiles_.emplace_back(config_.fixed_tile, config_.fixed_tile);
+    } else if (instr.op == Instr::Op::kLinear) {
+      Pcg32 rng(SplitMix64(state), 19);
+      // Shape resolved at Prepare time from the preceding conv channels is
+      // not tracked here; the linear head infers c_in at Run time, so store
+      // the RNG seed material instead via a 0x0 placeholder replaced lazily.
+      linear_weights_.emplace_back();
+      (void)rng;
+    }
+  }
+}
+
+double Engine::Autotune(std::span<const PointCloud> samples) {
+  if (config_.kind != EngineKind::kMinuet || !config_.features.autotuned_tiles ||
+      samples.empty()) {
+    return 0.0;
+  }
+  WallTimer timer;
+  Device scratch(device_config_);
+
+  // Per conv layer: accumulated (tile -> cycles) profiles across samples.
+  std::vector<std::map<int, double>> gather_profiles(conv_weights_.size());
+  std::vector<std::map<int, double>> scatter_profiles(conv_weights_.size());
+
+  MinuetMapConfig map_cfg;
+  map_cfg.source_block_size = config_.map_source_block;
+  map_cfg.query_block_size = config_.map_query_block;
+  MinuetMapBuilder builder(map_cfg);
+
+  for (const PointCloud& sample : samples) {
+    // Trace the coordinate flow of the network on the sample and profile
+    // every non-trivial conv layer's Gather and Scatter tiles (Algorithm 2).
+    auto root = std::make_shared<CoordLevel>();
+    root->tensor_stride = 1;
+    root->keys = PackCoords(sample.coords);
+    std::sort(root->keys.begin(), root->keys.end());
+    root->coords.reserve(root->keys.size());
+    for (uint64_t k : root->keys) {
+      root->coords.push_back(UnpackCoord(k));
+    }
+
+    LevelPtr level = root;
+    int conv_index = 0;
+    for (const Instr& instr : network_.instrs) {
+      // Pooling reshapes the coordinate flow but has no tiles to tune.
+      if ((instr.op == Instr::Op::kMaxPool || instr.op == Instr::Op::kAvgPool) &&
+          instr.conv.stride > 1) {
+        auto pooled = std::make_shared<CoordLevel>();
+        pooled->tensor_stride = level->tensor_stride * instr.conv.stride;
+        pooled->coords = DownsampleCoords(level->coords, pooled->tensor_stride);
+        pooled->keys = PackCoords(pooled->coords);
+        pooled->parent = level;
+        level = pooled;
+        continue;
+      }
+      if (instr.op != Instr::Op::kConv) {
+        continue;
+      }
+      const ConvParams& conv = instr.conv;
+      if (conv.kernel_size == 1 && conv.stride == 1 && !conv.transposed) {
+        ++conv_index;  // 1x1 convs are plain GEMMs; no tiles to tune
+        continue;
+      }
+      LevelPtr out_level;
+      std::vector<Coord3> offsets =
+          MakeWeightOffsets(conv.kernel_size,
+                            conv.transposed ? level->tensor_stride / conv.stride
+                                            : level->tensor_stride);
+      std::vector<Coord3> query_offsets = offsets;
+      if (conv.transposed) {
+        MINUET_CHECK(level->parent != nullptr) << "transposed conv without a parent level";
+        out_level = level->parent;
+        for (Coord3& d : query_offsets) {
+          d = Coord3{-d.x, -d.y, -d.z};
+        }
+      } else if (conv.generative) {
+        out_level = std::make_shared<CoordLevel>();
+        out_level->tensor_stride = level->tensor_stride;
+        out_level->coords = DilateCoords(level->coords, offsets);
+        out_level->keys = PackCoords(out_level->coords);
+        out_level->parent = level;
+      } else if (conv.stride > 1) {
+        out_level = std::make_shared<CoordLevel>();
+        out_level->tensor_stride = level->tensor_stride * conv.stride;
+        out_level->coords = DownsampleCoords(level->coords, out_level->tensor_stride);
+        out_level->keys = PackCoords(out_level->coords);
+        out_level->parent = level;
+      } else {
+        out_level = level;
+      }
+
+      MapBuildInput in;
+      in.source_keys = level->keys;
+      in.output_keys = out_level->keys;
+      in.offsets = query_offsets;
+      in.source_sorted = true;
+      in.output_sorted = true;
+      MapBuildResult map = builder.Build(scratch, in);
+      KernelMap kernel_map = CompactPositionTable(map.table, query_offsets);
+      GroupingPlan plan =
+          PlanGemmGroups(kernel_map.EntryCounts(), GroupingStrategy::kSortedOrder,
+                         config_.padding_threshold);
+      MetadataTables tables = BuildMetadataTables(scratch, kernel_map, plan, level->size(),
+                                                  out_level->size(), nullptr);
+      AutotuneOutcome gather = AutotuneGatherTile(scratch, tables, conv.c_in);
+      AutotuneOutcome scatter = AutotuneScatterTile(scratch, tables, conv.c_out);
+      for (const auto& [tile, cycles] : gather.profile) {
+        gather_profiles[static_cast<size_t>(conv_index)][tile] += cycles;
+      }
+      for (const auto& [tile, cycles] : scatter.profile) {
+        scatter_profiles[static_cast<size_t>(conv_index)][tile] += cycles;
+      }
+      ++conv_index;
+      level = out_level;
+    }
+  }
+
+  // Pick the tile with the lowest total latency across the samples
+  // (Algorithm 2 line 7).
+  auto pick_best = [](const std::map<int, double>& profile, int fallback) {
+    int best = fallback;
+    double best_cycles = 0.0;
+    for (const auto& [tile, cycles] : profile) {
+      if (best_cycles == 0.0 || cycles < best_cycles) {
+        best_cycles = cycles;
+        best = tile;
+      }
+    }
+    return best;
+  };
+  for (size_t i = 0; i < conv_weights_.size(); ++i) {
+    if (!gather_profiles[i].empty()) {
+      layer_tiles_[i] = {pick_best(gather_profiles[i], layer_tiles_[i].first),
+                         pick_best(scatter_profiles[i], layer_tiles_[i].second)};
+    }
+  }
+  return timer.ElapsedMillis();
+}
+
+RunResult Engine::Run(const PointCloud& input) {
+  MINUET_CHECK(prepared_) << "Prepare() must run before Run()";
+  MINUET_CHECK_EQ(input.channels(), network_.in_channels);
+  Device& dev = *device_;
+  RunResult result;
+
+  const bool functional = config_.functional;
+  const bool is_minuet = config_.kind == EngineKind::kMinuet;
+  const bool use_sorted_map = is_minuet && config_.features.segmented_sorting;
+
+  // All engines consume the canonical (key-sorted) coordinate order so that
+  // outputs are comparable. Minuet is the engine that *needs* sorted arrays,
+  // so it alone pays for the input sort (Figure 9's one-time sort).
+  Activation act;
+  {
+    PointCloud sorted = input;
+    SortPointCloud(sorted);
+    if (use_sorted_map) {
+      std::vector<uint64_t> keys = PackCoords(input.coords);
+      std::vector<uint32_t> vals(keys.size());
+      std::iota(vals.begin(), vals.end(), 0u);
+      KernelStats sort_stats = RadixSortCoordPairs(dev, keys, vals).kernels;
+      AccumulateKernel(result.total, &StepBreakdown::map_build, sort_stats);
+      // Features are permuted into sorted order alongside.
+      AccumulateKernel(result.total, &StepBreakdown::map_build,
+                       CopyColumns(dev, sorted.features, sorted.features, 0, false));
+    }
+    act.level = std::make_shared<CoordLevel>();
+    act.level->tensor_stride = 1;
+    act.level->coords = std::move(sorted.coords);
+    act.level->keys = PackCoords(act.level->coords);
+    act.features = std::move(sorted.features);
+  }
+
+  std::vector<Activation> slots(static_cast<size_t>(network_.NumSlots()));
+  int conv_index = 0;
+  size_t linear_index = 0;
+
+  // Map builders are stateless; construct once.
+  MinuetMapConfig map_cfg;
+  map_cfg.source_block_size = config_.map_source_block;
+  map_cfg.query_block_size = config_.map_query_block;
+  map_cfg.double_traversal = config_.features.double_traversal;
+  MinuetMapBuilder minuet_builder(map_cfg);
+  HashMapBuilder cuckoo_builder(HashTableKind::kCuckoo);
+  HashMapBuilder linear_builder(HashTableKind::kLinearProbe);
+
+  for (const Instr& instr : network_.instrs) {
+    switch (instr.op) {
+      case Instr::Op::kConv: {
+        const ConvParams& conv = instr.conv;
+        const ConvWeights& weights = conv_weights_[static_cast<size_t>(conv_index)];
+        Activation* target = instr.slot >= 0 ? &slots[static_cast<size_t>(instr.slot)] : &act;
+        MINUET_CHECK_EQ(target->features.cols(), conv.c_in);
+
+        LayerRecord record;
+        record.conv_index = conv_index;
+        record.params = conv;
+        record.num_inputs = target->level->size();
+        StepBreakdown layer;
+
+        if (conv.kernel_size == 1 && conv.stride == 1 && !conv.transposed) {
+          // 1x1 stride-1 conv == one GEMM over the feature matrix.
+          FeatureMatrix out(target->features.rows(), conv.c_out, 0.0f);
+          KernelStats gemm = dev.LaunchGemm("conv1x1_gemm", target->features.rows(), conv.c_out,
+                                            conv.c_in);
+          AccumulateKernel(layer, &StepBreakdown::gemm, gemm);
+          layer.gemm_kernels += 1;
+          if (functional) {
+            BlockedGemm(target->features.data(), weights.per_offset[0].data(), out.data(),
+                        target->features.rows(), conv.c_in, conv.c_out);
+          }
+          target->features = std::move(out);
+          record.num_outputs = target->level->size();
+        } else {
+          // Resolve the output coordinate level.
+          LevelPtr out_level;
+          if (conv.transposed) {
+            MINUET_CHECK(target->level->parent != nullptr)
+                << "transposed conv without a matching encoder level";
+          }
+          std::vector<Coord3> offsets = MakeWeightOffsets(
+              conv.kernel_size, conv.transposed ? target->level->tensor_stride / conv.stride
+                                                : target->level->tensor_stride);
+          std::vector<Coord3> query_offsets = offsets;
+          if (conv.transposed) {
+            MINUET_CHECK(target->level->parent != nullptr)
+                << "transposed conv without a matching encoder level";
+            out_level = target->level->parent;
+            // Transposed map: entry (p, q, d) when q = p + d, i.e. the normal
+            // builder with mirrored offsets; rows keep the weight order.
+            for (Coord3& d : query_offsets) {
+              d = Coord3{-d.x, -d.y, -d.z};
+            }
+          } else if (conv.generative) {
+            MINUET_CHECK_EQ(conv.stride, 1) << "generative convs must have stride 1";
+            out_level = std::make_shared<CoordLevel>();
+            out_level->tensor_stride = target->level->tensor_stride;
+            out_level->coords = DilateCoords(target->level->coords, offsets);
+            out_level->keys = PackCoords(out_level->coords);
+            out_level->parent = target->level;
+            // Coordinate generation: K^3 |P| candidates deduplicated.
+            AccumulateKernel(layer, &StepBreakdown::map_build,
+                             ChargeDilationDedup(dev, target->level->keys, offsets.size(),
+                                                 out_level->size(), use_sorted_map));
+          } else if (conv.stride > 1) {
+            out_level = std::make_shared<CoordLevel>();
+            out_level->tensor_stride = target->level->tensor_stride * conv.stride;
+            out_level->coords = DownsampleCoords(target->level->coords, out_level->tensor_stride);
+            out_level->keys = PackCoords(out_level->coords);
+            out_level->parent = target->level;
+            // Output-coordinate generation must deduplicate (Eq. 1).
+            AccumulateKernel(layer, &StepBreakdown::map_build,
+                             ChargeDownsampleDedup(dev, target->level->keys,
+                                                   out_level->tensor_stride, out_level->size(),
+                                                   use_sorted_map));
+          } else {
+            out_level = target->level;
+          }
+          record.num_outputs = out_level->size();
+
+          // --- Map step.
+          MapBuildInput map_in;
+          map_in.source_keys = target->level->keys;
+          map_in.output_keys = out_level->keys;
+          map_in.offsets = query_offsets;
+          map_in.source_sorted = true;
+          map_in.output_sorted = true;
+          MapBuilderBase* map_builder;
+          if (use_sorted_map) {
+            map_builder = &minuet_builder;
+          } else if (config_.kind == EngineKind::kMinkowski) {
+            map_builder = &linear_builder;
+          } else {
+            map_builder = &cuckoo_builder;
+          }
+          MapBuildResult map = map_builder->Build(dev, map_in);
+          AccumulateKernel(layer, &StepBreakdown::map_build, map.build_stats);
+          AccumulateKernel(layer, &StepBreakdown::map_query, map.query_stats);
+          KernelMap kernel_map = CompactPositionTable(map.table, query_offsets);
+          AccumulateKernel(layer, &StepBreakdown::map_query,
+                           ChargeMapCompaction(dev, map.table, kernel_map.TotalEntries()));
+
+          // --- GMaS step.
+          FeatureMatrix out;
+          if (config_.kind == EngineKind::kMinkowski) {
+            GmasResult gmas = RunPerOffsetFused(dev, kernel_map, target->features,
+                                                weights.per_offset, out_level->size(), functional);
+            AccumulateKernel(layer, &StepBreakdown::gather, gmas.stats.gather);
+            AccumulateKernel(layer, &StepBreakdown::gemm, gmas.stats.gemm);
+            layer.gemm_kernels += gmas.stats.plan.NumKernels();
+            layer.actual_rows += gmas.stats.plan.actual_rows;
+            out = std::move(gmas.output);
+          } else {
+            GmasConfig gmas_cfg;
+            bool sorted_grouping = is_minuet && config_.features.sorted_grouping;
+            gmas_cfg.grouping = sorted_grouping ? GroupingStrategy::kSortedOrder
+                                                : GroupingStrategy::kMapOrder;
+            gmas_cfg.padding_threshold = config_.padding_threshold;
+            auto [gather_tile, scatter_tile] = layer_tiles_[static_cast<size_t>(conv_index)];
+            // Tiles must divide the channel counts; the fixed default may not.
+            while (conv.c_in % gather_tile != 0) {
+              --gather_tile;
+            }
+            while (conv.c_out % scatter_tile != 0) {
+              --scatter_tile;
+            }
+            gmas_cfg.gather_tile = gather_tile;
+            gmas_cfg.scatter_tile = scatter_tile;
+            // The CUDA-stream pool (s = 4) ships with Minuet's GEMM grouping
+            // (Section 5.2.2); TorchSparse issues its GEMMs on one stream.
+            gmas_cfg.stream_pool_size = sorted_grouping ? config_.stream_pool_size : 1;
+            gmas_cfg.functional = functional;
+            gmas_cfg.precision = config_.precision;
+            record.gather_tile = gather_tile;
+            record.scatter_tile = scatter_tile;
+            GmasResult gmas = RunGatherGemmScatter(dev, kernel_map, target->features,
+                                                   weights.per_offset, out_level->size(), gmas_cfg);
+            AccumulateKernel(layer, &StepBreakdown::metadata, gmas.stats.metadata);
+            AccumulateKernel(layer, &StepBreakdown::metadata, gmas.stats.buffer_setup);
+            AccumulateKernel(layer, &StepBreakdown::gather, gmas.stats.gather);
+            layer.gemm += gmas.stats.gemm_stream_cycles;
+            layer.launches += gmas.stats.gemm.num_launches;
+            AccumulateKernel(layer, &StepBreakdown::scatter, gmas.stats.scatter);
+            layer.gemm_kernels += gmas.stats.plan.NumKernels();
+            layer.padded_rows += gmas.stats.plan.padded_rows();
+            layer.actual_rows += gmas.stats.plan.actual_rows;
+            out = std::move(gmas.output);
+          }
+          target->features = std::move(out);
+          target->level = out_level;
+        }
+
+        if (functional && config_.precision == Precision::kFp16) {
+          RoundFeaturesToHalf(target->features);
+        }
+        record.cycles = layer;
+        result.total += layer;
+        result.layers.push_back(std::move(record));
+        ++conv_index;
+        break;
+      }
+      case Instr::Op::kMaxPool:
+      case Instr::Op::kAvgPool: {
+        const ConvParams& pool = instr.conv;
+        MINUET_CHECK(!pool.transposed && !pool.generative);
+        LevelPtr out_level;
+        if (pool.stride > 1) {
+          out_level = std::make_shared<CoordLevel>();
+          out_level->tensor_stride = act.level->tensor_stride * pool.stride;
+          out_level->coords = DownsampleCoords(act.level->coords, out_level->tensor_stride);
+          out_level->keys = PackCoords(out_level->coords);
+          out_level->parent = act.level;
+          AccumulateKernel(result.total, &StepBreakdown::map_build,
+                           ChargeDownsampleDedup(dev, act.level->keys,
+                                                 out_level->tensor_stride, out_level->size(),
+                                                 use_sorted_map));
+        } else {
+          out_level = act.level;
+        }
+        std::vector<Coord3> offsets =
+            MakeWeightOffsets(pool.kernel_size, act.level->tensor_stride);
+        MapBuildInput map_in;
+        map_in.source_keys = act.level->keys;
+        map_in.output_keys = out_level->keys;
+        map_in.offsets = offsets;
+        map_in.source_sorted = true;
+        map_in.output_sorted = true;
+        MapBuilderBase* map_builder;
+        if (use_sorted_map) {
+          map_builder = &minuet_builder;
+        } else if (config_.kind == EngineKind::kMinkowski) {
+          map_builder = &linear_builder;
+        } else {
+          map_builder = &cuckoo_builder;
+        }
+        MapBuildResult map = map_builder->Build(dev, map_in);
+        AccumulateKernel(result.total, &StepBreakdown::map_build, map.build_stats);
+        AccumulateKernel(result.total, &StepBreakdown::map_query, map.query_stats);
+        FeatureMatrix pooled(out_level->size(), act.features.cols(), 0.0f);
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         SparsePoolKernel(dev, map.table, act.features, pooled,
+                                          instr.op == Instr::Op::kMaxPool ? PoolMode::kMax
+                                                                          : PoolMode::kAverage,
+                                          functional));
+        act.features = std::move(pooled);
+        act.level = out_level;
+        break;
+      }
+      case Instr::Op::kBnRelu: {
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         ApplyBnRelu(dev, act.features, functional));
+        if (functional && config_.precision == Precision::kFp16) {
+          RoundFeaturesToHalf(act.features);
+        }
+        break;
+      }
+      case Instr::Op::kResidualSave:
+      case Instr::Op::kSkipSave: {
+        MINUET_CHECK_GE(instr.slot, 0);
+        Activation& slot = slots[static_cast<size_t>(instr.slot)];
+        slot.level = act.level;
+        slot.features = FeatureMatrix(act.features.rows(), act.features.cols());
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         CopyColumns(dev, act.features, slot.features, 0, functional));
+        break;
+      }
+      case Instr::Op::kResidualAdd: {
+        MINUET_CHECK_GE(instr.slot, 0);
+        Activation& slot = slots[static_cast<size_t>(instr.slot)];
+        MINUET_CHECK(slot.level == act.level) << "residual add across coordinate levels";
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         AddInto(dev, act.features, slot.features, functional));
+        break;
+      }
+      case Instr::Op::kConcatSkip: {
+        MINUET_CHECK_GE(instr.slot, 0);
+        Activation& slot = slots[static_cast<size_t>(instr.slot)];
+        MINUET_CHECK(slot.level == act.level) << "concat across coordinate levels";
+        FeatureMatrix merged(act.features.rows(), act.features.cols() + slot.features.cols());
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         CopyColumns(dev, act.features, merged, 0, functional));
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         CopyColumns(dev, slot.features, merged, act.features.cols(), functional));
+        act.features = std::move(merged);
+        break;
+      }
+      case Instr::Op::kGlobalAvgPool: {
+        FeatureMatrix pooled(1, act.features.cols(), 0.0f);
+        AccumulateKernel(result.total, &StepBreakdown::elementwise,
+                         GlobalAvgPool(dev, act.features, pooled, functional));
+        act.features = std::move(pooled);
+        auto pooled_level = std::make_shared<CoordLevel>();
+        pooled_level->tensor_stride = act.level->tensor_stride;
+        pooled_level->coords = {Coord3{0, 0, 0}};
+        pooled_level->keys = {PackCoord(Coord3{0, 0, 0})};
+        act.level = pooled_level;
+        break;
+      }
+      case Instr::Op::kLinear: {
+        const int64_t c_in = act.features.cols();
+        FeatureMatrix& w = linear_weights_[linear_index];
+        if (w.rows() != c_in || w.cols() != instr.linear_out) {
+          // Lazily materialise the head weights now that c_in is known.
+          Pcg32 rng(0x11ead + linear_index, 23);
+          w = FeatureMatrix(c_in, instr.linear_out);
+          float scale = std::sqrt(2.0f / static_cast<float>(c_in));
+          for (int64_t a = 0; a < c_in; ++a) {
+            for (int64_t b = 0; b < instr.linear_out; ++b) {
+              w.At(a, b) = static_cast<float>(rng.NextGaussian()) * scale;
+            }
+          }
+        }
+        FeatureMatrix out(act.features.rows(), instr.linear_out, 0.0f);
+        KernelStats gemm =
+            dev.LaunchGemm("linear_head", act.features.rows(), instr.linear_out, c_in);
+        AccumulateKernel(result.total, &StepBreakdown::gemm, gemm);
+        if (functional) {
+          BlockedGemm(act.features.data(), w.data(), out.data(), act.features.rows(), c_in,
+                      instr.linear_out);
+        }
+        act.features = std::move(out);
+        ++linear_index;
+        break;
+      }
+    }
+  }
+
+  result.features = std::move(act.features);
+  result.coords = act.level->coords;
+  return result;
+}
+
+std::vector<RunResult> Engine::RunBatch(std::span<const PointCloud> batch) {
+  MINUET_CHECK(!batch.empty());
+  for (const Instr& instr : network_.instrs) {
+    MINUET_CHECK(instr.op != Instr::Op::kGlobalAvgPool && instr.op != Instr::Op::kLinear)
+        << "RunBatch does not support pooling heads (they would mix clouds)";
+  }
+
+  // Spacing: larger than any coordinate extent plus the deepest kernel reach,
+  // so no window can cross cloud boundaries. Downsampling only coarsens the
+  // lattice, never moves points past their cloud's span.
+  int32_t max_extent = 1;
+  const int64_t c = batch[0].channels();
+  int64_t total_points = 0;
+  for (const PointCloud& cloud : batch) {
+    MINUET_CHECK_EQ(cloud.channels(), c);
+    total_points += cloud.num_points();
+    for (const Coord3& p : cloud.coords) {
+      max_extent = std::max({max_extent, std::abs(p.x), std::abs(p.y), std::abs(p.z)});
+    }
+  }
+  // Round the pitch to a large power of two so downsampled cloud origins stay
+  // on their own pitch multiples at every stride level.
+  int64_t pitch64 = 1;
+  while (pitch64 < static_cast<int64_t>(max_extent) * 2 + 4096) {
+    pitch64 *= 2;
+  }
+  MINUET_CHECK_LT(pitch64 * static_cast<int64_t>(batch.size()), int64_t{kCoordMax})
+      << "batch too large for the coordinate lattice";
+  const int32_t pitch = static_cast<int32_t>(pitch64);
+
+  PointCloud fused;
+  fused.coords.reserve(static_cast<size_t>(total_points));
+  fused.features = FeatureMatrix(total_points, c);
+  int64_t row = 0;
+  for (size_t b = 0; b < batch.size(); ++b) {
+    int32_t shift = static_cast<int32_t>(b) * pitch;
+    for (const Coord3& p : batch[b].coords) {
+      fused.coords.push_back(Coord3{p.x + shift, p.y, p.z});
+    }
+    for (int64_t i = 0; i < batch[b].num_points(); ++i, ++row) {
+      auto src = batch[b].features.Row(i);
+      auto dst = fused.features.Row(row);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+
+  RunResult fused_result = Run(fused);
+
+  // Split outputs back per cloud by x-range and undo the shift. Outputs are
+  // key-sorted, so each cloud's rows are contiguous.
+  std::vector<RunResult> results(batch.size());
+  std::vector<int64_t> counts(batch.size(), 0);
+  auto cloud_of = [&](const Coord3& q) {
+    int32_t b = FloorDiv(q.x + pitch / 2, pitch);
+    MINUET_CHECK(b >= 0 && b < static_cast<int32_t>(batch.size()))
+        << "output coordinate outside every batch slot";
+    return static_cast<size_t>(b);
+  };
+  for (const Coord3& q : fused_result.coords) {
+    ++counts[cloud_of(q)];
+  }
+  for (size_t b = 0; b < batch.size(); ++b) {
+    results[b].features = FeatureMatrix(counts[b], fused_result.features.cols());
+    results[b].coords.reserve(static_cast<size_t>(counts[b]));
+    // Batch-level stats are shared: attribute proportionally by output rows.
+    results[b].total = fused_result.total;
+  }
+  std::vector<int64_t> cursor(batch.size(), 0);
+  for (size_t i = 0; i < fused_result.coords.size(); ++i) {
+    Coord3 q = fused_result.coords[i];
+    size_t b = cloud_of(q);
+    results[b].coords.push_back(
+        Coord3{q.x - static_cast<int32_t>(b) * pitch, q.y, q.z});
+    auto src = fused_result.features.Row(static_cast<int64_t>(i));
+    auto dst = results[b].features.Row(cursor[b]++);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return results;
+}
+
+}  // namespace minuet

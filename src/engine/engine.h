@@ -1,0 +1,155 @@
+// Sparse-convolution engines (Section 4): one class, three strategies.
+//
+//   kMinuet      — sorted-array Map step (segmented sorting + double-traversed
+//                  binary search), autotuned Gather/Scatter tiles, sorted GEMM
+//                  grouping, cross-layer sorted-coordinate reuse.
+//   kTorchSparse — cuckoo-hash Map step, fixed tile size, map-order adaptive
+//                  GEMM grouping, single Gather/Scatter for all offsets.
+//   kMinkowski   — linear-probing-hash Map step, per-offset fused
+//                  gather-GEMM-scatter dataflow (no padding, more launches,
+//                  specialised for small channel counts).
+//
+// Feature toggles on kMinuet (EngineFeatures) reproduce the Figure 14
+// ablation: disabling segmented sorting falls back to the hash map, disabling
+// double traversal runs plain binary search over the whole source array,
+// disabling autotuning uses the fixed tile, disabling sorted grouping uses
+// map order.
+#ifndef SRC_ENGINE_ENGINE_H_
+#define SRC_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/point_cloud.h"
+#include "src/engine/network.h"
+#include "src/gmas/executor.h"
+#include "src/gpusim/device.h"
+#include "src/map/map_builder.h"
+
+namespace minuet {
+
+enum class EngineKind { kMinuet, kTorchSparse, kMinkowski };
+
+const char* EngineKindName(EngineKind kind);
+
+struct EngineFeatures {
+  bool segmented_sorting = true;  // SS
+  bool double_traversal = true;   // DTBS
+  bool autotuned_tiles = true;    // AT
+  bool sorted_grouping = true;    // PG
+};
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kMinuet;
+  EngineFeatures features;
+  // fp16 inference: halves device feature traffic, doubles the GEMM rate, and
+  // rounds every layer's activations through binary16 (host math is float).
+  Precision precision = Precision::kFp32;
+  int64_t map_source_block = 256;  // Minuet's B
+  int64_t map_query_block = 512;   // Minuet's C
+  double padding_threshold = 0.25;
+  int fixed_tile = 4;  // prior works' fixed tile size (Section 6.5)
+  int stream_pool_size = 4;
+  bool functional = true;  // false: timing-only (skip the arithmetic)
+};
+
+// Cycle breakdown across the two SC steps plus everything else.
+struct StepBreakdown {
+  double map_build = 0.0;   // hash build / coordinate sorting
+  double map_query = 0.0;   // kernel-map queries
+  double metadata = 0.0;
+  double gather = 0.0;
+  double gemm = 0.0;        // with stream-pool overlap
+  double scatter = 0.0;
+  double elementwise = 0.0;
+  int64_t launches = 0;
+  int64_t gemm_kernels = 0;
+  int64_t padded_rows = 0;
+  int64_t actual_rows = 0;
+
+  double MapCycles() const { return map_build + map_query; }
+  double GmasCycles() const { return metadata + gather + gemm + scatter; }
+  double TotalCycles() const { return MapCycles() + GmasCycles() + elementwise; }
+  double PaddingOverhead() const {
+    return actual_rows == 0 ? 0.0
+                            : static_cast<double>(padded_rows) / static_cast<double>(actual_rows);
+  }
+  StepBreakdown& operator+=(const StepBreakdown& other);
+};
+
+struct LayerRecord {
+  int conv_index = 0;  // 0-based conv layer number
+  ConvParams params;
+  int64_t num_inputs = 0;
+  int64_t num_outputs = 0;
+  int gather_tile = 0;
+  int scatter_tile = 0;
+  StepBreakdown cycles;
+};
+
+struct RunResult {
+  FeatureMatrix features;       // final activation (or head logits)
+  std::vector<Coord3> coords;   // coordinates of the final activation
+  StepBreakdown total;
+  std::vector<LayerRecord> layers;
+  double TotalMillis(const DeviceConfig& config) const {
+    return config.CyclesToMillis(total.TotalCycles());
+  }
+};
+
+class Engine {
+ public:
+  Engine(const EngineConfig& config, const DeviceConfig& device_config);
+
+  // Instantiates the network with deterministic weights derived from `seed`.
+  void Prepare(const Network& network, uint64_t seed);
+
+  // Algorithm 2: profiles Gather/Scatter tiles per conv layer over a few
+  // sampled point clouds from the dataset, picking the tile with the lowest
+  // total simulated latency. Only meaningful for kMinuet with
+  // autotuned_tiles; others no-op. Returns host milliseconds spent tuning.
+  double Autotune(std::span<const PointCloud> samples);
+  double Autotune(const PointCloud& sample) { return Autotune({&sample, 1}); }
+
+  RunResult Run(const PointCloud& input);
+
+  // Batched inference: fuses several clouds into one run (one kernel map, one
+  // GMaS pass over the whole batch) by placing them at disjoint x-offsets
+  // spaced beyond any kernel reach, then splits the outputs back per cloud.
+  // Equivalent to running each cloud alone, but amortises launches the way
+  // real engines' batch dimension does. All clouds must share the channel
+  // count. Not supported for networks with a kGlobalAvgPool/kLinear head
+  // (pooling would mix clouds).
+  std::vector<RunResult> RunBatch(std::span<const PointCloud> batch);
+
+  const EngineConfig& config() const { return config_; }
+  Device& device() { return *device_; }
+  const Network& network() const { return network_; }
+
+  // Per-conv-layer tuned tiles (after Autotune); fixed_tile before.
+  const std::vector<std::pair<int, int>>& layer_tiles() const { return layer_tiles_; }
+
+  // The deterministic per-offset weights of a conv layer (test oracle hook).
+  const std::vector<FeatureMatrix>& conv_weights(int conv_index) const {
+    return conv_weights_[static_cast<size_t>(conv_index)].per_offset;
+  }
+
+ private:
+  struct ConvWeights {
+    std::vector<FeatureMatrix> per_offset;  // K^3 matrices of c_in x c_out
+  };
+
+  EngineConfig config_;
+  DeviceConfig device_config_;
+  std::unique_ptr<Device> device_;
+  Network network_;
+  bool prepared_ = false;
+  std::vector<ConvWeights> conv_weights_;       // indexed by conv layer
+  std::vector<FeatureMatrix> linear_weights_;   // indexed by linear instr order
+  std::vector<std::pair<int, int>> layer_tiles_;  // (gather, scatter) per conv
+};
+
+}  // namespace minuet
+
+#endif  // SRC_ENGINE_ENGINE_H_

@@ -1,0 +1,58 @@
+#include "src/gmas/autotune.h"
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace minuet {
+
+namespace {
+
+template <typename RunTile>
+AutotuneOutcome ProfileTiles(int64_t channels, RunTile&& run_tile) {
+  AutotuneOutcome outcome;
+  WallTimer timer;
+  for (int tile : CandidateTileSizes(channels)) {
+    double cycles = run_tile(tile);
+    outcome.profile.emplace_back(tile, cycles);
+    if (outcome.best_cycles == 0.0 || cycles < outcome.best_cycles) {
+      outcome.best_cycles = cycles;
+      outcome.best_tile = tile;
+    }
+  }
+  outcome.tuning_wall_millis = timer.ElapsedMillis();
+  return outcome;
+}
+
+}  // namespace
+
+AutotuneOutcome AutotuneGatherTile(const Device& device, const MetadataTables& tables,
+                                   int64_t channels, int threads_per_block) {
+  MINUET_CHECK_GT(channels, 0);
+  FeatureMatrix features(tables.num_inputs, channels);
+  FeatureMatrix buffer(tables.buffer_rows, channels);
+  return ProfileTiles(channels, [&](int tile) {
+    Device scratch(device.config());
+    TileKernelConfig cfg;
+    cfg.tile_size = tile;
+    cfg.threads_per_block = threads_per_block;
+    cfg.functional = false;
+    return GatherKernel(scratch, tables, features, buffer, cfg).cycles;
+  });
+}
+
+AutotuneOutcome AutotuneScatterTile(const Device& device, const MetadataTables& tables,
+                                    int64_t channels, int threads_per_block) {
+  MINUET_CHECK_GT(channels, 0);
+  FeatureMatrix buffer(tables.buffer_rows, channels);
+  FeatureMatrix output(tables.num_outputs, channels);
+  return ProfileTiles(channels, [&](int tile) {
+    Device scratch(device.config());
+    TileKernelConfig cfg;
+    cfg.tile_size = tile;
+    cfg.threads_per_block = threads_per_block;
+    cfg.functional = false;
+    return ScatterKernel(scratch, buffer, tables, output, cfg).cycles;
+  });
+}
+
+}  // namespace minuet

@@ -1,0 +1,37 @@
+// Tile-size autotuner for Gather/Scatter (Algorithm 2, Section 5.2.1).
+//
+// For a layer's sampled metadata tables, profiles every divisor of the
+// channel count on a scratch device and returns the fastest tile. Runs once
+// per (layer, dataset, device) before inference; the paper reports the whole
+// process under two minutes, and the simulator equivalent is milliseconds.
+#ifndef SRC_GMAS_AUTOTUNE_H_
+#define SRC_GMAS_AUTOTUNE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/gmas/gather_scatter.h"
+#include "src/gpusim/device.h"
+
+namespace minuet {
+
+struct AutotuneOutcome {
+  int best_tile = 1;
+  double best_cycles = 0.0;
+  // (tile, simulated cycles) for every candidate, in ascending-tile order.
+  std::vector<std::pair<int, double>> profile;
+  double tuning_wall_millis = 0.0;  // host time spent profiling
+};
+
+// Profiles GatherKernel over all divisors of `channels` using `tables` built
+// from a sampled point cloud. The device is only used for its config; each
+// candidate runs on a fresh scratch device so the L2 state is comparable.
+AutotuneOutcome AutotuneGatherTile(const Device& device, const MetadataTables& tables,
+                                   int64_t channels, int threads_per_block = 128);
+
+AutotuneOutcome AutotuneScatterTile(const Device& device, const MetadataTables& tables,
+                                    int64_t channels, int threads_per_block = 128);
+
+}  // namespace minuet
+
+#endif  // SRC_GMAS_AUTOTUNE_H_

@@ -1,0 +1,143 @@
+#include "src/gmas/executor.h"
+
+#include <algorithm>
+
+#include "src/gmas/metadata.h"
+#include "src/util/check.h"
+
+namespace minuet {
+
+double FusedGemmEfficiency(int64_t c_in, int64_t c_out) {
+  double c = static_cast<double>(std::max(c_in, c_out));
+  return std::clamp(48.0 / c, 0.15, 0.95);
+}
+
+KernelStats GmasStepStats::Combined() const {
+  KernelStats total;
+  total += metadata;
+  total += buffer_setup;
+  total += gather;
+  total += gemm;
+  total += scatter;
+  return total;
+}
+
+GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
+                                const FeatureMatrix& input_features,
+                                const std::vector<FeatureMatrix>& weights, int64_t num_outputs,
+                                const GmasConfig& config) {
+  MINUET_CHECK_EQ(map.num_offsets(), static_cast<int64_t>(weights.size()));
+  const int64_t c_in = input_features.cols();
+  MINUET_CHECK(!weights.empty());
+  const int64_t c_out = weights[0].cols();
+
+  GmasResult result;
+  result.output = FeatureMatrix(num_outputs, c_out, 0.0f);
+
+  // GEMM reordering sorts K^3 sizes on the host — negligible (<4% of layer
+  // time in the paper; nanoseconds here) but part of the plan.
+  result.stats.plan = PlanGemmGroups(map.EntryCounts(), config.grouping,
+                                     config.padding_threshold);
+  const GroupingPlan& plan = result.stats.plan;
+  if (plan.buffer_rows == 0 || num_outputs == 0) {
+    return result;
+  }
+
+  MetadataTables tables = BuildMetadataTables(device, map, plan, input_features.rows(),
+                                              num_outputs, &result.stats.metadata);
+
+  const int element_bytes = config.precision == Precision::kFp16 ? 2 : 4;
+  const double gemm_rate = config.precision == Precision::kFp16 ? 2.0 : 1.0;
+
+  FeatureMatrix in_buffer(plan.buffer_rows, c_in);
+  FeatureMatrix out_buffer(plan.buffer_rows, c_out);
+  result.stats.buffer_setup += ClearBuffer(device, in_buffer, element_bytes);
+  result.stats.buffer_setup += ClearBuffer(device, out_buffer, element_bytes);
+
+  TileKernelConfig gather_cfg;
+  gather_cfg.tile_size = config.gather_tile;
+  gather_cfg.threads_per_block = config.threads_per_block;
+  gather_cfg.functional = config.functional;
+  gather_cfg.element_bytes = element_bytes;
+  result.stats.gather = GatherKernel(device, tables, input_features, in_buffer, gather_cfg);
+
+  BatchedGemmResult gemm = ExecuteGroupedGemms(device, plan, map.EntryCounts(), in_buffer,
+                                               weights, out_buffer, config.stream_pool_size,
+                                               config.functional, gemm_rate, element_bytes);
+  result.stats.gemm = gemm.stats;
+  result.stats.gemm_stream_cycles = gemm.stream_cycles;
+
+  TileKernelConfig scatter_cfg;
+  scatter_cfg.tile_size = config.scatter_tile;
+  scatter_cfg.threads_per_block = config.threads_per_block;
+  scatter_cfg.functional = config.functional;
+  scatter_cfg.element_bytes = element_bytes;
+  result.stats.scatter = ScatterKernel(device, out_buffer, tables, result.output, scatter_cfg);
+  return result;
+}
+
+GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
+                             const FeatureMatrix& input_features,
+                             const std::vector<FeatureMatrix>& weights, int64_t num_outputs,
+                             bool functional) {
+  MINUET_CHECK_EQ(map.num_offsets(), static_cast<int64_t>(weights.size()));
+  const int64_t c_in = input_features.cols();
+  MINUET_CHECK(!weights.empty());
+  const int64_t c_out = weights[0].cols();
+
+  GmasResult result;
+  result.output = FeatureMatrix(num_outputs, c_out, 0.0f);
+  // The fused path still plans (trivially) so padding stats read as zero.
+  result.stats.plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kNoBatch, 0.0);
+
+  for (int64_t k = 0; k < map.num_offsets(); ++k) {
+    const auto& entries = map.entries[static_cast<size_t>(k)];
+    if (entries.empty()) {
+      continue;
+    }
+    const FeatureMatrix& w = weights[static_cast<size_t>(k)];
+    MINUET_CHECK_EQ(w.rows(), c_in);
+    MINUET_CHECK_EQ(w.cols(), c_out);
+
+    // Traffic half of the fused kernel: stream the map entries, read the
+    // input rows they name, read-modify-write the output rows.
+    constexpr int64_t kEntriesPerBlock = 256;
+    const int64_t n = static_cast<int64_t>(entries.size());
+    const int64_t blocks = (n + kEntriesPerBlock - 1) / kEntriesPerBlock;
+    result.stats.gather += device.Launch(
+        "fused_offset_traffic", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+          int64_t begin = ctx.block_index() * kEntriesPerBlock;
+          int64_t end = std::min(begin + kEntriesPerBlock, n);
+          ctx.GlobalRead(&entries[static_cast<size_t>(begin)],
+                         static_cast<size_t>(end - begin) * sizeof(MapPair));
+          for (int64_t e = begin; e < end; ++e) {
+            const MapPair& pair = entries[static_cast<size_t>(e)];
+            const float* in_row = input_features.data() + int64_t{pair.input_index} * c_in;
+            float* out_row = result.output.data() + int64_t{pair.output_index} * c_out;
+            ctx.GlobalRead(in_row, static_cast<size_t>(c_in) * sizeof(float));
+            ctx.GlobalRead(out_row, static_cast<size_t>(c_out) * sizeof(float));
+            ctx.GlobalWrite(out_row, static_cast<size_t>(c_out) * sizeof(float));
+            ctx.Compute(static_cast<uint64_t>(c_in + c_out));
+            if (functional) {
+              for (int64_t a = 0; a < c_in; ++a) {
+                float v = in_row[a];
+                if (v == 0.0f) {
+                  continue;
+                }
+                const float* wrow = w.data() + a * c_out;
+                for (int64_t b = 0; b < c_out; ++b) {
+                  out_row[b] += v * wrow[b];
+                }
+              }
+            }
+          }
+        });
+    // Math half: the arithmetic at fused-kernel (non-library) efficiency.
+    result.stats.gemm += device.LaunchGemm("fused_offset_gemm", n, c_out, c_in, 1,
+                                           FusedGemmEfficiency(c_in, c_out));
+  }
+  result.stats.gemm_stream_cycles = result.stats.gemm.cycles;
+  return result;
+}
+
+}  // namespace minuet

@@ -1,0 +1,90 @@
+#include "src/gmas/gemm.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+void BlockedGemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  constexpr int64_t kBlock = 64;
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    int64_t i1 = std::min(i0 + kBlock, m);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      int64_t p1 = std::min(p0 + kBlock, k);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t p = p0; p < p1; ++p) {
+          float av = a[i * k + p];
+          if (av == 0.0f) {
+            continue;
+          }
+          const float* brow = b + p * n;
+          float* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+StreamPool::StreamPool(int num_streams, double launch_overhead_cycles)
+    : num_streams_(num_streams), launch_overhead_(launch_overhead_cycles) {
+  MINUET_CHECK_GE(num_streams, 1);
+  MINUET_CHECK_GE(launch_overhead_cycles, 0.0);
+}
+
+void StreamPool::Submit(double kernel_cycles) {
+  double exec = std::max(0.0, kernel_cycles - launch_overhead_);
+  exec_cycles_ += exec;
+  ++num_kernels_;
+  sum_cycles_ += kernel_cycles;
+}
+
+double StreamPool::ElapsedCycles() const {
+  int64_t rounds = (num_kernels_ + num_streams_ - 1) / num_streams_;
+  return exec_cycles_ + static_cast<double>(rounds) * launch_overhead_;
+}
+
+BatchedGemmResult ExecuteGroupedGemms(Device& device, const GroupingPlan& plan,
+                                      const std::vector<int64_t>& sizes,
+                                      const FeatureMatrix& in_buffer,
+                                      const std::vector<FeatureMatrix>& weights,
+                                      FeatureMatrix& out_buffer, int num_streams,
+                                      bool functional, double efficiency, int element_bytes) {
+  MINUET_CHECK_EQ(sizes.size(), weights.size());
+  MINUET_CHECK_EQ(in_buffer.rows(), plan.buffer_rows);
+  MINUET_CHECK_EQ(out_buffer.rows(), plan.buffer_rows);
+  const int64_t c_in = in_buffer.cols();
+  const int64_t c_out = out_buffer.cols();
+
+  BatchedGemmResult result;
+  StreamPool pool(num_streams, device.config().launch_overhead_cycles);
+  for (const GemmGroup& group : plan.groups) {
+    KernelStats stats = device.LaunchGemm(
+        "batched_gemm", group.rows_per_gemm, c_out, c_in,
+        static_cast<int64_t>(group.offset_indices.size()), efficiency,
+        static_cast<double>(element_bytes));
+    pool.Submit(stats.cycles);
+    result.stats += stats;
+    if (functional) {
+      for (uint32_t k : group.offset_indices) {
+        const FeatureMatrix& w = weights[k];
+        MINUET_CHECK_EQ(w.rows(), c_in);
+        MINUET_CHECK_EQ(w.cols(), c_out);
+        int64_t base = plan.buffer_base[k];
+        MINUET_CHECK_GE(base, 0);
+        // Padding rows are zero; multiplying them is pure waste, so the
+        // functional path computes only the real rows (the cost model above
+        // already charged for the padded height).
+        BlockedGemm(in_buffer.data() + base * c_in, w.data(), out_buffer.data() + base * c_out,
+                    sizes[k], c_in, c_out);
+      }
+    }
+  }
+  result.stream_cycles = pool.ElapsedCycles();
+  return result;
+}
+
+}  // namespace minuet

@@ -1,0 +1,62 @@
+// Batched GEMM execution for the GMaS step.
+//
+// Timing comes from the device's analytic GEMM model (padded rows cost what
+// they cost cuBLAS); the arithmetic itself runs as a blocked CPU GEMM over
+// the real (unpadded) rows, and is skipped entirely in timing-only mode.
+// Groups are issued round-robin onto a small CUDA-stream pool (Section 5.2.2,
+// s = 4), so the step's wall time is the longest stream, not the sum.
+#ifndef SRC_GMAS_GEMM_H_
+#define SRC_GMAS_GEMM_H_
+
+#include <vector>
+
+#include "src/core/feature_matrix.h"
+#include "src/gmas/grouping.h"
+#include "src/gpusim/device.h"
+
+namespace minuet {
+
+// C (m x n) += A (m x k) * B (k x n), cache-blocked. Exposed for tests.
+void BlockedGemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+// Models a pool of CUDA streams. Concurrent kernels do not multiply device
+// throughput — each GEMM alone saturates the GPU — so what streams actually
+// buy is hiding launch gaps behind other streams' execution: elapsed time is
+// the sum of execution cycles plus one launch overhead per stream "round".
+class StreamPool {
+ public:
+  StreamPool(int num_streams, double launch_overhead_cycles);
+
+  // `kernel_cycles` must include the launch overhead (as KernelStats does).
+  void Submit(double kernel_cycles);
+  double ElapsedCycles() const;
+  double SumCycles() const { return sum_cycles_; }
+
+ private:
+  int num_streams_;
+  double launch_overhead_;
+  int64_t num_kernels_ = 0;
+  double exec_cycles_ = 0.0;
+  double sum_cycles_ = 0.0;
+};
+
+struct BatchedGemmResult {
+  KernelStats stats;            // all GEMM launches, cycles summed serially
+  double stream_cycles = 0.0;   // elapsed with the stream pool overlap
+};
+
+// Executes one GEMM kernel launch per group: for every offset k in a group,
+// out_buffer[base_k .. base_k+n_k) += in_buffer[rows] * weights[k].
+// weights[k] is C_in x C_out. If `functional` is false only the cost model
+// runs. `efficiency` is forwarded to the device GEMM model.
+BatchedGemmResult ExecuteGroupedGemms(Device& device, const GroupingPlan& plan,
+                                      const std::vector<int64_t>& sizes,
+                                      const FeatureMatrix& in_buffer,
+                                      const std::vector<FeatureMatrix>& weights,
+                                      FeatureMatrix& out_buffer, int num_streams,
+                                      bool functional, double efficiency = 1.0,
+                                      int element_bytes = 4);
+
+}  // namespace minuet
+
+#endif  // SRC_GMAS_GEMM_H_

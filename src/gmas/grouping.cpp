@@ -1,0 +1,83 @@
+#include "src/gmas/grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+const char* GroupingStrategyName(GroupingStrategy strategy) {
+  switch (strategy) {
+    case GroupingStrategy::kNoBatch:
+      return "no_batch";
+    case GroupingStrategy::kMapOrder:
+      return "map_order";
+    case GroupingStrategy::kSortedOrder:
+      return "sorted_order";
+  }
+  return "unknown";
+}
+
+double GroupingPlan::PaddingOverhead() const {
+  if (actual_rows == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(padded_rows()) / static_cast<double>(actual_rows);
+}
+
+GroupingPlan PlanGemmGroups(const std::vector<int64_t>& sizes, GroupingStrategy strategy,
+                            double padding_threshold) {
+  MINUET_CHECK_GE(padding_threshold, 0.0);
+  GroupingPlan plan;
+  plan.buffer_base.assign(sizes.size(), -1);
+
+  // Candidate offsets in grouping order; empty offsets take no part.
+  std::vector<uint32_t> order;
+  for (uint32_t k = 0; k < sizes.size(); ++k) {
+    MINUET_CHECK_GE(sizes[k], 0);
+    if (sizes[k] > 0) {
+      order.push_back(k);
+    }
+  }
+  if (strategy == GroupingStrategy::kSortedOrder) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&sizes](uint32_t a, uint32_t b) { return sizes[a] < sizes[b]; });
+  }
+
+  size_t i = 0;
+  while (i < order.size()) {
+    GemmGroup group;
+    group.offset_indices.push_back(order[i]);
+    group.rows_per_gemm = sizes[order[i]];
+    group.actual_rows = sizes[order[i]];
+    size_t j = i + 1;
+    if (strategy != GroupingStrategy::kNoBatch) {
+      while (j < order.size()) {
+        int64_t next = sizes[order[j]];
+        int64_t height = std::max(group.rows_per_gemm, next);
+        int64_t actual = group.actual_rows + next;
+        int64_t count = static_cast<int64_t>(group.offset_indices.size()) + 1;
+        double overhead =
+            static_cast<double>(height * count - actual) / static_cast<double>(actual);
+        if (overhead > padding_threshold) {
+          break;
+        }
+        group.offset_indices.push_back(order[j]);
+        group.rows_per_gemm = height;
+        group.actual_rows = actual;
+        ++j;
+      }
+    }
+    for (uint32_t k : group.offset_indices) {
+      plan.buffer_base[k] = plan.buffer_rows;
+      plan.buffer_rows += group.rows_per_gemm;
+    }
+    plan.actual_rows += group.actual_rows;
+    plan.groups.push_back(std::move(group));
+    i = j;
+  }
+  return plan;
+}
+
+}  // namespace minuet

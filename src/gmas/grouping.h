@@ -1,0 +1,55 @@
+// GEMM grouping strategies for the GMaS step (Sections 3 and 5.2.2).
+//
+// Every weight offset k with n_k kernel-map entries needs an (n_k x C_in) x
+// (C_in x C_out) GEMM. Launching them separately wastes launches and
+// utilisation; batching them forces every GEMM in a batch to the height of
+// the tallest, padding the rest with zero rows. The strategy decides which
+// offsets share a batch:
+//   kNoBatch     — one GEMM kernel per offset (MinkowskiEngine-style).
+//   kMapOrder    — adjacent offsets in Map-step order, greedily grouped while
+//                  the group's padding stays under a threshold (TorchSparse).
+//   kSortedOrder — offsets first sorted by n_k, then grouped the same way
+//                  (Minuet): neighbours have similar heights, so the same
+//                  threshold admits larger groups with less padding.
+#ifndef SRC_GMAS_GROUPING_H_
+#define SRC_GMAS_GROUPING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minuet {
+
+enum class GroupingStrategy { kNoBatch, kMapOrder, kSortedOrder };
+
+const char* GroupingStrategyName(GroupingStrategy strategy);
+
+struct GemmGroup {
+  std::vector<uint32_t> offset_indices;  // members, in buffer order
+  int64_t rows_per_gemm = 0;             // padded height (max n_k in group)
+  int64_t actual_rows = 0;               // sum of member n_k
+};
+
+struct GroupingPlan {
+  std::vector<GemmGroup> groups;
+  // Row where offset k's slice starts inside the gather/scatter buffers;
+  // -1 for offsets with n_k == 0 (they get no GEMM and no buffer space).
+  std::vector<int64_t> buffer_base;
+  int64_t buffer_rows = 0;  // total buffer height including padding
+  int64_t actual_rows = 0;  // total kernel-map entries
+
+  int64_t padded_rows() const { return buffer_rows - actual_rows; }
+  // The paper's padding-overhead metric (Figure 5): x / y with x padded and
+  // y actual feature vectors.
+  double PaddingOverhead() const;
+  int64_t NumKernels() const { return static_cast<int64_t>(groups.size()); }
+};
+
+// sizes[k] = n_k. `padding_threshold` is the adaptive-grouping knob: a group
+// may grow while (padded - actual) / actual stays at or below it.
+GroupingPlan PlanGemmGroups(const std::vector<int64_t>& sizes, GroupingStrategy strategy,
+                            double padding_threshold = 0.25);
+
+}  // namespace minuet
+
+#endif  // SRC_GMAS_GROUPING_H_

@@ -1,0 +1,67 @@
+#include "src/gmas/pooling.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+KernelStats SparsePoolKernel(Device& device, const MapPositionTable& table,
+                             const FeatureMatrix& input, FeatureMatrix& output, PoolMode mode,
+                             bool functional) {
+  MINUET_CHECK_EQ(output.rows(), table.num_outputs);
+  MINUET_CHECK_EQ(output.cols(), input.cols());
+  const int64_t c = input.cols();
+  constexpr int64_t kOutputsPerBlock = 128;
+  const int64_t blocks =
+      std::max<int64_t>(1, (table.num_outputs + kOutputsPerBlock - 1) / kOutputsPerBlock);
+
+  return device.Launch("sparse_pool", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kOutputsPerBlock;
+    int64_t end = std::min(begin + kOutputsPerBlock, table.num_outputs);
+    for (int64_t i = begin; i < end; ++i) {
+      float* dst = output.data() + i * c;
+      int64_t contributors = 0;
+      if (functional) {
+        std::fill(dst, dst + c, 0.0f);
+      }
+      for (int64_t k = 0; k < table.num_offsets; ++k) {
+        ctx.GlobalRead(&table.positions[static_cast<size_t>(k * table.num_outputs + i)],
+                       sizeof(uint32_t));
+        uint32_t pos = table.At(k, i);
+        if (pos == kNoMatch) {
+          continue;
+        }
+        const float* src = input.data() + int64_t{pos} * c;
+        ctx.GlobalRead(src, static_cast<size_t>(c) * sizeof(float));
+        ctx.Compute(static_cast<uint64_t>(c));
+        if (functional) {
+          if (mode == PoolMode::kMax) {
+            if (contributors == 0) {
+              std::copy(src, src + c, dst);
+            } else {
+              for (int64_t j = 0; j < c; ++j) {
+                dst[j] = std::max(dst[j], src[j]);
+              }
+            }
+          } else {
+            for (int64_t j = 0; j < c; ++j) {
+              dst[j] += src[j];
+            }
+          }
+        }
+        ++contributors;
+      }
+      if (functional && mode == PoolMode::kAverage && contributors > 0) {
+        float inv = 1.0f / static_cast<float>(contributors);
+        for (int64_t j = 0; j < c; ++j) {
+          dst[j] *= inv;
+        }
+      }
+      ctx.Compute(static_cast<uint64_t>(c));
+      ctx.GlobalWrite(dst, static_cast<size_t>(c) * sizeof(float));
+    }
+  });
+}
+
+}  // namespace minuet

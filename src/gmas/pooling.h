@@ -1,0 +1,26 @@
+// Sparse pooling: kernel-map driven max / average reduction over the window.
+//
+// Pooling reuses the Map step wholesale — the same (offset, output) -> input
+// position table a convolution needs — and replaces Gather-GEMM-Scatter with
+// one reduction kernel. This is how real SC engines implement
+// MinkowskiEngine-style MaxPooling / AvgPooling layers.
+#ifndef SRC_GMAS_POOLING_H_
+#define SRC_GMAS_POOLING_H_
+
+#include "src/core/feature_matrix.h"
+#include "src/core/kernel_map.h"
+#include "src/gpusim/device.h"
+
+namespace minuet {
+
+enum class PoolMode { kMax, kAverage };
+
+// output[i][c] = reduce over offsets k with table.At(k, i) != kNoMatch of
+// input[table.At(k, i)][c]. Outputs with no contributors become zero.
+KernelStats SparsePoolKernel(Device& device, const MapPositionTable& table,
+                             const FeatureMatrix& input, FeatureMatrix& output, PoolMode mode,
+                             bool functional = true);
+
+}  // namespace minuet
+
+#endif  // SRC_GMAS_POOLING_H_

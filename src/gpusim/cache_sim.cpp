@@ -1,0 +1,70 @@
+#include "src/gpusim/cache_sim.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+CacheSim::CacheSim(size_t capacity_bytes, int ways, int line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  MINUET_CHECK_GT(ways, 0);
+  MINUET_CHECK_GT(line_bytes, 0);
+  MINUET_CHECK(std::has_single_bit(static_cast<unsigned>(line_bytes)));
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  size_t lines = capacity_bytes / static_cast<size_t>(line_bytes);
+  MINUET_CHECK_GE(lines, static_cast<size_t>(ways));
+  num_sets_ = lines / static_cast<size_t>(ways);
+  MINUET_CHECK_GT(num_sets_, 0u);
+  ways_storage_.assign(num_sets_ * static_cast<size_t>(ways_), Way{});
+}
+
+bool CacheSim::Access(uint64_t addr) {
+  uint64_t line = addr >> line_shift_;
+  // Cheap tag-bit mix so that allocator-aligned structures do not all land in
+  // set 0; sets need not be a power of two.
+  uint64_t mixed = line * 0x9e3779b97f4a7c15ULL;
+  size_t set = static_cast<size_t>(mixed % num_sets_);
+  Way* base = &ways_storage_[set * static_cast<size_t>(ways_)];
+  ++clock_;
+
+  int victim = 0;
+  uint64_t oldest = UINT64_MAX;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) {
+      base[w].stamp = clock_;
+      ++hits_;
+      return true;
+    }
+    uint64_t stamp = base[w].valid ? base[w].stamp : 0;
+    if (stamp < oldest) {
+      oldest = stamp;
+      victim = w;
+    }
+  }
+  base[victim] = Way{line, clock_, true};
+  ++misses_;
+  return false;
+}
+
+void CacheSim::Flush() {
+  for (Way& w : ways_storage_) {
+    w = Way{};
+  }
+  ResetCounters();
+}
+
+void CacheSim::ResetCounters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+double CacheSim::HitRatio() const {
+  uint64_t total = hits_ + misses_;
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace minuet

@@ -1,0 +1,53 @@
+// Set-associative LRU cache simulator used as the device's L2.
+//
+// Addresses are host pointers cast to integers: the mapping from data to sets
+// is as arbitrary as a real allocator's, and only hit/miss behaviour matters.
+#ifndef SRC_GPUSIM_CACHE_SIM_H_
+#define SRC_GPUSIM_CACHE_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace minuet {
+
+class CacheSim {
+ public:
+  // capacity_bytes must be a multiple of line_bytes * ways.
+  CacheSim(size_t capacity_bytes, int ways, int line_bytes);
+
+  // Touches the line containing byte address `addr`. Returns true on hit.
+  bool Access(uint64_t addr);
+
+  // Drops all cached lines and resets hit/miss counters.
+  void Flush();
+  void ResetCounters();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRatio() const;
+
+  int line_bytes() const { return line_bytes_; }
+  size_t num_sets() const { return num_sets_; }
+  int ways() const { return ways_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  size_t num_sets_;
+  int ways_;
+  int line_bytes_;
+  int line_shift_;
+  std::vector<Way> ways_storage_;  // num_sets_ x ways_, row-major
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_GPUSIM_CACHE_SIM_H_

@@ -1,0 +1,170 @@
+// Functional GPU device simulator.
+//
+// Kernels are written as C++ callables invoked once per thread block. The
+// body computes results directly on host memory and *accounts* its activity
+// through the BlockCtx: global reads/writes become 128-byte line transactions
+// against the simulated L2, shared-memory traffic and lane operations become
+// cycles. The device schedules blocks onto SMs in waves (limited by threads,
+// blocks and shared memory per SM) and charges a fixed launch overhead per
+// kernel — exactly the quantities Minuet's design trades off.
+//
+// Reads are filtered through a small per-block L1 before the shared L2, so
+// the reported L2 hit ratios cover L1 misses only — the same population
+// Nsight Compute reports. What is deliberately *not* modelled: warp
+// divergence, memory-level parallelism within a block (costs are additive)
+// and bank conflicts. See DESIGN.md for why the paper's comparisons survive
+// these simplifications.
+#ifndef SRC_GPUSIM_DEVICE_H_
+#define SRC_GPUSIM_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/cache_sim.h"
+#include "src/gpusim/device_config.h"
+
+namespace minuet {
+
+struct KernelStats {
+  std::string name;
+  double cycles = 0.0;
+  double millis = 0.0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+  uint64_t global_bytes_read = 0;
+  uint64_t global_bytes_written = 0;
+  uint64_t shared_bytes = 0;
+  uint64_t lane_ops = 0;
+  int64_t num_blocks = 0;
+  int64_t num_launches = 0;
+
+  double L2HitRatio() const {
+    uint64_t total = l2_hits + l2_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l2_hits) / static_cast<double>(total);
+  }
+
+  KernelStats& operator+=(const KernelStats& other);
+};
+
+class Device;
+
+// Accounting handle passed to a kernel body, one per thread block.
+class BlockCtx {
+ public:
+  int64_t block_index() const { return block_index_; }
+  int64_t num_blocks() const { return num_blocks_; }
+  int threads_per_block() const { return threads_per_block_; }
+
+  // Global-memory traffic. A call covers a contiguous byte range (what a warp
+  // would coalesce); random per-element accesses should be one call each.
+  // Reads are filtered through a small per-block L1 (GPU L1/tex cache): L1
+  // hits cost one cycle and never reach the simulated L2, matching how
+  // profilers report L2 hit ratios over L1 misses only. Writes are
+  // write-through, no-allocate.
+  void GlobalRead(const void* addr, size_t bytes);
+  void GlobalWrite(const void* addr, size_t bytes);
+
+  // On-chip traffic and arithmetic.
+  void SharedRead(size_t bytes) { shared_bytes_ += bytes; }
+  void SharedWrite(size_t bytes) { shared_bytes_ += bytes; }
+  void Compute(uint64_t lane_ops) { lane_ops_ += lane_ops; }
+
+ private:
+  friend class Device;
+  BlockCtx(Device* device, int64_t block_index, int64_t num_blocks, int threads_per_block)
+      : device_(device),
+        block_index_(block_index),
+        num_blocks_(num_blocks),
+        threads_per_block_(threads_per_block) {
+    l1_tags_.fill(UINT64_MAX);
+  }
+
+  void AccessLines(const void* addr, size_t bytes, bool is_read);
+
+  Device* device_;
+  int64_t block_index_;
+  int64_t num_blocks_;
+  int threads_per_block_;
+
+  // Direct-mapped per-block L1: 128 lines x 128B = 16 KiB.
+  static constexpr size_t kL1Lines = 128;
+  std::array<uint64_t, kL1Lines> l1_tags_;
+
+  uint64_t l1_hits_ = 0;
+  uint64_t line_hits_ = 0;
+  uint64_t line_misses_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t shared_bytes_ = 0;
+  uint64_t lane_ops_ = 0;
+};
+
+struct LaunchDims {
+  int64_t num_blocks = 1;
+  int threads_per_block = 128;
+  size_t shared_bytes_per_block = 0;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& config);
+
+  const DeviceConfig& config() const { return config_; }
+
+  // Runs `body(ctx)` for each block and returns the kernel's simulated stats.
+  KernelStats Launch(const std::string& name, const LaunchDims& dims,
+                     const std::function<void(BlockCtx&)>& body);
+
+  // Analytic batched-GEMM kernel: one launch computing 2*m*n*k*batch FLOPs
+  // and moving the operands once. Does not touch the L2 sim. `efficiency`
+  // scales the achievable FLOP rate; engines that cannot use the vendor GEMM
+  // library (e.g. MinkowskiEngine's fused small-channel dataflow) pass < 1.
+  KernelStats LaunchGemm(const std::string& name, int64_t m, int64_t n, int64_t k,
+                         int64_t batch = 1, double efficiency = 1.0,
+                         double bytes_per_element = 4.0);
+
+  // Blocks co-resident across the device for a given block shape.
+  int64_t ConcurrentBlocks(const LaunchDims& dims) const;
+
+  CacheSim& l2() { return l2_; }
+  const CacheSim& l2() const { return l2_; }
+
+  // Cumulative stats since construction or the last ResetTotals().
+  const KernelStats& totals() const { return totals_; }
+  void ResetTotals();
+
+  // Kernel tracing: when enabled, every launch's stats are recorded in order
+  // (a poor man's Nsight timeline). Off by default — traces of full network
+  // runs hold thousands of entries.
+  void EnableTrace(bool enabled) { trace_enabled_ = enabled; }
+  bool trace_enabled() const { return trace_enabled_; }
+  const std::vector<KernelStats>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+ private:
+  friend class BlockCtx;
+
+  void Record(const KernelStats& stats) {
+    if (trace_enabled_) {
+      trace_.push_back(stats);
+    }
+  }
+
+  DeviceConfig config_;
+  CacheSim l2_;
+  KernelStats totals_;
+  bool trace_enabled_ = false;
+  std::vector<KernelStats> trace_;
+};
+
+// Writes a recorded trace as CSV (one row per launch) to `path`. Returns
+// false if the file cannot be opened.
+bool WriteTraceCsv(const std::vector<KernelStats>& trace, const DeviceConfig& config,
+                   const std::string& path);
+
+}  // namespace minuet
+
+#endif  // SRC_GPUSIM_DEVICE_H_

@@ -1,0 +1,31 @@
+#include "src/hashtable/hash_common.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace minuet {
+
+uint64_t NextPow2(uint64_t n) {
+  if (n <= 1) {
+    return 1;
+  }
+  return std::bit_ceil(n);
+}
+
+KernelStats ChargeTableMemset(Device& device, const void* table, size_t bytes) {
+  constexpr size_t kBytesPerBlock = 64 << 10;
+  const int64_t blocks =
+      std::max<int64_t>(1, static_cast<int64_t>((bytes + kBytesPerBlock - 1) / kBytesPerBlock));
+  const char* base = static_cast<const char*>(table);
+  return device.Launch("hash_table_memset", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+    size_t begin = static_cast<size_t>(ctx.block_index()) * kBytesPerBlock;
+    size_t end = std::min(begin + kBytesPerBlock, bytes);
+    if (begin >= end) {
+      return;
+    }
+    ctx.GlobalWrite(base + begin, end - begin);
+    ctx.Compute((end - begin) / 16);
+  });
+}
+
+}  // namespace minuet

@@ -1,0 +1,178 @@
+#include "src/io/serialization.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace minuet {
+
+namespace {
+
+constexpr uint32_t kCloudMagic = 0x4350'4E4Du;   // "MNPC"
+constexpr uint32_t kMatrixMagic = 0x4D46'4E4Du;  // "MNFM"
+constexpr uint32_t kNetMagic = 0x544E'4E4Du;     // "MNNT"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteMany(std::FILE* f, const T* data, size_t count) {
+  return count == 0 || std::fwrite(data, sizeof(T), count, f) == count;
+}
+
+template <typename T>
+bool ReadMany(std::FILE* f, T* data, size_t count) {
+  return count == 0 || std::fread(data, sizeof(T), count, f) == count;
+}
+
+bool WriteHeader(std::FILE* f, uint32_t magic) {
+  return WriteOne(f, magic) && WriteOne(f, kVersion);
+}
+
+bool CheckHeader(std::FILE* f, uint32_t magic) {
+  uint32_t got_magic = 0;
+  uint32_t got_version = 0;
+  return ReadOne(f, &got_magic) && ReadOne(f, &got_version) && got_magic == magic &&
+         got_version == kVersion;
+}
+
+bool WriteMatrixBody(std::FILE* f, const FeatureMatrix& matrix) {
+  int64_t rows = matrix.rows();
+  int64_t cols = matrix.cols();
+  return WriteOne(f, rows) && WriteOne(f, cols) &&
+         WriteMany(f, matrix.data(), static_cast<size_t>(rows * cols));
+}
+
+bool ReadMatrixBody(std::FILE* f, FeatureMatrix* matrix) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!ReadOne(f, &rows) || !ReadOne(f, &cols) || rows < 0 || cols <= 0) {
+    return false;
+  }
+  *matrix = FeatureMatrix(rows, cols);
+  return ReadMany(f, matrix->data(), static_cast<size_t>(rows * cols));
+}
+
+}  // namespace
+
+bool SavePointCloud(const PointCloud& cloud, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  int64_t n = cloud.num_points();
+  return WriteHeader(f.get(), kCloudMagic) && WriteOne(f.get(), n) &&
+         WriteMany(f.get(), cloud.coords.data(), cloud.coords.size()) &&
+         WriteMatrixBody(f.get(), cloud.features);
+}
+
+bool LoadPointCloud(const std::string& path, PointCloud* cloud) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr || !CheckHeader(f.get(), kCloudMagic)) {
+    return false;
+  }
+  int64_t n = 0;
+  if (!ReadOne(f.get(), &n) || n < 0) {
+    return false;
+  }
+  cloud->coords.resize(static_cast<size_t>(n));
+  if (!ReadMany(f.get(), cloud->coords.data(), cloud->coords.size()) ||
+      !ReadMatrixBody(f.get(), &cloud->features)) {
+    return false;
+  }
+  return cloud->features.rows() == n;
+}
+
+bool SaveFeatureMatrix(const FeatureMatrix& matrix, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  return f != nullptr && WriteHeader(f.get(), kMatrixMagic) && WriteMatrixBody(f.get(), matrix);
+}
+
+bool LoadFeatureMatrix(const std::string& path, FeatureMatrix* matrix) {
+  File f(std::fopen(path.c_str(), "rb"));
+  return f != nullptr && CheckHeader(f.get(), kMatrixMagic) && ReadMatrixBody(f.get(), matrix);
+}
+
+bool SaveNetwork(const Network& network, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr || !WriteHeader(f.get(), kNetMagic)) {
+    return false;
+  }
+  uint32_t name_len = static_cast<uint32_t>(network.name.size());
+  int64_t num_instrs = static_cast<int64_t>(network.instrs.size());
+  if (!WriteOne(f.get(), name_len) ||
+      !WriteMany(f.get(), network.name.data(), network.name.size()) ||
+      !WriteOne(f.get(), network.in_channels) || !WriteOne(f.get(), num_instrs)) {
+    return false;
+  }
+  for (const Instr& instr : network.instrs) {
+    int32_t op = static_cast<int32_t>(instr.op);
+    uint8_t transposed = instr.conv.transposed ? 1 : 0;
+    uint8_t generative = instr.conv.generative ? 1 : 0;
+    if (!WriteOne(f.get(), op) || !WriteOne(f.get(), instr.conv.kernel_size) ||
+        !WriteOne(f.get(), instr.conv.stride) || !WriteOne(f.get(), transposed) ||
+        !WriteOne(f.get(), generative) || !WriteOne(f.get(), instr.conv.c_in) ||
+        !WriteOne(f.get(), instr.conv.c_out) || !WriteOne(f.get(), instr.slot) ||
+        !WriteOne(f.get(), instr.linear_out)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadNetwork(const std::string& path, Network* network) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr || !CheckHeader(f.get(), kNetMagic)) {
+    return false;
+  }
+  uint32_t name_len = 0;
+  int64_t num_instrs = 0;
+  if (!ReadOne(f.get(), &name_len) || name_len > 4096) {
+    return false;
+  }
+  network->name.resize(name_len);
+  if (!ReadMany(f.get(), network->name.data(), name_len) ||
+      !ReadOne(f.get(), &network->in_channels) || !ReadOne(f.get(), &num_instrs) ||
+      num_instrs < 0 || num_instrs > (1 << 20)) {
+    return false;
+  }
+  network->instrs.clear();
+  network->instrs.reserve(static_cast<size_t>(num_instrs));
+  for (int64_t i = 0; i < num_instrs; ++i) {
+    Instr instr;
+    int32_t op = 0;
+    uint8_t transposed = 0;
+    uint8_t generative = 0;
+    if (!ReadOne(f.get(), &op) || !ReadOne(f.get(), &instr.conv.kernel_size) ||
+        !ReadOne(f.get(), &instr.conv.stride) || !ReadOne(f.get(), &transposed) ||
+        !ReadOne(f.get(), &generative) || !ReadOne(f.get(), &instr.conv.c_in) ||
+        !ReadOne(f.get(), &instr.conv.c_out) || !ReadOne(f.get(), &instr.slot) ||
+        !ReadOne(f.get(), &instr.linear_out)) {
+      return false;
+    }
+    instr.op = static_cast<Instr::Op>(op);
+    instr.conv.transposed = transposed != 0;
+    instr.conv.generative = generative != 0;
+    network->instrs.push_back(instr);
+  }
+  return true;
+}
+
+}  // namespace minuet

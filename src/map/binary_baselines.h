@@ -1,0 +1,59 @@
+// Binary-search baselines that bracket Minuet's design space (Section 5.1).
+//
+// NaiveBinaryMapBuilder: sorted source array, but queries arrive in an
+// arbitrary order (what an engine without sorted coordinate arrays would do).
+// Adjacent search paths share almost nothing — the "unsorted queries" side of
+// Figure 7.
+//
+// FullSortMapBuilder: the strawman of Section 5.1.1 — materialise all K^3|Q|
+// queries, radix-sort the whole query array, then binary search each query.
+// Cache-friendly but pays a sort larger than the source array's every layer.
+#ifndef SRC_MAP_BINARY_BASELINES_H_
+#define SRC_MAP_BINARY_BASELINES_H_
+
+#include "src/map/map_builder.h"
+
+namespace minuet {
+
+class NaiveBinaryMapBuilder : public MapBuilderBase {
+ public:
+  // shuffle_queries=true emulates engines whose coordinate arrays are in
+  // insertion (effectively random) order; false runs in enumeration order.
+  explicit NaiveBinaryMapBuilder(bool shuffle_queries = true);
+
+  std::string name() const override;
+  MapBuildResult Build(Device& device, const MapBuildInput& input) override;
+
+ private:
+  bool shuffle_queries_;
+};
+
+class FullSortMapBuilder : public MapBuilderBase {
+ public:
+  FullSortMapBuilder() = default;
+
+  std::string name() const override { return "full_sort"; }
+  MapBuildResult Build(Device& device, const MapBuildInput& input) override;
+};
+
+// MergePath (Green et al. / Odeh et al., discussed in Section 7): each query
+// segment is intersected with the source array by a parallel merge — blocks
+// locate their slice with a diagonal binary search, then stream both slices
+// linearly. Work-optimal per segment, O(K^3 (|P| + |Q|)) overall, but every
+// segment re-streams the whole source array, which is exactly the
+// cache-unfriendliness the paper calls out.
+class MergePathMapBuilder : public MapBuilderBase {
+ public:
+  // Combined (source + query) elements each block merges.
+  explicit MergePathMapBuilder(int64_t diagonal_block = 2048);
+
+  std::string name() const override { return "merge_path"; }
+  MapBuildResult Build(Device& device, const MapBuildInput& input) override;
+
+ private:
+  int64_t diagonal_block_;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_MAP_BINARY_BASELINES_H_

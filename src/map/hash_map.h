@@ -1,0 +1,42 @@
+// Hash-table-based kernel-map builders (the prior-art path of Figure 2).
+//
+// Build: insert all input coordinates into a hash table. Query: for every
+// weight offset, generate the |Q| candidate coordinates q + delta and probe.
+// The three table flavours model MinkowskiEngine (linear probing),
+// TorchSparse (cuckoo) and Open3D (bucketed spatial hashing).
+#ifndef SRC_MAP_HASH_MAP_H_
+#define SRC_MAP_HASH_MAP_H_
+
+#include <memory>
+
+#include "src/hashtable/hash_common.h"
+#include "src/map/map_builder.h"
+
+namespace minuet {
+
+enum class HashTableKind { kLinearProbe, kCuckoo, kSpatial };
+
+const char* HashTableKindName(HashTableKind kind);
+
+// Builds the hash table the way the corresponding engine does — insertion
+// plus that engine's extra build passes (MinkowskiEngine compacts its
+// coordinate map after insertion; TorchSparse validates its cuckoo build by
+// re-probing every key). Returns the table via `out_table`.
+KernelStats BuildEngineHashTable(Device& device, HashTableKind kind,
+                                 std::span<const uint64_t> keys,
+                                 std::unique_ptr<HashTableBase>* out_table);
+
+class HashMapBuilder : public MapBuilderBase {
+ public:
+  explicit HashMapBuilder(HashTableKind kind);
+
+  std::string name() const override;
+  MapBuildResult Build(Device& device, const MapBuildInput& input) override;
+
+ private:
+  HashTableKind kind_;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_MAP_HASH_MAP_H_

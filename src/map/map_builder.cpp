@@ -1,0 +1,52 @@
+#include "src/map/map_builder.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+KernelStats ChargeMapCompaction(Device& device, const MapPositionTable& table,
+                                int64_t total_entries) {
+  const int64_t total = table.num_offsets * table.num_outputs;
+  if (total == 0) {
+    return KernelStats{};
+  }
+  constexpr int64_t kItemsPerBlock = 2048;
+  const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
+  return device.Launch("map_compaction", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+    int64_t begin = ctx.block_index() * kItemsPerBlock;
+    int64_t end = std::min(begin + kItemsPerBlock, total);
+    ctx.GlobalRead(&table.positions[static_cast<size_t>(begin)],
+                   static_cast<size_t>(end - begin) * sizeof(uint32_t));
+    ctx.Compute(static_cast<uint64_t>(end - begin) * 2);
+    // Pair writes attributed proportionally across blocks.
+    int64_t share = total_entries * (end - begin) / total;
+    ctx.GlobalWrite(&table.positions[static_cast<size_t>(begin)],
+                    static_cast<size_t>(std::min(share, end - begin)) * 2 * sizeof(uint32_t));
+  });
+}
+
+void ValidateQuerySafety(std::span<const uint64_t> output_keys,
+                         std::span<const Coord3> offsets) {
+  if (output_keys.empty() || offsets.empty()) {
+    return;
+  }
+  Coord3 lo{kCoordMax, kCoordMax, kCoordMax};
+  Coord3 hi{kCoordMin, kCoordMin, kCoordMin};
+  for (uint64_t key : output_keys) {
+    Coord3 c = UnpackCoord(key);
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  for (const Coord3& d : offsets) {
+    MINUET_CHECK(CoordInRange(lo + d) && CoordInRange(hi + d))
+        << "query coordinates would leave the packable lattice; offset " << d;
+  }
+}
+
+}  // namespace minuet

@@ -1,0 +1,77 @@
+// Common interface for kernel-map builders (the Map step, Section 2.2).
+//
+// A builder answers, for every (output coordinate, weight offset) pair,
+// which input coordinate — if any — satisfies p = q + delta. Minuet's
+// segmented-sorting double-traversed binary search and all baselines
+// (hash tables, naive binary search, full query sorting) implement this one
+// interface, so benches and engines can swap them freely.
+//
+// Library convention: coordinate arrays are sorted by packed key wherever
+// they are produced (DownsampleCoords, the coordinate manager). Builders that
+// need sorted arrays can therefore skip their sort when the `*_sorted` flags
+// say so — this is exactly the cross-layer reuse of Section 5.1.1 — while
+// benches that want to charge the sort pass unsorted copies.
+#ifndef SRC_MAP_MAP_BUILDER_H_
+#define SRC_MAP_MAP_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/core/coordinate.h"
+#include "src/core/kernel_map.h"
+#include "src/gpusim/device.h"
+
+namespace minuet {
+
+struct MapBuildInput {
+  // Packed input coordinates (the source array). Unique.
+  std::span<const uint64_t> source_keys;
+  // Packed output coordinates. Unique.
+  std::span<const uint64_t> output_keys;
+  // Weight offsets; result rows follow this order.
+  std::span<const Coord3> offsets;
+  // Whether the key arrays are already ascending (skips the builder's own
+  // sort / lets it trust binary-search preconditions).
+  bool source_sorted = false;
+  bool output_sorted = false;
+};
+
+struct MapBuildResult {
+  MapPositionTable table;
+
+  // Building the searchable structure: hash insertion or coordinate sorting.
+  KernelStats build_stats;
+  // Executing the queries (all kernels after the build).
+  KernelStats query_stats;
+  // The subset of query_stats that is the dominating lookup kernel; Figure 16b
+  // reports this kernel's L2 hit ratio.
+  KernelStats lookup_stats;
+
+  // Key comparisons performed by search loops (complexity accounting,
+  // Section 5.1.3).
+  uint64_t comparisons = 0;
+};
+
+class MapBuilderBase {
+ public:
+  virtual ~MapBuilderBase() = default;
+  virtual std::string name() const = 0;
+  virtual MapBuildResult Build(Device& device, const MapBuildInput& input) = 0;
+};
+
+// Checks the packing precondition: every output coordinate plus every offset
+// must stay inside the packable lattice, so query keys never wrap across
+// fields (which could alias another coordinate). Aborts via MINUET_CHECK on
+// violation. All builders call this.
+void ValidateQuerySafety(std::span<const uint64_t> output_keys, std::span<const Coord3> offsets);
+
+// Charges the compaction of a dense position table into per-offset kernel-map
+// pair lists (stream the K^3|Q| positions, scan the match counts, scatter the
+// (input, output) pairs). Every engine pays this after its queries.
+KernelStats ChargeMapCompaction(Device& device, const MapPositionTable& table,
+                                int64_t total_entries);
+
+}  // namespace minuet
+
+#endif  // SRC_MAP_MAP_BUILDER_H_

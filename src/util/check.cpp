@@ -1,0 +1,11 @@
+#include "src/util/check.h"
+
+namespace minuet {
+
+void CheckFailure(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "MINUET_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace minuet

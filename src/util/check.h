@@ -1,0 +1,69 @@
+// Checked assertions for the Minuet library.
+//
+// MINUET_CHECK is always on (release included): substrate invariants are cheap
+// relative to the kernels they guard, and a hard failure beats silent
+// corruption in a simulator whose whole point is to count things exactly.
+// MINUET_DCHECK compiles out in NDEBUG builds and is meant for per-element
+// hot-loop assertions.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace minuet {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+namespace internal {
+
+// Accumulates an optional "<< streamed" message for a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailure(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace minuet
+
+#define MINUET_CHECK(condition)                                                  \
+  if (condition) {                                                               \
+  } else /* NOLINT */                                                            \
+    ::minuet::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define MINUET_CHECK_EQ(a, b) MINUET_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MINUET_CHECK_NE(a, b) MINUET_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MINUET_CHECK_LT(a, b) MINUET_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MINUET_CHECK_LE(a, b) MINUET_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MINUET_CHECK_GT(a, b) MINUET_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MINUET_CHECK_GE(a, b) MINUET_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define MINUET_DCHECK(condition) \
+  if (true) {                    \
+  } else /* NOLINT */            \
+    ::minuet::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define MINUET_DCHECK(condition) MINUET_CHECK(condition)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

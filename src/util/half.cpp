@@ -1,0 +1,78 @@
+#include "src/util/half.h"
+
+#include <bit>
+
+namespace minuet {
+
+uint16_t FloatToHalfBits(float value) {
+  uint32_t f = std::bit_cast<uint32_t>(value);
+  uint32_t sign = (f >> 16) & 0x8000u;
+  int32_t exponent = static_cast<int32_t>((f >> 23) & 0xFFu) - 127 + 15;
+  uint32_t mantissa = f & 0x7FFFFFu;
+
+  if (((f >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN: keep a non-zero mantissa bit for NaN.
+    return static_cast<uint16_t>(sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0));
+  }
+  if (exponent >= 0x1F) {
+    return static_cast<uint16_t>(sign | 0x7C00u);  // overflow -> inf
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) {
+      return static_cast<uint16_t>(sign);  // underflow -> signed zero
+    }
+    // Subnormal half: shift in the implicit leading 1, round to nearest even.
+    mantissa |= 0x800000u;
+    int shift = 14 - exponent;
+    uint32_t rounded = mantissa >> shift;
+    uint32_t rem = mantissa & ((1u << shift) - 1);
+    uint32_t half_ulp = 1u << (shift - 1);
+    if (rem > half_ulp || (rem == half_ulp && (rounded & 1u))) {
+      ++rounded;
+    }
+    return static_cast<uint16_t>(sign | rounded);
+  }
+  // Normal: round mantissa from 23 to 10 bits, nearest even.
+  uint32_t rounded = mantissa >> 13;
+  uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (rounded & 1u))) {
+    ++rounded;
+    if (rounded == 0x400u) {  // mantissa carry bumps the exponent
+      rounded = 0;
+      ++exponent;
+      if (exponent >= 0x1F) {
+        return static_cast<uint16_t>(sign | 0x7C00u);
+      }
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(exponent) << 10) | rounded);
+}
+
+float HalfBitsToFloat(uint16_t bits) {
+  uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+  uint32_t exponent = (bits >> 10) & 0x1Fu;
+  uint32_t mantissa = bits & 0x3FFu;
+
+  uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half -> normalised float.
+      int shift = 0;
+      while ((mantissa & 0x400u) == 0) {
+        mantissa <<= 1;
+        ++shift;
+      }
+      mantissa &= 0x3FFu;
+      f = sign | static_cast<uint32_t>(127 - 15 - shift + 1) << 23 | (mantissa << 13);
+    }
+  } else if (exponent == 0x1F) {
+    f = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace minuet

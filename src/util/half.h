@@ -1,0 +1,25 @@
+// IEEE 754 binary16 conversion helpers for the fp16 inference mode.
+//
+// The engines keep float storage for the host math but round every layer's
+// activations through half precision and account half-sized traffic, which is
+// what "fp16 inference" means to the memory system and the GEMM units.
+#ifndef SRC_UTIL_HALF_H_
+#define SRC_UTIL_HALF_H_
+
+#include <cstdint>
+
+namespace minuet {
+
+// Round-to-nearest-even float -> binary16 bits. Handles subnormals, overflow
+// to infinity, and NaN propagation.
+uint16_t FloatToHalfBits(float value);
+
+// Exact binary16 bits -> float.
+float HalfBitsToFloat(uint16_t bits);
+
+// Round-trips a float through half precision.
+inline float RoundToHalf(float value) { return HalfBitsToFloat(FloatToHalfBits(value)); }
+
+}  // namespace minuet
+
+#endif  // SRC_UTIL_HALF_H_

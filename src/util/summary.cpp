@@ -1,0 +1,63 @@
+#include "src/util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+double Mean(const std::vector<double>& values) {
+  MINUET_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double GeoMean(const std::vector<double>& values) {
+  MINUET_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    MINUET_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Median(std::vector<double> values) {
+  MINUET_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  if (n % 2 == 1) {
+    return values[n / 2];
+  }
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double MaxValue(const std::vector<double>& values) {
+  MINUET_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double MinValue(const std::vector<double>& values) {
+  MINUET_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+std::string HumanCount(uint64_t count) {
+  char buf[32];
+  if (count >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(count) / 1e6);
+  } else if (count >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(count) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+}  // namespace minuet

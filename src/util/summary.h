@@ -1,0 +1,21 @@
+// Small statistics helpers shared by benches (means, geomeans, formatting).
+#ifndef SRC_UTIL_SUMMARY_H_
+#define SRC_UTIL_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+namespace minuet {
+
+double Mean(const std::vector<double>& values);
+double GeoMean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+double MaxValue(const std::vector<double>& values);
+double MinValue(const std::vector<double>& values);
+
+// "12.3K", "4.56M" style humanisation for point counts in bench tables.
+std::string HumanCount(uint64_t count);
+
+}  // namespace minuet
+
+#endif  // SRC_UTIL_SUMMARY_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for benches and the autotuner.
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace minuet {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_UTIL_TIMER_H_

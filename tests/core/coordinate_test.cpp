@@ -1,0 +1,116 @@
+#include "src/core/coordinate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+TEST(CoordinateTest, PackUnpackRoundTripOrigin) {
+  Coord3 c{0, 0, 0};
+  EXPECT_EQ(UnpackCoord(PackCoord(c)), c);
+}
+
+TEST(CoordinateTest, PackUnpackRoundTripExtremes) {
+  for (int32_t x : {kCoordMin, -1, 0, 1, kCoordMax}) {
+    for (int32_t y : {kCoordMin, -1, 0, 1, kCoordMax}) {
+      for (int32_t z : {kCoordMin, -1, 0, 1, kCoordMax}) {
+        Coord3 c{x, y, z};
+        EXPECT_EQ(UnpackCoord(PackCoord(c)), c);
+      }
+    }
+  }
+}
+
+TEST(CoordinateTest, PackedKeysFitIn63Bits) {
+  EXPECT_LT(PackCoord(Coord3{kCoordMax, kCoordMax, kCoordMax}), uint64_t{1} << 63);
+  EXPECT_EQ(PackCoord(Coord3{kCoordMin, kCoordMin, kCoordMin}), 0u);
+}
+
+TEST(CoordinateTest, KeyOrderMatchesLexicographicOrder) {
+  Pcg32 rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Coord3 a{rng.NextInt(-1000, 1000), rng.NextInt(-1000, 1000), rng.NextInt(-1000, 1000)};
+    Coord3 b{rng.NextInt(-1000, 1000), rng.NextInt(-1000, 1000), rng.NextInt(-1000, 1000)};
+    EXPECT_EQ(a < b, PackCoord(a) < PackCoord(b)) << a << " vs " << b;
+  }
+}
+
+TEST(CoordinateTest, DeltaAdditionMatchesCoordinateAddition) {
+  Pcg32 rng(7);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Coord3 c{rng.NextInt(-100000, 100000), rng.NextInt(-100000, 100000),
+             rng.NextInt(-100000, 100000)};
+    Coord3 d{rng.NextInt(-8, 8), rng.NextInt(-8, 8), rng.NextInt(-8, 8)};
+    ASSERT_TRUE(CoordInRange(c + d));
+    EXPECT_EQ(PackCoord(c) + PackDelta(d), PackCoord(c + d)) << c << " + " << d;
+  }
+}
+
+TEST(CoordinateTest, DeltaAdditionPreservesOrderWithinSegment) {
+  // A sorted list of output keys plus a single delta must remain sorted:
+  // this is the property Section 5.1.1's on-the-fly segments rely on.
+  Pcg32 rng(11);
+  std::vector<Coord3> coords;
+  for (int i = 0; i < 500; ++i) {
+    coords.push_back(
+        Coord3{rng.NextInt(-500, 500), rng.NextInt(-500, 500), rng.NextInt(-500, 500)});
+  }
+  std::vector<uint64_t> keys;
+  for (const Coord3& c : coords) {
+    keys.push_back(PackCoord(c));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (Coord3 delta : {Coord3{-2, 1, -1}, Coord3{0, 0, 0}, Coord3{2, -2, 2}}) {
+    uint64_t dk = PackDelta(delta);
+    for (size_t i = 1; i < keys.size(); ++i) {
+      EXPECT_LE(keys[i - 1] + dk, keys[i] + dk);
+    }
+  }
+}
+
+TEST(CoordinateTest, CoordInRange) {
+  EXPECT_TRUE(CoordInRange(Coord3{0, 0, 0}));
+  EXPECT_TRUE(CoordInRange(Coord3{kCoordMax, kCoordMin, 0}));
+  EXPECT_FALSE(CoordInRange(Coord3{kCoordMax + 1, 0, 0}));
+  EXPECT_FALSE(CoordInRange(Coord3{0, kCoordMin - 1, 0}));
+  EXPECT_FALSE(CoordInRange(Coord3{0, 0, kCoordMax + 1}));
+}
+
+TEST(CoordinateTest, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-8, 2), -4);
+  EXPECT_EQ(FloorDiv(0, 3), 0);
+  EXPECT_EQ(FloorDiv(-1, 3), -1);
+  EXPECT_EQ(FloorDiv(-3, 3), -1);
+  EXPECT_EQ(FloorDiv(5, 5), 1);
+}
+
+TEST(CoordinateTest, CoordArithmetic) {
+  Coord3 a{1, 2, 3};
+  Coord3 b{-4, 5, -6};
+  EXPECT_EQ(a + b, (Coord3{-3, 7, -3}));
+  EXPECT_EQ(a - b, (Coord3{5, -3, 9}));
+}
+
+class FloorDivProperty : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(FloorDivProperty, MatchesMathematicalFloor) {
+  int32_t divisor = GetParam();
+  for (int32_t v = -50; v <= 50; ++v) {
+    int32_t q = FloorDiv(v, divisor);
+    // floor semantics: q*d <= v < (q+1)*d
+    EXPECT_LE(q * divisor, v);
+    EXPECT_GT((q + 1) * divisor, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, FloorDivProperty, ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace
+}  // namespace minuet

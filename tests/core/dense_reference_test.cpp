@@ -1,0 +1,120 @@
+#include "src/core/dense_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/weight_offsets.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+TEST(DenseReferenceTest, MapPositionsSinglePoint) {
+  std::vector<Coord3> input = {{0, 0, 0}};
+  std::vector<Coord3> output = {{0, 0, 0}};
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto table = ReferenceMapPositions(input, output, offsets);
+  // Only the centre offset (0,0,0) matches.
+  int matches = 0;
+  for (int64_t k = 0; k < table.num_offsets; ++k) {
+    if (table.At(k, 0) != kNoMatch) {
+      ++matches;
+      EXPECT_EQ(offsets[static_cast<size_t>(k)], (Coord3{0, 0, 0}));
+      EXPECT_EQ(table.At(k, 0), 0u);
+    }
+  }
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(DenseReferenceTest, MapPositionsNeighbour) {
+  // p = q + delta: output (0,0,0) reaches input (1,0,0) under delta (1,0,0).
+  std::vector<Coord3> input = {{1, 0, 0}};
+  std::vector<Coord3> output = {{0, 0, 0}};
+  std::vector<Coord3> offsets = {{1, 0, 0}, {-1, 0, 0}};
+  auto table = ReferenceMapPositions(input, output, offsets);
+  EXPECT_EQ(table.At(0, 0), 0u);
+  EXPECT_EQ(table.At(1, 0), kNoMatch);
+}
+
+TEST(DenseReferenceTest, ConvIdentityKernel) {
+  // K=1 with identity weight returns the input features.
+  PointCloud input;
+  input.coords = {{0, 0, 0}, {2, 1, 0}, {-1, 3, 2}};
+  input.features = FeatureMatrix(3, 2);
+  Pcg32 rng(1);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      input.features.At(i, j) = static_cast<float>(rng.NextDouble());
+    }
+  }
+  std::vector<Coord3> offsets = {{0, 0, 0}};
+  std::vector<FeatureMatrix> weights(1, FeatureMatrix(2, 2));
+  weights[0].At(0, 0) = 1.0f;
+  weights[0].At(1, 1) = 1.0f;
+  FeatureMatrix out = ReferenceSparseConv(input, input.coords, offsets, weights);
+  EXPECT_EQ(MaxAbsDiff(out, input.features), 0.0f);
+}
+
+TEST(DenseReferenceTest, ConvSumsNeighbours) {
+  // Two adjacent points, all-ones 3x3x3 kernel with C_in = C_out = 1:
+  // each output sums all inputs within the window.
+  PointCloud input;
+  input.coords = {{0, 0, 0}, {1, 0, 0}};
+  input.features = FeatureMatrix(2, 1, 1.0f);
+  auto offsets = MakeWeightOffsets(3, 1);
+  std::vector<FeatureMatrix> weights(offsets.size(), FeatureMatrix(1, 1, 1.0f));
+  FeatureMatrix out = ReferenceSparseConv(input, input.coords, offsets, weights);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 2.0f);
+}
+
+TEST(DenseReferenceTest, TransposedConvMatchesForwardWithMirroredOffsets) {
+  // Transposed conv with offsets D equals forward conv with offsets -D
+  // (and the same per-offset weights re-indexed), because q = p + d is
+  // p = q + (-d).
+  Pcg32 rng(5);
+  PointCloud input;
+  for (int i = 0; i < 30; ++i) {
+    Coord3 c{rng.NextInt(-5, 5), rng.NextInt(-5, 5), rng.NextInt(-5, 5)};
+    bool dup = false;
+    for (const Coord3& e : input.coords) {
+      if (e == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      input.coords.push_back(c);
+    }
+  }
+  int64_t n = static_cast<int64_t>(input.coords.size());
+  input.features = FeatureMatrix(n, 3);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      input.features.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  std::vector<Coord3> out_coords = {{0, 0, 0}, {1, 1, 1}, {-2, 0, 3}};
+  auto offsets = MakeWeightOffsets(3, 1);
+  std::vector<FeatureMatrix> weights;
+  for (size_t k = 0; k < offsets.size(); ++k) {
+    FeatureMatrix w(3, 2);
+    for (int64_t a = 0; a < 3; ++a) {
+      for (int64_t b = 0; b < 2; ++b) {
+        w.At(a, b) = static_cast<float>(rng.NextGaussian());
+      }
+    }
+    weights.push_back(std::move(w));
+  }
+
+  FeatureMatrix transposed = ReferenceSparseConvTransposed(input, out_coords, offsets, weights);
+
+  std::vector<Coord3> mirrored;
+  for (const Coord3& d : offsets) {
+    mirrored.push_back(Coord3{-d.x, -d.y, -d.z});
+  }
+  FeatureMatrix forward = ReferenceSparseConv(input, out_coords, mirrored, weights);
+  EXPECT_LT(MaxAbsDiff(transposed, forward), 1e-5f);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,128 @@
+#include "src/core/point_cloud.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+std::vector<Coord3> RandomCoords(int n, int span, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Coord3> coords;
+  coords.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    coords.push_back(
+        Coord3{rng.NextInt(-span, span), rng.NextInt(-span, span), rng.NextInt(-span, span)});
+  }
+  return coords;
+}
+
+TEST(PointCloudTest, HasUniqueCoordsDetectsDuplicates) {
+  std::vector<Coord3> unique = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_TRUE(HasUniqueCoords(unique));
+  std::vector<Coord3> dup = {{0, 0, 0}, {1, 0, 0}, {0, 0, 0}};
+  EXPECT_FALSE(HasUniqueCoords(dup));
+  EXPECT_TRUE(HasUniqueCoords({}));
+}
+
+TEST(PointCloudTest, PackCoordsMatchesElementwisePack) {
+  auto coords = RandomCoords(100, 1000, 3);
+  auto keys = PackCoords(coords);
+  ASSERT_EQ(keys.size(), coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(keys[i], PackCoord(coords[i]));
+  }
+}
+
+TEST(PointCloudTest, DownsampleStride1KeepsAllCoordsSorted) {
+  auto coords = RandomCoords(200, 50, 5);
+  // Dedup first: downsample expects arbitrary coords but compares as sets.
+  auto down = DownsampleCoords(coords, 1);
+  std::vector<uint64_t> expect = PackCoords(coords);
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  EXPECT_EQ(PackCoords(down), expect);
+}
+
+TEST(PointCloudTest, DownsampleSnapsToLattice) {
+  std::vector<Coord3> coords = {{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {-1, -1, -1}};
+  auto down = DownsampleCoords(coords, 2);
+  // floor to even lattice: {0,0,0} from (0,1), {2,2,2} from (2,3), {-2,-2,-2} from -1.
+  ASSERT_EQ(down.size(), 3u);
+  EXPECT_EQ(down[0], (Coord3{-2, -2, -2}));
+  EXPECT_EQ(down[1], (Coord3{0, 0, 0}));
+  EXPECT_EQ(down[2], (Coord3{2, 2, 2}));
+}
+
+TEST(PointCloudTest, DownsampleNegativeCoordsUseFloor) {
+  std::vector<Coord3> coords = {{-3, -3, -3}};
+  auto down = DownsampleCoords(coords, 4);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0], (Coord3{-4, -4, -4}));
+}
+
+TEST(PointCloudTest, DownsampleOutputIsSortedAndUnique) {
+  auto coords = RandomCoords(5000, 300, 9);
+  for (int step : {1, 2, 4, 8}) {
+    auto down = DownsampleCoords(coords, step);
+    auto keys = PackCoords(down);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_TRUE(HasUniqueCoords(down));
+    for (const Coord3& q : down) {
+      EXPECT_EQ(q.x % step, 0);
+      EXPECT_EQ(q.y % step, 0);
+      EXPECT_EQ(q.z % step, 0);
+    }
+  }
+}
+
+TEST(PointCloudTest, SortPointCloudSortsCoordsAndCarriesFeatures) {
+  PointCloud cloud;
+  cloud.coords = {{5, 0, 0}, {1, 0, 0}, {3, 0, 0}};
+  cloud.features = FeatureMatrix(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    cloud.features.At(i, 0) = static_cast<float>(cloud.coords[static_cast<size_t>(i)].x);
+    cloud.features.At(i, 1) = -static_cast<float>(cloud.coords[static_cast<size_t>(i)].x);
+  }
+  SortPointCloud(cloud);
+  EXPECT_EQ(cloud.coords[0], (Coord3{1, 0, 0}));
+  EXPECT_EQ(cloud.coords[1], (Coord3{3, 0, 0}));
+  EXPECT_EQ(cloud.coords[2], (Coord3{5, 0, 0}));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cloud.features.At(i, 0), static_cast<float>(cloud.coords[static_cast<size_t>(i)].x));
+    EXPECT_EQ(cloud.features.At(i, 1),
+              -static_cast<float>(cloud.coords[static_cast<size_t>(i)].x));
+  }
+}
+
+TEST(FeatureMatrixTest, RowSpanAndAtAgree) {
+  FeatureMatrix m(4, 3);
+  m.At(2, 1) = 7.5f;
+  EXPECT_EQ(m.Row(2)[1], 7.5f);
+  m.Row(3)[2] = -2.0f;
+  EXPECT_EQ(m.At(3, 2), -2.0f);
+}
+
+TEST(FeatureMatrixTest, MaxAbsDiff) {
+  FeatureMatrix a(2, 2, 1.0f);
+  FeatureMatrix b(2, 2, 1.0f);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0f);
+  b.At(1, 1) = 3.0f;
+  EXPECT_EQ(MaxAbsDiff(a, b), 2.0f);
+}
+
+TEST(FeatureMatrixTest, FillResetsAllValues) {
+  FeatureMatrix m(3, 3, 5.0f);
+  m.Fill(0.0f);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(m.At(i, j), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,73 @@
+#include "src/core/voxelizer.h"
+
+#include <gtest/gtest.h>
+
+namespace minuet {
+namespace {
+
+TEST(VoxelizerTest, QuantizesToFloorLattice) {
+  std::vector<FloatPoint> points = {{0.12f, 0.02f, -0.07f}};
+  FeatureMatrix feats(1, 1, 1.0f);
+  PointCloud cloud = Voxelize(points, feats, VoxelizerConfig{0.05f});
+  ASSERT_EQ(cloud.num_points(), 1);
+  EXPECT_EQ(cloud.coords[0], (Coord3{2, 0, -2}));
+}
+
+TEST(VoxelizerTest, MergesDuplicateVoxelsByAveraging) {
+  std::vector<FloatPoint> points = {{0.01f, 0.01f, 0.01f}, {0.02f, 0.02f, 0.02f},
+                                    {0.30f, 0.0f, 0.0f}};
+  FeatureMatrix feats(3, 2);
+  feats.At(0, 0) = 2.0f;
+  feats.At(1, 0) = 4.0f;
+  feats.At(2, 0) = 9.0f;
+  feats.At(0, 1) = 1.0f;
+  feats.At(1, 1) = 1.0f;
+  feats.At(2, 1) = 7.0f;
+  PointCloud cloud = Voxelize(points, feats, VoxelizerConfig{0.1f});
+  ASSERT_EQ(cloud.num_points(), 2);
+  EXPECT_TRUE(HasUniqueCoords(cloud.coords));
+  // Voxel (0,0,0) averaged the first two points.
+  EXPECT_EQ(cloud.coords[0], (Coord3{0, 0, 0}));
+  EXPECT_FLOAT_EQ(cloud.features.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cloud.features.At(0, 1), 1.0f);
+  EXPECT_EQ(cloud.coords[1], (Coord3{3, 0, 0}));
+  EXPECT_FLOAT_EQ(cloud.features.At(1, 0), 9.0f);
+}
+
+TEST(VoxelizerTest, OutputIsSortedByKey) {
+  std::vector<FloatPoint> points;
+  FeatureMatrix feats(27, 1, 1.0f);
+  for (int i = 0; i < 27; ++i) {
+    points.push_back(FloatPoint{static_cast<float>(26 - i) * 0.1f,
+                                static_cast<float>(i % 3) * 0.1f,
+                                static_cast<float>(i % 5) * 0.1f});
+  }
+  PointCloud cloud = Voxelize(points, feats, VoxelizerConfig{0.1f});
+  auto keys = PackCoords(cloud.coords);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(VoxelizerTest, SparsityOfFullCubeIsOne) {
+  std::vector<Coord3> coords;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      for (int z = 0; z < 3; ++z) {
+        coords.push_back(Coord3{x, y, z});
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(Sparsity(coords), 1.0);
+}
+
+TEST(VoxelizerTest, SparsityOfDiagonalLine) {
+  std::vector<Coord3> coords;
+  for (int i = 0; i < 10; ++i) {
+    coords.push_back(Coord3{i, i, i});
+  }
+  EXPECT_DOUBLE_EQ(Sparsity(coords), 10.0 / 1000.0);
+}
+
+TEST(VoxelizerTest, SparsityEmptyCloudIsZero) { EXPECT_EQ(Sparsity({}), 0.0); }
+
+}  // namespace
+}  // namespace minuet

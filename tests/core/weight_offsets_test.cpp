@@ -1,0 +1,85 @@
+#include "src/core/weight_offsets.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace minuet {
+namespace {
+
+TEST(WeightOffsetsTest, PaperExampleDelta5Stride2) {
+  // The paper's example: Delta(5, 2) = {-4, -2, 0, 2, 4}^3.
+  auto axis = MakeAxisOffsets(5, 2);
+  EXPECT_EQ(axis, (std::vector<int32_t>{-4, -2, 0, 2, 4}));
+  auto offsets = MakeWeightOffsets(5, 2);
+  EXPECT_EQ(offsets.size(), 125u);
+  EXPECT_EQ(offsets.front(), (Coord3{-4, -4, -4}));
+  EXPECT_EQ(offsets.back(), (Coord3{4, 4, 4}));
+}
+
+TEST(WeightOffsetsTest, TypicalKernel3) {
+  auto axis = MakeAxisOffsets(3, 1);
+  EXPECT_EQ(axis, (std::vector<int32_t>{-1, 0, 1}));
+  EXPECT_EQ(MakeWeightOffsets(3, 1).size(), 27u);
+}
+
+TEST(WeightOffsetsTest, EvenKernelIsNonCentered) {
+  auto axis = MakeAxisOffsets(2, 4);
+  EXPECT_EQ(axis, (std::vector<int32_t>{0, 4}));
+}
+
+TEST(WeightOffsetsTest, KernelSize1IsIdentity) {
+  auto offsets = MakeWeightOffsets(1, 8);
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], (Coord3{0, 0, 0}));
+}
+
+TEST(WeightOffsetsTest, OffsetsAreUnique) {
+  for (int k : {1, 2, 3, 5}) {
+    auto offsets = MakeWeightOffsets(k, 2);
+    std::set<std::tuple<int, int, int>> seen;
+    for (const Coord3& d : offsets) {
+      seen.insert({d.x, d.y, d.z});
+    }
+    EXPECT_EQ(seen.size(), offsets.size());
+  }
+}
+
+TEST(WeightOffsetsTest, EnumerationOrderIsXMajor) {
+  auto offsets = MakeWeightOffsets(3, 1);
+  // First 9 entries share dx = -1; z varies fastest.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(offsets[static_cast<size_t>(i)].x, -1);
+  }
+  EXPECT_EQ(offsets[0], (Coord3{-1, -1, -1}));
+  EXPECT_EQ(offsets[1], (Coord3{-1, -1, 0}));
+  EXPECT_EQ(offsets[3], (Coord3{-1, 0, -1}));
+}
+
+TEST(WeightOffsetsTest, SortedPermutationSortsByCoordinateOrder) {
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto perm = SortedOffsetPermutation(offsets);
+  ASSERT_EQ(perm.size(), offsets.size());
+  for (size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_TRUE(offsets[perm[i - 1]] < offsets[perm[i]]);
+  }
+  // x-major enumeration with ascending axes is already sorted.
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(WeightOffsetsTest, SortedPermutationIsAPermutation) {
+  auto offsets = MakeWeightOffsets(5, 1);
+  auto perm = SortedOffsetPermutation(offsets);
+  std::vector<bool> seen(offsets.size(), false);
+  for (uint32_t p : perm) {
+    ASSERT_LT(p, offsets.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,123 @@
+#include "src/data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/voxelizer.h"
+
+namespace minuet {
+namespace {
+
+class GeneratorSuite : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorSuite, ProducesUniqueSortedCoords) {
+  GeneratorConfig config;
+  config.target_points = 20000;
+  PointCloud cloud = GenerateCloud(GetParam(), config);
+  EXPECT_GT(cloud.num_points(), 10000);
+  EXPECT_TRUE(HasUniqueCoords(cloud.coords));
+  auto keys = PackCoords(cloud.coords);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(cloud.features.rows(), cloud.num_points());
+  EXPECT_EQ(cloud.channels(), 4);
+}
+
+TEST_P(GeneratorSuite, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.target_points = 5000;
+  config.seed = 7;
+  PointCloud a = GenerateCloud(GetParam(), config);
+  PointCloud b = GenerateCloud(GetParam(), config);
+  ASSERT_EQ(a.num_points(), b.num_points());
+  EXPECT_EQ(a.coords, b.coords);
+  EXPECT_EQ(MaxAbsDiff(a.features, b.features), 0.0f);
+}
+
+TEST_P(GeneratorSuite, DifferentSeedsDiffer) {
+  GeneratorConfig a_cfg;
+  a_cfg.target_points = 5000;
+  a_cfg.seed = 1;
+  GeneratorConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  PointCloud a = GenerateCloud(GetParam(), a_cfg);
+  PointCloud b = GenerateCloud(GetParam(), b_cfg);
+  EXPECT_NE(a.coords, b.coords);
+}
+
+TEST_P(GeneratorSuite, RespectsTargetCount) {
+  GeneratorConfig config;
+  config.target_points = 8000;
+  PointCloud cloud = GenerateCloud(GetParam(), config);
+  EXPECT_LE(cloud.num_points(), 8000);
+  EXPECT_GE(cloud.num_points(), 4000);
+}
+
+TEST_P(GeneratorSuite, CoordsStayWellInsideLattice) {
+  GeneratorConfig config;
+  config.target_points = 20000;
+  PointCloud cloud = GenerateCloud(GetParam(), config);
+  for (const Coord3& c : cloud.coords) {
+    // Enough margin that any realistic weight offset stays packable.
+    EXPECT_GT(c.x, kCoordMin + 1000);
+    EXPECT_LT(c.x, kCoordMax - 1000);
+    EXPECT_GT(c.y, kCoordMin + 1000);
+    EXPECT_LT(c.y, kCoordMax - 1000);
+    EXPECT_GT(c.z, kCoordMin + 1000);
+    EXPECT_LT(c.z, kCoordMax - 1000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorSuite,
+                         ::testing::Values(DatasetKind::kKitti, DatasetKind::kS3dis,
+                                           DatasetKind::kSem3d, DatasetKind::kShapenet,
+                                           DatasetKind::kRandom),
+                         [](const ::testing::TestParamInfo<DatasetKind>& info) {
+                           return DatasetName(info.param);
+                         });
+
+TEST(GeneratorSparsityTest, MatchesPaperBands) {
+  // Section 6.1: average sparsity 0.04%, 2%, 0.03%, 10% for KITTI, S3DIS,
+  // Sem3D and ShapeNetSem. Loose bands: synthetic stand-ins.
+  GeneratorConfig config;
+  config.target_points = 100000;
+  double kitti = Sparsity(GenerateCloud(DatasetKind::kKitti, config).coords);
+  double s3dis = Sparsity(GenerateCloud(DatasetKind::kS3dis, config).coords);
+  double sem3d = Sparsity(GenerateCloud(DatasetKind::kSem3d, config).coords);
+  double shape = Sparsity(GenerateCloud(DatasetKind::kShapenet, config).coords);
+
+  EXPECT_LT(kitti, 5e-3);
+  EXPECT_GT(kitti, 1e-5);
+  EXPECT_GT(s3dis, 5e-3);
+  EXPECT_LT(s3dis, 1e-1);
+  EXPECT_LT(sem3d, 2e-3);
+  EXPECT_GT(sem3d, 5e-5);
+  EXPECT_GT(shape, 3e-2);
+  EXPECT_LT(shape, 3e-1);
+  // Relative ordering: indoor and object clouds are denser than outdoor.
+  EXPECT_GT(shape, s3dis);
+  EXPECT_GT(s3dis, kitti);
+  EXPECT_GT(s3dis, sem3d);
+}
+
+TEST(GeneratorTest, RandomVolumeControlsDensity) {
+  GeneratorConfig small;
+  small.target_points = 50000;
+  small.random_volume = 100;
+  GeneratorConfig large = small;
+  large.random_volume = 400;
+  double sparse_small = Sparsity(GenerateCloud(DatasetKind::kRandom, small).coords);
+  double sparse_large = Sparsity(GenerateCloud(DatasetKind::kRandom, large).coords);
+  EXPECT_GT(sparse_small, sparse_large * 10);
+}
+
+TEST(GeneratorTest, GenerateCoordsMatchesCloudCoords) {
+  auto coords = GenerateCoords(DatasetKind::kKitti, 5000, 3);
+  GeneratorConfig config;
+  config.target_points = 5000;
+  config.channels = 1;
+  config.seed = 3;
+  PointCloud cloud = GenerateCloud(DatasetKind::kKitti, config);
+  EXPECT_EQ(coords, cloud.coords);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,302 @@
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dense_reference.h"
+#include "src/core/weight_offsets.h"
+#include "src/data/generators.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+PointCloud SmallCloud(int target, int span, int64_t channels, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < target; ++i) {
+    keys.push_back(PackCoord(
+        Coord3{rng.NextInt(-span, span), rng.NextInt(-span, span), rng.NextInt(-span, span)}));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  PointCloud cloud;
+  for (uint64_t k : keys) {
+    cloud.coords.push_back(UnpackCoord(k));
+  }
+  cloud.features = FeatureMatrix(static_cast<int64_t>(keys.size()), channels);
+  for (int64_t i = 0; i < cloud.features.rows(); ++i) {
+    for (int64_t j = 0; j < channels; ++j) {
+      cloud.features.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return cloud;
+}
+
+Network SingleConvNet(int64_t c_in, int64_t c_out, int kernel_size, int stride,
+                      bool transposed = false) {
+  Network net;
+  net.name = "single";
+  net.in_channels = c_in;
+  Instr instr;
+  instr.op = Instr::Op::kConv;
+  instr.conv = ConvParams{kernel_size, stride, transposed, c_in, c_out};
+  net.instrs.push_back(instr);
+  return net;
+}
+
+EngineConfig ConfigFor(EngineKind kind) {
+  EngineConfig config;
+  config.kind = kind;
+  return config;
+}
+
+class EngineKindSuite : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineKindSuite, SingleConvMatchesDenseReference) {
+  Network net = SingleConvNet(6, 10, 3, 1);
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(net, 42);
+
+  PointCloud cloud = SmallCloud(400, 9, 6, 1);
+  RunResult got = engine.Run(cloud);
+
+  auto offsets = MakeWeightOffsets(3, 1);
+  FeatureMatrix expect =
+      ReferenceSparseConv(cloud, cloud.coords, offsets, engine.conv_weights(0));
+  ASSERT_EQ(got.features.rows(), expect.rows());
+  EXPECT_LT(MaxAbsDiff(got.features, expect), 1e-4f);
+  EXPECT_EQ(got.coords, cloud.coords);
+}
+
+TEST_P(EngineKindSuite, StridedConvMatchesDenseReference) {
+  Network net = SingleConvNet(4, 8, 2, 2);
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(net, 7);
+
+  PointCloud cloud = SmallCloud(500, 12, 4, 2);
+  RunResult got = engine.Run(cloud);
+
+  auto out_coords = DownsampleCoords(cloud.coords, 2);
+  auto offsets = MakeWeightOffsets(2, 1);
+  FeatureMatrix expect =
+      ReferenceSparseConv(cloud, out_coords, offsets, engine.conv_weights(0));
+  ASSERT_EQ(got.features.rows(), expect.rows());
+  EXPECT_LT(MaxAbsDiff(got.features, expect), 1e-4f);
+  EXPECT_EQ(got.coords, out_coords);
+}
+
+TEST_P(EngineKindSuite, TinyUNetRunsAndPreservesCoords) {
+  Network net = MakeTinyUNet(4);
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(net, 3);
+  PointCloud cloud = SmallCloud(600, 10, 4, 3);
+  RunResult got = engine.Run(cloud);
+  // UNet output lands back on the input coordinate set.
+  EXPECT_EQ(got.coords, cloud.coords);
+  EXPECT_EQ(got.features.cols(), 8);
+  EXPECT_GT(got.total.TotalCycles(), 0.0);
+  EXPECT_GT(got.total.launches, 0);
+}
+
+TEST_P(EngineKindSuite, ResNetProducesLogits) {
+  Network net = MakeSparseResNet21(4, 20);
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(net, 5);
+  PointCloud cloud = SmallCloud(800, 20, 4, 4);
+  RunResult got = engine.Run(cloud);
+  EXPECT_EQ(got.features.rows(), 1);
+  EXPECT_EQ(got.features.cols(), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineKindSuite,
+                         ::testing::Values(EngineKind::kMinuet, EngineKind::kTorchSparse,
+                                           EngineKind::kMinkowski),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return EngineKindName(info.param);
+                         });
+
+TEST(EngineEquivalenceTest, AllEnginesAgreeOnTinyUNet) {
+  Network net = MakeTinyUNet(4);
+  PointCloud cloud = SmallCloud(700, 11, 4, 6);
+
+  std::vector<RunResult> results;
+  for (EngineKind kind :
+       {EngineKind::kMinuet, EngineKind::kTorchSparse, EngineKind::kMinkowski}) {
+    Engine engine(ConfigFor(kind), MakeRtx3090());
+    engine.Prepare(net, 99);
+    results.push_back(engine.Run(cloud));
+  }
+  ASSERT_EQ(results[0].coords, results[1].coords);
+  ASSERT_EQ(results[0].coords, results[2].coords);
+  EXPECT_LT(MaxAbsDiff(results[0].features, results[1].features), 1e-3f);
+  EXPECT_LT(MaxAbsDiff(results[0].features, results[2].features), 1e-3f);
+}
+
+TEST(EngineEquivalenceTest, AblationVariantsAgreeOnOutputs) {
+  Network net = MakeTinyUNet(4);
+  PointCloud cloud = SmallCloud(500, 10, 4, 7);
+
+  RunResult baseline;
+  bool first = true;
+  for (bool ss : {false, true}) {
+    for (bool dtbs : {false, true}) {
+      for (bool at : {false, true}) {
+        for (bool pg : {false, true}) {
+          EngineConfig config = ConfigFor(EngineKind::kMinuet);
+          config.features = EngineFeatures{ss, dtbs, at, pg};
+          Engine engine(config, MakeRtx3090());
+          engine.Prepare(net, 21);
+          RunResult got = engine.Run(cloud);
+          if (first) {
+            baseline = std::move(got);
+            first = false;
+          } else {
+            EXPECT_LT(MaxAbsDiff(got.features, baseline.features), 1e-3f);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineTest, TransposedConvMatchesReference) {
+  // Down conv then transposed conv back to the input level; check the final
+  // features against the composed dense references.
+  Network net;
+  net.name = "updown";
+  net.in_channels = 4;
+  Instr down;
+  down.op = Instr::Op::kConv;
+  down.conv = ConvParams{2, 2, false, 4, 6};
+  net.instrs.push_back(down);
+  Instr up;
+  up.op = Instr::Op::kConv;
+  up.conv = ConvParams{2, 2, true, 6, 5};
+  net.instrs.push_back(up);
+
+  Engine engine(ConfigFor(EngineKind::kMinuet), MakeRtx3090());
+  engine.Prepare(net, 17);
+  PointCloud cloud = SmallCloud(400, 8, 4, 8);
+  RunResult got = engine.Run(cloud);
+
+  auto mid_coords = DownsampleCoords(cloud.coords, 2);
+  auto offsets = MakeWeightOffsets(2, 1);
+  PointCloud mid;
+  mid.coords = mid_coords;
+  mid.features = ReferenceSparseConv(cloud, mid_coords, offsets, engine.conv_weights(0));
+  FeatureMatrix expect =
+      ReferenceSparseConvTransposed(mid, cloud.coords, offsets, engine.conv_weights(1));
+  ASSERT_EQ(got.features.rows(), expect.rows());
+  EXPECT_LT(MaxAbsDiff(got.features, expect), 1e-4f);
+  EXPECT_EQ(got.coords, cloud.coords);
+}
+
+TEST(EngineTest, TimingOnlyModeSkipsMathSameLaunches) {
+  Network net = MakeTinyUNet(4);
+  PointCloud cloud = SmallCloud(500, 10, 4, 9);
+
+  EngineConfig functional = ConfigFor(EngineKind::kMinuet);
+  EngineConfig timing = functional;
+  timing.functional = false;
+
+  Engine a(functional, MakeRtx3090());
+  a.Prepare(net, 11);
+  RunResult ra = a.Run(cloud);
+  Engine b(timing, MakeRtx3090());
+  b.Prepare(net, 11);
+  RunResult rb = b.Run(cloud);
+  EXPECT_EQ(ra.total.launches, rb.total.launches);
+  EXPECT_NEAR(ra.total.TotalCycles() / rb.total.TotalCycles(), 1.0, 0.02);
+}
+
+TEST(EngineTest, AutotunePicksDivisorsAndAffectsTiles) {
+  Network net = MakeTinyUNet(4);
+  EngineConfig config = ConfigFor(EngineKind::kMinuet);
+  Engine engine(config, MakeRtx3090());
+  engine.Prepare(net, 13);
+
+  GeneratorConfig gen;
+  gen.target_points = 4000;
+  gen.channels = 4;
+  PointCloud sample = GenerateCloud(DatasetKind::kS3dis, gen);
+  double millis = engine.Autotune(sample);
+  EXPECT_GT(millis, 0.0);
+
+  int conv_index = 0;
+  for (const Instr& instr : net.instrs) {
+    if (instr.op != Instr::Op::kConv) {
+      continue;
+    }
+    auto [g, s] = engine.layer_tiles()[static_cast<size_t>(conv_index)];
+    if (!(instr.conv.kernel_size == 1 && !instr.conv.transposed && instr.conv.stride == 1)) {
+      EXPECT_EQ(instr.conv.c_in % g, 0) << "conv " << conv_index;
+      EXPECT_EQ(instr.conv.c_out % s, 0) << "conv " << conv_index;
+    }
+    ++conv_index;
+  }
+
+  // Tuned engine still computes the same function.
+  PointCloud cloud = SmallCloud(500, 10, 4, 10);
+  RunResult tuned = engine.Run(cloud);
+  Engine untuned(config, MakeRtx3090());
+  untuned.Prepare(net, 13);
+  RunResult reference = untuned.Run(cloud);
+  EXPECT_LT(MaxAbsDiff(tuned.features, reference.features), 1e-3f);
+}
+
+TEST(EngineTest, AutotuneIsNoOpForBaselines) {
+  Network net = MakeTinyUNet(4);
+  Engine engine(ConfigFor(EngineKind::kTorchSparse), MakeRtx3090());
+  engine.Prepare(net, 13);
+  GeneratorConfig gen;
+  gen.target_points = 2000;
+  PointCloud sample = GenerateCloud(DatasetKind::kRandom, gen);
+  EXPECT_EQ(engine.Autotune(sample), 0.0);
+}
+
+TEST(EngineTest, LayerRecordsCoverAllConvs) {
+  Network net = MakeMinkUNet42(4);
+  EngineConfig config = ConfigFor(EngineKind::kMinuet);
+  config.functional = false;  // keep the test fast
+  Engine engine(config, MakeRtx3090());
+  engine.Prepare(net, 1);
+  PointCloud cloud = SmallCloud(1500, 14, 4, 11);
+  RunResult got = engine.Run(cloud);
+  EXPECT_EQ(static_cast<int64_t>(got.layers.size()), net.NumConvLayers());
+  for (const LayerRecord& layer : got.layers) {
+    EXPECT_GT(layer.num_inputs, 0);
+    EXPECT_GT(layer.num_outputs, 0);
+    EXPECT_GT(layer.cycles.TotalCycles(), 0.0);
+  }
+  EXPECT_GT(got.total.actual_rows, 0);
+}
+
+TEST(EngineTest, MinuetChargesInputSortBaselinesDoNot) {
+  Network net = SingleConvNet(4, 4, 3, 1);
+  PointCloud cloud = SmallCloud(2000, 20, 4, 12);
+
+  Engine minuet_engine(ConfigFor(EngineKind::kMinuet), MakeRtx3090());
+  minuet_engine.Prepare(net, 2);
+  RunResult minuet_run = minuet_engine.Run(cloud);
+  EXPECT_GT(minuet_run.total.map_build, 0.0);  // the one-time coordinate sort
+
+  Engine hash_engine(ConfigFor(EngineKind::kTorchSparse), MakeRtx3090());
+  hash_engine.Prepare(net, 2);
+  RunResult hash_run = hash_engine.Run(cloud);
+  EXPECT_GT(hash_run.total.map_build, 0.0);  // the hash-table build
+}
+
+TEST(NetworkTest, LayerCountsMatchTheirNames) {
+  EXPECT_EQ(MakeMinkUNet42(4).NumConvLayers(), 42);
+  EXPECT_EQ(MakeSparseResNet21(4, 20).NumConvLayers(), 21);
+}
+
+TEST(NetworkTest, SlotsAreBounded) {
+  Network net = MakeMinkUNet42(4);
+  EXPECT_GE(net.NumSlots(), 5);
+  EXPECT_LE(net.NumSlots(), 8);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,105 @@
+// fp16 inference mode: close-to-fp32 results, faster simulated execution.
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+
+namespace minuet {
+namespace {
+
+PointCloud MakeCloud(int64_t n, uint64_t seed) {
+  GeneratorConfig gen;
+  gen.target_points = n;
+  gen.channels = 4;
+  gen.seed = seed;
+  return GenerateCloud(DatasetKind::kS3dis, gen);
+}
+
+class Fp16Suite : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(Fp16Suite, CloseToFp32Results) {
+  Network net = MakeTinyUNet(4);
+  PointCloud cloud = MakeCloud(2000, 1);
+
+  EngineConfig fp32_cfg;
+  fp32_cfg.kind = GetParam();
+  Engine fp32_engine(fp32_cfg, MakeRtx3090());
+  fp32_engine.Prepare(net, 5);
+  RunResult fp32 = fp32_engine.Run(cloud);
+
+  EngineConfig fp16_cfg = fp32_cfg;
+  fp16_cfg.precision = Precision::kFp16;
+  Engine fp16_engine(fp16_cfg, MakeRtx3090());
+  fp16_engine.Prepare(net, 5);
+  RunResult fp16 = fp16_engine.Run(cloud);
+
+  ASSERT_EQ(fp16.features.rows(), fp32.features.rows());
+  // Half precision keeps ~3 decimal digits; activations here are O(1).
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < fp32.features.rows(); ++i) {
+    for (int64_t j = 0; j < fp32.features.cols(); ++j) {
+      max_abs = std::max(max_abs, std::fabs(fp32.features.At(i, j)));
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(fp16.features, fp32.features), 0.02f * std::max(max_abs, 1.0f));
+  EXPECT_GT(MaxAbsDiff(fp16.features, fp32.features), 0.0f);  // rounding did happen
+}
+
+INSTANTIATE_TEST_SUITE_P(TorchSparseAndMinuet, Fp16Suite,
+                         ::testing::Values(EngineKind::kMinuet, EngineKind::kTorchSparse),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return EngineKindName(info.param);
+                         });
+
+TEST(Fp16Test, HalvesGatherTrafficAndSpeedsUpGmas) {
+  // Wide channels so feature bytes (not metadata lookups) dominate the
+  // Gather/Scatter traffic.
+  Network net;
+  net.name = "wide";
+  net.in_channels = 64;
+  Instr conv;
+  conv.op = Instr::Op::kConv;
+  conv.conv = ConvParams{3, 1, false, 64, 64};
+  net.instrs.push_back(conv);
+
+  GeneratorConfig gen;
+  gen.target_points = 30000;
+  gen.channels = 64;
+  gen.seed = 2;
+  PointCloud cloud = GenerateCloud(DatasetKind::kS3dis, gen);
+
+  EngineConfig fp32_cfg;
+  fp32_cfg.kind = EngineKind::kMinuet;
+  fp32_cfg.functional = false;
+  // Wide tiles so the spans exceed a cache line: below that, a half-sized
+  // access still costs one transaction (sector granularity) and fp16 saves
+  // nothing in Gather/Scatter — only GEMM and memset traffic shrink.
+  fp32_cfg.fixed_tile = 32;
+  fp32_cfg.features.autotuned_tiles = false;
+  EngineConfig fp16_cfg = fp32_cfg;
+  fp16_cfg.precision = Precision::kFp16;
+
+  Engine fp32_engine(fp32_cfg, MakeRtx3090());
+  fp32_engine.Prepare(net, 5);
+  StepBreakdown fp32 = fp32_engine.Run(cloud).total;
+
+  Engine fp16_engine(fp16_cfg, MakeRtx3090());
+  fp16_engine.Prepare(net, 5);
+  StepBreakdown fp16 = fp16_engine.Run(cloud).total;
+
+  // Metadata transactions are precision-independent and dominate the Gather
+  // side, so the big fp16 wins are the GEMMs (2x rate, half operand traffic)
+  // and the buffer memsets; the GMaS step overall speeds up ~1.4x.
+  EXPECT_LE(fp16.gather + fp16.scatter, (fp32.gather + fp32.scatter) * 1.01);
+  EXPECT_LT(fp16.gemm, fp32.gemm * 0.6);
+  EXPECT_LT(fp16.metadata, fp32.metadata * 0.75);
+  EXPECT_LT(fp16.GmasCycles(), fp32.GmasCycles() * 0.8);
+  // Map step is precision-independent.
+  EXPECT_NEAR(fp16.MapCycles() / fp32.MapCycles(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace minuet

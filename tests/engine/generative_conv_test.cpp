@@ -1,0 +1,141 @@
+// Tests for non-submanifold (generative) sparse convolution: the output set
+// dilates to every reachable location instead of preserving the input
+// sparsity pattern (Figure 1's contrast).
+#include <gtest/gtest.h>
+
+#include "src/core/dense_reference.h"
+#include "src/core/weight_offsets.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+PointCloud SmallCloud(int target, int span, int64_t channels, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < target; ++i) {
+    keys.push_back(PackCoord(
+        Coord3{rng.NextInt(-span, span), rng.NextInt(-span, span), rng.NextInt(-span, span)}));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  PointCloud cloud;
+  for (uint64_t k : keys) {
+    cloud.coords.push_back(UnpackCoord(k));
+  }
+  cloud.features = FeatureMatrix(static_cast<int64_t>(keys.size()), channels);
+  for (int64_t i = 0; i < cloud.features.rows(); ++i) {
+    for (int64_t j = 0; j < channels; ++j) {
+      cloud.features.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return cloud;
+}
+
+Network GenerativeNet(int64_t c_in, int64_t c_out, int kernel_size) {
+  Network net;
+  net.name = "generative";
+  net.in_channels = c_in;
+  Instr instr;
+  instr.op = Instr::Op::kConv;
+  instr.conv.kernel_size = kernel_size;
+  instr.conv.c_in = c_in;
+  instr.conv.c_out = c_out;
+  instr.conv.generative = true;
+  net.instrs.push_back(instr);
+  return net;
+}
+
+TEST(DilateCoordsTest, SinglePointDilatesToFullWindow) {
+  std::vector<Coord3> input = {{0, 0, 0}};
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto out = DilateCoords(input, offsets);
+  EXPECT_EQ(out.size(), 27u);
+  EXPECT_TRUE(HasUniqueCoords(out));
+  auto keys = PackCoords(out);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(DilateCoordsTest, OverlappingWindowsDeduplicate) {
+  std::vector<Coord3> input = {{0, 0, 0}, {1, 0, 0}};
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto out = DilateCoords(input, offsets);
+  // Two adjacent 3^3 windows overlap in a 2x3x3 block: 2*27 - 18 = 36.
+  EXPECT_EQ(out.size(), 36u);
+}
+
+TEST(DilateCoordsTest, ContainsAllInputs) {
+  Pcg32 rng(3);
+  std::vector<Coord3> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back(Coord3{rng.NextInt(-20, 20), rng.NextInt(-20, 20), rng.NextInt(-20, 20)});
+  }
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto out = DilateCoords(input, offsets);
+  auto out_keys = PackCoords(out);
+  for (const Coord3& p : input) {
+    EXPECT_TRUE(std::binary_search(out_keys.begin(), out_keys.end(), PackCoord(p)));
+  }
+}
+
+class GenerativeConvSuite : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(GenerativeConvSuite, MatchesDenseReference) {
+  Network net = GenerativeNet(5, 7, 3);
+  EngineConfig config;
+  config.kind = GetParam();
+  Engine engine(config, MakeRtx3090());
+  engine.Prepare(net, 77);
+
+  PointCloud cloud = SmallCloud(200, 8, 5, 1);
+  RunResult got = engine.Run(cloud);
+
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto out_coords = DilateCoords(cloud.coords, offsets);
+  FeatureMatrix expect =
+      ReferenceSparseConv(cloud, out_coords, offsets, engine.conv_weights(0));
+  ASSERT_EQ(got.features.rows(), static_cast<int64_t>(out_coords.size()));
+  EXPECT_LT(MaxAbsDiff(got.features, expect), 1e-4f);
+  EXPECT_EQ(got.coords, out_coords);
+}
+
+TEST_P(GenerativeConvSuite, OutputStrictlyLargerOnSparseInput) {
+  Network net = GenerativeNet(4, 4, 3);
+  EngineConfig config;
+  config.kind = GetParam();
+  Engine engine(config, MakeRtx3090());
+  engine.Prepare(net, 5);
+  PointCloud cloud = SmallCloud(150, 100, 4, 2);  // sparse: windows barely overlap
+  RunResult got = engine.Run(cloud);
+  EXPECT_GT(got.features.rows(), cloud.num_points() * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, GenerativeConvSuite,
+                         ::testing::Values(EngineKind::kMinuet, EngineKind::kTorchSparse,
+                                           EngineKind::kMinkowski),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return EngineKindName(info.param);
+                         });
+
+TEST(GenerativeConvTest, ChargesCoordinateGeneration) {
+  Network net = GenerativeNet(4, 4, 3);
+  EngineConfig config;
+  config.kind = EngineKind::kMinuet;
+  config.functional = false;
+  Engine engine(config, MakeRtx3090());
+  engine.Prepare(net, 5);
+  PointCloud cloud = SmallCloud(3000, 40, 4, 3);
+  RunResult got = engine.Run(cloud);
+  // The dilation sort shows up in map_build beyond the one-time input sort.
+  Network plain_net = GenerativeNet(4, 4, 3);
+  plain_net.instrs[0].conv.generative = false;
+  Engine plain(config, MakeRtx3090());
+  plain.Prepare(plain_net, 5);
+  RunResult plain_run = plain.Run(cloud);
+  EXPECT_GT(got.total.map_build, plain_run.total.map_build * 2);
+}
+
+}  // namespace
+}  // namespace minuet

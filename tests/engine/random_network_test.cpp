@@ -1,0 +1,154 @@
+// Differential fuzzing: random (but structurally valid) networks must produce
+// identical outputs under all three engines, and under every Minuet ablation
+// configuration — the engines are different algorithms for the same function.
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+Instr Conv(int64_t c_in, int64_t c_out, int kernel_size = 3, int stride = 1,
+           bool transposed = false, bool generative = false) {
+  Instr instr;
+  instr.op = Instr::Op::kConv;
+  instr.conv = ConvParams{kernel_size, stride, transposed, c_in, c_out, generative};
+  return instr;
+}
+
+// Builds a random valid network: channel counts stay consistent, transposed
+// convs only after a matching strided conv, pooling mixed in.
+Network RandomNetwork(uint64_t seed) {
+  Pcg32 rng(seed, 31);
+  Network net;
+  net.name = "fuzz";
+  net.in_channels = 2 + rng.NextBounded(6);
+  int64_t channels = net.in_channels;
+  int depth_down = 0;  // how many stride levels below the input we are
+  const int num_ops = 3 + static_cast<int>(rng.NextBounded(6));
+
+  for (int i = 0; i < num_ops; ++i) {
+    switch (rng.NextBounded(6)) {
+      case 0: {  // channel-changing conv
+        int64_t c_out = 2 + rng.NextBounded(14);
+        net.instrs.push_back(Conv(channels, c_out, rng.NextBounded(2) ? 3 : 1));
+        channels = c_out;
+        break;
+      }
+      case 1: {  // strided down conv
+        net.instrs.push_back(Conv(channels, channels, 2, 2));
+        ++depth_down;
+        break;
+      }
+      case 2: {  // transposed conv back up (only if below input level)
+        if (depth_down > 0) {
+          int64_t c_out = 2 + rng.NextBounded(10);
+          net.instrs.push_back(Conv(channels, c_out, 2, 2, /*transposed=*/true));
+          channels = c_out;
+          --depth_down;
+        } else {
+          net.instrs.push_back(Conv(channels, channels, 3, 1));
+        }
+        break;
+      }
+      case 3: {  // elementwise
+        Instr instr;
+        instr.op = Instr::Op::kBnRelu;
+        net.instrs.push_back(instr);
+        break;
+      }
+      case 4: {  // pooling
+        Instr instr;
+        instr.op = rng.NextBounded(2) ? Instr::Op::kMaxPool : Instr::Op::kAvgPool;
+        instr.conv.kernel_size = rng.NextBounded(2) ? 2 : 3;
+        if (rng.NextBounded(2)) {
+          instr.conv.stride = 2;
+          ++depth_down;
+        }
+        net.instrs.push_back(instr);
+        break;
+      }
+      default: {  // generative conv (kept rare and shallow: it grows coords)
+        if (i == 0 && rng.NextBounded(2)) {
+          net.instrs.push_back(Conv(channels, channels, 3, 1, false, /*generative=*/true));
+        } else {
+          net.instrs.push_back(Conv(channels, channels, 3, 1));
+        }
+        break;
+      }
+    }
+  }
+  return net;
+}
+
+class RandomNetworkSuite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetworkSuite, EnginesAgree) {
+  uint64_t seed = GetParam();
+  Network net = RandomNetwork(seed);
+
+  GeneratorConfig gen;
+  gen.target_points = 600;
+  gen.channels = net.in_channels;
+  gen.seed = seed + 100;
+  PointCloud cloud = GenerateCloud(DatasetKind::kS3dis, gen);
+
+  RunResult reference;
+  bool first = true;
+  for (EngineKind kind :
+       {EngineKind::kMinuet, EngineKind::kTorchSparse, EngineKind::kMinkowski}) {
+    EngineConfig config;
+    config.kind = kind;
+    Engine engine(config, MakeRtx3090());
+    engine.Prepare(net, seed);
+    RunResult got = engine.Run(cloud);
+    if (first) {
+      reference = std::move(got);
+      first = false;
+      EXPECT_GT(reference.features.rows(), 0);
+    } else {
+      ASSERT_EQ(got.coords, reference.coords) << EngineKindName(kind) << " seed " << seed;
+      EXPECT_LT(MaxAbsDiff(got.features, reference.features), 1e-3f)
+          << EngineKindName(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(RandomNetworkSuite, MinuetAblationsAgree) {
+  uint64_t seed = GetParam();
+  Network net = RandomNetwork(seed);
+  GeneratorConfig gen;
+  gen.target_points = 400;
+  gen.channels = net.in_channels;
+  gen.seed = seed + 200;
+  PointCloud cloud = GenerateCloud(DatasetKind::kKitti, gen);
+
+  RunResult reference;
+  bool first = true;
+  for (int mask = 0; mask < 16; mask += 5) {  // a spread of toggle combos
+    EngineConfig config;
+    config.kind = EngineKind::kMinuet;
+    config.features = EngineFeatures{(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0,
+                                     (mask & 8) != 0};
+    Engine engine(config, MakeRtx3090());
+    engine.Prepare(net, seed);
+    RunResult got = engine.Run(cloud);
+    if (first) {
+      reference = std::move(got);
+      first = false;
+    } else {
+      ASSERT_EQ(got.coords, reference.coords) << "mask " << mask << " seed " << seed;
+      EXPECT_LT(MaxAbsDiff(got.features, reference.features), 1e-3f)
+          << "mask " << mask << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkSuite,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,336 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dense_reference.h"
+#include "src/core/weight_offsets.h"
+#include "src/gmas/autotune.h"
+#include "src/gmas/executor.h"
+#include "src/gmas/metadata.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+PointCloud RandomCloud(int target, int span, int64_t channels, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < target; ++i) {
+    keys.push_back(PackCoord(
+        Coord3{rng.NextInt(-span, span), rng.NextInt(-span, span), rng.NextInt(-span, span)}));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  PointCloud cloud;
+  for (uint64_t k : keys) {
+    cloud.coords.push_back(UnpackCoord(k));
+  }
+  cloud.features = FeatureMatrix(static_cast<int64_t>(keys.size()), channels);
+  for (int64_t i = 0; i < cloud.features.rows(); ++i) {
+    for (int64_t j = 0; j < channels; ++j) {
+      cloud.features.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return cloud;
+}
+
+std::vector<FeatureMatrix> RandomWeights(size_t count, int64_t c_in, int64_t c_out,
+                                         uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<FeatureMatrix> weights;
+  for (size_t k = 0; k < count; ++k) {
+    FeatureMatrix w(c_in, c_out);
+    for (int64_t a = 0; a < c_in; ++a) {
+      for (int64_t b = 0; b < c_out; ++b) {
+        w.At(a, b) = static_cast<float>(rng.NextGaussian() * 0.2);
+      }
+    }
+    weights.push_back(std::move(w));
+  }
+  return weights;
+}
+
+KernelMap MakeMap(const PointCloud& cloud, const std::vector<Coord3>& out_coords,
+                  const std::vector<Coord3>& offsets) {
+  return CompactPositionTable(ReferenceMapPositions(cloud.coords, out_coords, offsets), offsets);
+}
+
+TEST(BlockedGemmTest, MatchesNaive) {
+  Pcg32 rng(1);
+  const int64_t m = 37, k = 29, n = 23;
+  std::vector<float> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+  for (auto& v : a) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto& v : b) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  std::vector<float> c_blocked(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> c_naive(static_cast<size_t>(m * n), 0.0f);
+  BlockedGemm(a.data(), b.data(), c_blocked.data(), m, k, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t j = 0; j < n; ++j) {
+        c_naive[static_cast<size_t>(i * n + j)] +=
+            a[static_cast<size_t>(i * k + p)] * b[static_cast<size_t>(p * n + j)];
+      }
+    }
+  }
+  for (size_t i = 0; i < c_naive.size(); ++i) {
+    EXPECT_NEAR(c_blocked[i], c_naive[i], 1e-4f);
+  }
+}
+
+TEST(StreamPoolTest, HidesLaunchOverheadAcrossStreams) {
+  // 8 kernels of 100 cycles each incl. 40 cycles launch overhead, 4 streams:
+  // execution serialises (480 cycles) but only ceil(8/4)=2 launch rounds show.
+  StreamPool pool(4, 40.0);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(100.0);
+  }
+  EXPECT_DOUBLE_EQ(pool.SumCycles(), 800.0);
+  EXPECT_DOUBLE_EQ(pool.ElapsedCycles(), 480.0 + 2 * 40.0);
+}
+
+TEST(StreamPoolTest, SingleStreamIsSerial) {
+  StreamPool pool(1, 5.0);
+  pool.Submit(10.0);
+  pool.Submit(30.0);
+  EXPECT_DOUBLE_EQ(pool.ElapsedCycles(), 40.0);
+}
+
+TEST(StreamPoolTest, LaunchBoundKernelsBenefitMost) {
+  // 16 tiny kernels that are pure launch overhead: 4 streams cut the elapsed
+  // launch cost 4x.
+  StreamPool serial(1, 100.0);
+  StreamPool pooled(4, 100.0);
+  for (int i = 0; i < 16; ++i) {
+    serial.Submit(100.0);
+    pooled.Submit(100.0);
+  }
+  EXPECT_DOUBLE_EQ(serial.ElapsedCycles(), 1600.0);
+  EXPECT_DOUBLE_EQ(pooled.ElapsedCycles(), 400.0);
+}
+
+TEST(MetadataTest, SlotsMatchKernelMapEntries) {
+  Device dev(MakeRtx3090());
+  PointCloud cloud = RandomCloud(200, 8, 4, 2);
+  auto offsets = MakeWeightOffsets(3, 1);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GroupingPlan plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kSortedOrder);
+  MetadataTables tables =
+      BuildMetadataTables(dev, map, plan, cloud.num_points(), cloud.num_points(), nullptr);
+
+  std::vector<bool> slot_used(static_cast<size_t>(plan.buffer_rows), false);
+  for (int64_t k = 0; k < map.num_offsets(); ++k) {
+    const auto& entries = map.entries[static_cast<size_t>(k)];
+    for (size_t e = 0; e < entries.size(); ++e) {
+      uint32_t in_slot = tables.InputSlot(k, entries[e].input_index);
+      uint32_t out_slot = tables.OutputSlot(k, entries[e].output_index);
+      ASSERT_NE(in_slot, kNoMatch);
+      EXPECT_EQ(in_slot, out_slot);
+      EXPECT_EQ(in_slot, static_cast<uint32_t>(plan.buffer_base[k] + static_cast<int64_t>(e)));
+      EXPECT_FALSE(slot_used[in_slot]);
+      slot_used[in_slot] = true;
+    }
+  }
+  // Entries without a match stay kNoMatch.
+  int64_t imt_valid = 0;
+  for (uint32_t v : tables.imt) {
+    if (v != kNoMatch) {
+      ++imt_valid;
+    }
+  }
+  EXPECT_EQ(imt_valid, map.TotalEntries());
+}
+
+struct PipelineCase {
+  GroupingStrategy strategy;
+  int gather_tile;
+  int scatter_tile;
+};
+
+class GmasPipelineSuite : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(GmasPipelineSuite, MatchesReferenceConv) {
+  const PipelineCase& param = GetParam();
+  Device dev(MakeRtx3090());
+  const int64_t c_in = 8, c_out = 12;
+  PointCloud cloud = RandomCloud(400, 10, c_in, 3);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c_in, c_out, 4);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+
+  GmasConfig cfg;
+  cfg.grouping = param.strategy;
+  cfg.gather_tile = param.gather_tile;
+  cfg.scatter_tile = param.scatter_tile;
+  GmasResult got = RunGatherGemmScatter(dev, map, cloud.features, weights, cloud.num_points(), cfg);
+
+  FeatureMatrix expect = ReferenceSparseConv(cloud, cloud.coords, offsets, weights);
+  EXPECT_LT(MaxAbsDiff(got.output, expect), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GmasPipelineSuite,
+    ::testing::Values(PipelineCase{GroupingStrategy::kNoBatch, 4, 4},
+                      PipelineCase{GroupingStrategy::kMapOrder, 4, 4},
+                      PipelineCase{GroupingStrategy::kSortedOrder, 4, 4},
+                      PipelineCase{GroupingStrategy::kSortedOrder, 1, 1},
+                      PipelineCase{GroupingStrategy::kSortedOrder, 8, 12},
+                      PipelineCase{GroupingStrategy::kSortedOrder, 2, 6}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return std::string(GroupingStrategyName(info.param.strategy)) + "_g" +
+             std::to_string(info.param.gather_tile) + "_s" +
+             std::to_string(info.param.scatter_tile);
+    });
+
+TEST(GmasTest, FusedDataflowMatchesReference) {
+  Device dev(MakeRtx3090());
+  const int64_t c_in = 6, c_out = 10;
+  PointCloud cloud = RandomCloud(300, 9, c_in, 5);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c_in, c_out, 6);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+
+  GmasResult got = RunPerOffsetFused(dev, map, cloud.features, weights, cloud.num_points(), true);
+  FeatureMatrix expect = ReferenceSparseConv(cloud, cloud.coords, offsets, weights);
+  EXPECT_LT(MaxAbsDiff(got.output, expect), 1e-4f);
+  EXPECT_DOUBLE_EQ(got.stats.plan.PaddingOverhead(), 0.0);
+}
+
+TEST(GmasTest, StridedConvMatchesReference) {
+  Device dev(MakeRtx3090());
+  const int64_t c_in = 4, c_out = 8;
+  PointCloud cloud = RandomCloud(500, 14, c_in, 7);
+  auto out_coords = DownsampleCoords(cloud.coords, 2);
+  auto offsets = MakeWeightOffsets(2, 1);
+  auto weights = RandomWeights(offsets.size(), c_in, c_out, 8);
+  KernelMap map = MakeMap(cloud, out_coords, offsets);
+
+  GmasConfig cfg;
+  GmasResult got = RunGatherGemmScatter(dev, map, cloud.features, weights,
+                                        static_cast<int64_t>(out_coords.size()), cfg);
+  FeatureMatrix expect = ReferenceSparseConv(cloud, out_coords, offsets, weights);
+  EXPECT_LT(MaxAbsDiff(got.output, expect), 1e-4f);
+}
+
+TEST(GmasTest, TimingOnlyModeChargesSameKernels) {
+  const int64_t c_in = 8, c_out = 8;
+  PointCloud cloud = RandomCloud(300, 10, c_in, 9);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c_in, c_out, 10);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+
+  GmasConfig functional;
+  GmasConfig timing = functional;
+  timing.functional = false;
+
+  Device dev_a(MakeRtx3090());
+  GmasResult a = RunGatherGemmScatter(dev_a, map, cloud.features, weights, cloud.num_points(),
+                                      functional);
+  Device dev_b(MakeRtx3090());
+  GmasResult b =
+      RunGatherGemmScatter(dev_b, map, cloud.features, weights, cloud.num_points(), timing);
+  // Cycles may differ by a hair: allocations land at different addresses, so
+  // cache-set mapping differs. Launch counts and traffic are exact.
+  EXPECT_NEAR(a.stats.TotalCycles() / b.stats.TotalCycles(), 1.0, 0.02);
+  EXPECT_EQ(a.stats.Combined().num_launches, b.stats.Combined().num_launches);
+  EXPECT_EQ(a.stats.Combined().global_bytes_read, b.stats.Combined().global_bytes_read);
+  EXPECT_EQ(a.stats.Combined().global_bytes_written, b.stats.Combined().global_bytes_written);
+  // Timing-only output is all zeros.
+  FeatureMatrix zeros(b.output.rows(), b.output.cols(), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(b.output, zeros), 0.0f);
+}
+
+TEST(GmasTest, EmptyKernelMap) {
+  Device dev(MakeRtx3090());
+  KernelMap map;
+  map.offsets = MakeWeightOffsets(3, 1);
+  map.entries.resize(map.offsets.size());
+  FeatureMatrix input(10, 4);
+  auto weights = RandomWeights(map.offsets.size(), 4, 4, 11);
+  GmasConfig cfg;
+  GmasResult got = RunGatherGemmScatter(dev, map, input, weights, 10, cfg);
+  EXPECT_EQ(got.output.rows(), 10);
+  FeatureMatrix zeros(10, 4, 0.0f);
+  EXPECT_EQ(MaxAbsDiff(got.output, zeros), 0.0f);
+}
+
+TEST(AutotuneTest, ReturnsDivisorAndMinimum) {
+  Device dev(MakeRtx3090());
+  PointCloud cloud = RandomCloud(2000, 20, 32, 12);
+  auto offsets = MakeWeightOffsets(3, 1);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GroupingPlan plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kSortedOrder);
+  MetadataTables tables =
+      BuildMetadataTables(dev, map, plan, cloud.num_points(), cloud.num_points(), nullptr);
+
+  AutotuneOutcome outcome = AutotuneGatherTile(dev, tables, 32);
+  EXPECT_EQ(32 % outcome.best_tile, 0);
+  EXPECT_EQ(outcome.profile.size(), CandidateTileSizes(32).size());
+  for (const auto& [tile, cycles] : outcome.profile) {
+    EXPECT_GE(cycles, outcome.best_cycles);
+  }
+}
+
+TEST(AutotuneTest, DeterministicAcrossRuns) {
+  Device dev(MakeRtx3090());
+  PointCloud cloud = RandomCloud(1000, 15, 16, 13);
+  auto offsets = MakeWeightOffsets(3, 1);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GroupingPlan plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kSortedOrder);
+  MetadataTables tables =
+      BuildMetadataTables(dev, map, plan, cloud.num_points(), cloud.num_points(), nullptr);
+  AutotuneOutcome a = AutotuneGatherTile(dev, tables, 16);
+  AutotuneOutcome b = AutotuneGatherTile(dev, tables, 16);
+  EXPECT_EQ(a.best_tile, b.best_tile);
+  EXPECT_DOUBLE_EQ(a.best_cycles, b.best_cycles);
+}
+
+TEST(AutotuneTest, ScatterProfilesAllDivisors) {
+  Device dev(MakeRtx3090());
+  PointCloud cloud = RandomCloud(1000, 15, 12, 14);
+  auto offsets = MakeWeightOffsets(3, 1);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GroupingPlan plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kSortedOrder);
+  MetadataTables tables =
+      BuildMetadataTables(dev, map, plan, cloud.num_points(), cloud.num_points(), nullptr);
+  AutotuneOutcome outcome = AutotuneScatterTile(dev, tables, 12);
+  // Divisors of 12: 1, 2, 3, 4, 6, 12.
+  EXPECT_EQ(outcome.profile.size(), 6u);
+  EXPECT_EQ(12 % outcome.best_tile, 0);
+}
+
+TEST(CandidateTileSizesTest, DivisorsOnly) {
+  EXPECT_EQ(CandidateTileSizes(1), (std::vector<int>{1}));
+  EXPECT_EQ(CandidateTileSizes(12), (std::vector<int>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(CandidateTileSizes(16), (std::vector<int>{1, 2, 4, 8, 16}));
+}
+
+TEST(GmasTest, PaddingStatsFlowThroughResult) {
+  Device dev(MakeRtx3090());
+  const int64_t c = 4;
+  PointCloud cloud = RandomCloud(600, 12, c, 15);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c, c, 16);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+
+  GmasConfig sorted_cfg;
+  sorted_cfg.grouping = GroupingStrategy::kSortedOrder;
+  GmasConfig map_cfg;
+  map_cfg.grouping = GroupingStrategy::kMapOrder;
+
+  Device dev2(MakeRtx3090());
+  GmasResult sorted_res =
+      RunGatherGemmScatter(dev, map, cloud.features, weights, cloud.num_points(), sorted_cfg);
+  GmasResult map_res =
+      RunGatherGemmScatter(dev2, map, cloud.features, weights, cloud.num_points(), map_cfg);
+  EXPECT_LE(sorted_res.stats.plan.PaddingOverhead(), map_res.stats.plan.PaddingOverhead());
+  EXPECT_LE(sorted_res.stats.plan.NumKernels(), map_res.stats.plan.NumKernels());
+  EXPECT_LT(MaxAbsDiff(sorted_res.output, map_res.output), 1e-4f);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,115 @@
+#include "src/io/serialization.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+
+namespace minuet {
+namespace {
+
+std::string TempPath(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(SerializationTest, PointCloudRoundTrip) {
+  GeneratorConfig gen;
+  gen.target_points = 2000;
+  gen.channels = 5;
+  gen.seed = 3;
+  PointCloud original = GenerateCloud(DatasetKind::kKitti, gen);
+
+  std::string path = TempPath("cloud.mnpc");
+  ASSERT_TRUE(SavePointCloud(original, path));
+  PointCloud loaded;
+  ASSERT_TRUE(LoadPointCloud(path, &loaded));
+  EXPECT_EQ(loaded.coords, original.coords);
+  EXPECT_EQ(MaxAbsDiff(loaded.features, original.features), 0.0f);
+}
+
+TEST(SerializationTest, EmptyPointCloudRoundTrip) {
+  PointCloud empty;
+  empty.features = FeatureMatrix(0, 3);
+  std::string path = TempPath("empty.mnpc");
+  ASSERT_TRUE(SavePointCloud(empty, path));
+  PointCloud loaded;
+  ASSERT_TRUE(LoadPointCloud(path, &loaded));
+  EXPECT_EQ(loaded.num_points(), 0);
+  EXPECT_EQ(loaded.features.cols(), 3);
+}
+
+TEST(SerializationTest, FeatureMatrixRoundTrip) {
+  FeatureMatrix m(7, 4);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      m.At(i, j) = static_cast<float>(i * 10 + j);
+    }
+  }
+  std::string path = TempPath("matrix.mnfm");
+  ASSERT_TRUE(SaveFeatureMatrix(m, path));
+  FeatureMatrix loaded;
+  ASSERT_TRUE(LoadFeatureMatrix(path, &loaded));
+  EXPECT_EQ(MaxAbsDiff(loaded, m), 0.0f);
+}
+
+TEST(SerializationTest, NetworkRoundTrip) {
+  Network original = MakeMinkUNet42(4);
+  std::string path = TempPath("net.mnnt");
+  ASSERT_TRUE(SaveNetwork(original, path));
+  Network loaded;
+  ASSERT_TRUE(LoadNetwork(path, &loaded));
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.in_channels, original.in_channels);
+  ASSERT_EQ(loaded.instrs.size(), original.instrs.size());
+  for (size_t i = 0; i < original.instrs.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(loaded.instrs[i].op), static_cast<int>(original.instrs[i].op));
+    EXPECT_EQ(loaded.instrs[i].conv.kernel_size, original.instrs[i].conv.kernel_size);
+    EXPECT_EQ(loaded.instrs[i].conv.stride, original.instrs[i].conv.stride);
+    EXPECT_EQ(loaded.instrs[i].conv.transposed, original.instrs[i].conv.transposed);
+    EXPECT_EQ(loaded.instrs[i].conv.generative, original.instrs[i].conv.generative);
+    EXPECT_EQ(loaded.instrs[i].conv.c_in, original.instrs[i].conv.c_in);
+    EXPECT_EQ(loaded.instrs[i].conv.c_out, original.instrs[i].conv.c_out);
+    EXPECT_EQ(loaded.instrs[i].slot, original.instrs[i].slot);
+    EXPECT_EQ(loaded.instrs[i].linear_out, original.instrs[i].linear_out);
+  }
+  EXPECT_EQ(loaded.NumConvLayers(), 42);
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  PointCloud cloud;
+  EXPECT_FALSE(LoadPointCloud(TempPath("does_not_exist.mnpc"), &cloud));
+  Network net;
+  EXPECT_FALSE(LoadNetwork(TempPath("does_not_exist.mnnt"), &net));
+}
+
+TEST(SerializationTest, WrongMagicFails) {
+  // A cloud file is not a network file.
+  GeneratorConfig gen;
+  gen.target_points = 100;
+  PointCloud cloud = GenerateCloud(DatasetKind::kRandom, gen);
+  std::string path = TempPath("mixed.mnpc");
+  ASSERT_TRUE(SavePointCloud(cloud, path));
+  Network net;
+  EXPECT_FALSE(LoadNetwork(path, &net));
+  FeatureMatrix m;
+  EXPECT_FALSE(LoadFeatureMatrix(path, &m));
+}
+
+TEST(SerializationTest, TruncatedFileFails) {
+  GeneratorConfig gen;
+  gen.target_points = 500;
+  PointCloud cloud = GenerateCloud(DatasetKind::kRandom, gen);
+  std::string path = TempPath("trunc.mnpc");
+  ASSERT_TRUE(SavePointCloud(cloud, path));
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  PointCloud loaded;
+  EXPECT_FALSE(LoadPointCloud(path, &loaded));
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,85 @@
+#include "src/util/half.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+TEST(HalfTest, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -1024.0f, 65504.0f, 0.25f}) {
+    EXPECT_EQ(RoundToHalf(v), v) << v;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(FloatToHalfBits(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalfBits(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalfBits(1.0f), 0x3C00);
+  EXPECT_EQ(FloatToHalfBits(-2.0f), 0xC000);
+  EXPECT_EQ(FloatToHalfBits(65504.0f), 0x7BFF);  // max finite half
+  EXPECT_EQ(HalfBitsToFloat(0x3C00), 1.0f);
+  EXPECT_EQ(HalfBitsToFloat(0x7C00), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(HalfBitsToFloat(0xFC00), -std::numeric_limits<float>::infinity());
+}
+
+TEST(HalfTest, OverflowBecomesInfinity) {
+  EXPECT_EQ(RoundToHalf(1e6f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(RoundToHalf(-1e6f), -std::numeric_limits<float>::infinity());
+}
+
+TEST(HalfTest, TinyValuesFlushOrSubnormal) {
+  // Smallest positive subnormal half is 2^-24.
+  float min_subnormal = std::ldexp(1.0f, -24);
+  EXPECT_EQ(RoundToHalf(min_subnormal), min_subnormal);
+  EXPECT_EQ(RoundToHalf(min_subnormal / 4.0f), 0.0f);
+}
+
+TEST(HalfTest, NanPropagates) {
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(RoundToHalf(nan)));
+}
+
+TEST(HalfTest, RoundingErrorWithinHalfUlp) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    float v = static_cast<float>(rng.NextGaussian()) * 10.0f;
+    float r = RoundToHalf(v);
+    // Relative error bounded by 2^-11 for normal halves.
+    if (std::fabs(v) > 1e-4f) {
+      EXPECT_NEAR(r, v, std::fabs(v) * 0.0005f) << v;
+    }
+    // Idempotent: rounding twice changes nothing.
+    EXPECT_EQ(RoundToHalf(r), r);
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10):
+  // ties round to even mantissa, i.e. down to 1.0.
+  float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(RoundToHalf(halfway), 1.0f);
+  // Slightly above the tie rounds up.
+  float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
+  EXPECT_EQ(RoundToHalf(above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(HalfTest, AllHalfBitPatternsRoundTripThroughFloat) {
+  // Every finite half value converts to float and back to the same bits.
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    uint16_t h = static_cast<uint16_t>(bits);
+    uint32_t exponent = (h >> 10) & 0x1F;
+    if (exponent == 0x1F) {
+      continue;  // inf/NaN payloads may canonicalise
+    }
+    float f = HalfBitsToFloat(h);
+    EXPECT_EQ(FloatToHalfBits(f), h) << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/summary.h"
+#include "src/util/timer.h"
+
+namespace minuet {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MINUET_CHECK(true);
+  MINUET_CHECK_EQ(1, 1);
+  MINUET_CHECK_LT(1, 2);
+  MINUET_CHECK_GE(2, 2);
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(MINUET_CHECK(false) << "boom", "boom");
+  EXPECT_DEATH(MINUET_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Pcg32 rng(8);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextBounded(8)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 / 5);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Pcg32 rng(9);
+  std::set<int32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Pcg32 rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Pcg32 rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(SplitMixTest, ProducesDistinctStreams) {
+  uint64_t state = 123;
+  uint64_t a = SplitMix64(state);
+  uint64_t b = SplitMix64(state);
+  uint64_t c = SplitMix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(SummaryTest, MeanMedianMinMax) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(MinValue(v), 1.0);
+  EXPECT_DOUBLE_EQ(MaxValue(v), 4.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 9.0}), 5.0);
+}
+
+TEST(SummaryTest, GeoMean) {
+  EXPECT_DOUBLE_EQ(GeoMean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(GeoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DEATH(GeoMean({1.0, 0.0}), "");
+}
+
+TEST(SummaryTest, HumanCount) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1500), "1.5K");
+  EXPECT_EQ(HumanCount(2500000), "2.50M");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    x += std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  double first = timer.ElapsedMillis();
+  double second = timer.ElapsedMillis();
+  EXPECT_LE(first, second);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,230 @@
+// minuet_run: command-line driver for the engines.
+//
+//   minuet_run [--engine minuet|torchsparse|minkowski|all]
+//              [--network unet42|resnet21|tiny] [--dataset kitti|s3dis|sem3d|
+//              shapenet|random] [--points N] [--gpu 2070s|2080ti|3090|a100]
+//              [--seed N] [--functional 0|1] [--autotune 0|1] [--layers]
+//
+// Prints the simulated end-to-end time and per-step breakdown; with --layers,
+// a per-conv-layer table.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/check.h"
+
+namespace minuet {
+namespace {
+
+struct Options {
+  std::string engine = "all";
+  std::string network = "unet42";
+  std::string dataset = "kitti";
+  std::string gpu = "3090";
+  int64_t points = 50000;
+  uint64_t seed = 1;
+  bool functional = false;
+  bool autotune = true;
+  bool layers = false;
+  bool fp16 = false;
+  std::string trace_csv;  // empty: no trace
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: minuet_run [--engine minuet|torchsparse|minkowski|all]\n"
+               "                  [--network unet42|resnet21|tiny]\n"
+               "                  [--dataset kitti|s3dis|sem3d|shapenet|random]\n"
+               "                  [--gpu 2070s|2080ti|3090|a100] [--points N]\n"
+               "                  [--seed N] [--functional 0|1] [--autotune 0|1] [--layers]\n"
+               "                  [--precision fp32|fp16] [--trace out.csv]\n");
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      opts.engine = next();
+    } else if (arg == "--network") {
+      opts.network = next();
+    } else if (arg == "--dataset") {
+      opts.dataset = next();
+    } else if (arg == "--gpu") {
+      opts.gpu = next();
+    } else if (arg == "--points") {
+      opts.points = std::atoll(next().c_str());
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--functional") {
+      opts.functional = std::atoi(next().c_str()) != 0;
+    } else if (arg == "--autotune") {
+      opts.autotune = std::atoi(next().c_str()) != 0;
+    } else if (arg == "--layers") {
+      opts.layers = true;
+    } else if (arg == "--trace") {
+      opts.trace_csv = next();
+    } else if (arg == "--precision") {
+      std::string p = next();
+      if (p == "fp16") {
+        opts.fp16 = true;
+      } else if (p != "fp32") {
+        std::fprintf(stderr, "unknown precision: %s\n", p.c_str());
+        Usage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+    }
+  }
+  return opts;
+}
+
+DatasetKind ParseDataset(const std::string& name) {
+  for (DatasetKind kind : {DatasetKind::kKitti, DatasetKind::kS3dis, DatasetKind::kSem3d,
+                           DatasetKind::kShapenet, DatasetKind::kRandom}) {
+    if (name == DatasetName(kind)) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  Usage();
+}
+
+DeviceConfig ParseGpu(const std::string& name) {
+  if (name == "2070s") {
+    return MakeRtx2070Super();
+  }
+  if (name == "2080ti") {
+    return MakeRtx2080Ti();
+  }
+  if (name == "3090") {
+    return MakeRtx3090();
+  }
+  if (name == "a100") {
+    return MakeA100();
+  }
+  std::fprintf(stderr, "unknown gpu: %s\n", name.c_str());
+  Usage();
+}
+
+Network ParseNetwork(const std::string& name) {
+  if (name == "unet42") {
+    return MakeMinkUNet42(4);
+  }
+  if (name == "resnet21") {
+    return MakeSparseResNet21(4, 20);
+  }
+  if (name == "tiny") {
+    return MakeTinyUNet(4);
+  }
+  std::fprintf(stderr, "unknown network: %s\n", name.c_str());
+  Usage();
+}
+
+void RunOne(EngineKind kind, const Options& opts, const Network& net, const PointCloud& cloud,
+            const PointCloud& sample, const DeviceConfig& device) {
+  EngineConfig config;
+  config.kind = kind;
+  config.functional = opts.functional;
+  config.precision = opts.fp16 ? Precision::kFp16 : Precision::kFp32;
+  Engine engine(config, device);
+  engine.Prepare(net, opts.seed);
+  if (opts.autotune && kind == EngineKind::kMinuet) {
+    engine.Autotune(sample);
+  }
+  if (!opts.trace_csv.empty()) {
+    engine.device().EnableTrace(true);
+  }
+  RunResult result = engine.Run(cloud);
+  if (!opts.trace_csv.empty()) {
+    std::string path = opts.trace_csv;
+    if (opts.engine == "all") {
+      path += std::string(".") + EngineKindName(kind);
+    }
+    if (WriteTraceCsv(engine.device().trace(), device, path)) {
+      std::printf("  kernel trace (%zu launches) written to %s\n", engine.device().trace().size(),
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "  could not write trace to %s\n", path.c_str());
+    }
+  }
+  std::printf("%-16s %9.3f ms   map %7.3f (build %6.3f, query %6.3f)"
+              "   gmas %8.3f (gather %6.3f, gemm %6.3f, scatter %6.3f)   launches %lld\n",
+              EngineKindName(kind), device.CyclesToMillis(result.total.TotalCycles()),
+              device.CyclesToMillis(result.total.MapCycles()),
+              device.CyclesToMillis(result.total.map_build),
+              device.CyclesToMillis(result.total.map_query),
+              device.CyclesToMillis(result.total.GmasCycles()),
+              device.CyclesToMillis(result.total.gather),
+              device.CyclesToMillis(result.total.gemm),
+              device.CyclesToMillis(result.total.scatter),
+              static_cast<long long>(result.total.launches));
+  if (opts.layers) {
+    std::printf("%6s %8s %10s %10s %6s %6s %5s %5s %10s\n", "conv", "K/s", "inputs", "outputs",
+                "Cin", "Cout", "gT", "sT", "time(ms)");
+    for (const LayerRecord& layer : result.layers) {
+      char ks[16];
+      std::snprintf(ks, sizeof(ks), "%d/%d%s", layer.params.kernel_size, layer.params.stride,
+                    layer.params.transposed ? "T" : "");
+      std::printf("%6d %8s %10lld %10lld %6lld %6lld %5d %5d %10.3f\n", layer.conv_index, ks,
+                  static_cast<long long>(layer.num_inputs),
+                  static_cast<long long>(layer.num_outputs),
+                  static_cast<long long>(layer.params.c_in),
+                  static_cast<long long>(layer.params.c_out), layer.gather_tile,
+                  layer.scatter_tile, device.CyclesToMillis(layer.cycles.TotalCycles()));
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  Options opts = Parse(argc, argv);
+  DeviceConfig device = ParseGpu(opts.gpu);
+  Network net = ParseNetwork(opts.network);
+  DatasetKind dataset = ParseDataset(opts.dataset);
+
+  GeneratorConfig gen;
+  gen.target_points = opts.points;
+  gen.channels = net.in_channels;
+  gen.seed = opts.seed;
+  PointCloud cloud = GenerateCloud(dataset, gen);
+  GeneratorConfig tune = gen;
+  tune.seed = opts.seed + 1;
+  tune.target_points = std::max<int64_t>(opts.points / 4, 1000);
+  PointCloud sample = GenerateCloud(dataset, tune);
+
+  std::printf("network %s | dataset %s (%lld points) | %s | %s mode\n", net.name.c_str(),
+              DatasetName(dataset), static_cast<long long>(cloud.num_points()),
+              device.name.c_str(), opts.functional ? "functional" : "timing-only");
+
+  if (opts.engine == "all") {
+    for (EngineKind kind :
+         {EngineKind::kMinkowski, EngineKind::kTorchSparse, EngineKind::kMinuet}) {
+      RunOne(kind, opts, net, cloud, sample, device);
+    }
+  } else if (opts.engine == "minuet") {
+    RunOne(EngineKind::kMinuet, opts, net, cloud, sample, device);
+  } else if (opts.engine == "torchsparse") {
+    RunOne(EngineKind::kTorchSparse, opts, net, cloud, sample, device);
+  } else if (opts.engine == "minkowski") {
+    RunOne(EngineKind::kMinkowski, opts, net, cloud, sample, device);
+  } else {
+    Usage();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main(int argc, char** argv) { return minuet::Main(argc, argv); }
