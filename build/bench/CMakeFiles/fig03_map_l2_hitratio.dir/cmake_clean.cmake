@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_map_l2_hitratio.dir/fig03_map_l2_hitratio.cpp.o"
+  "CMakeFiles/fig03_map_l2_hitratio.dir/fig03_map_l2_hitratio.cpp.o.d"
+  "fig03_map_l2_hitratio"
+  "fig03_map_l2_hitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_map_l2_hitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_map_l2_hitratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gather_tilesize.dir/fig04_gather_tilesize.cpp.o"
+  "CMakeFiles/fig04_gather_tilesize.dir/fig04_gather_tilesize.cpp.o.d"
+  "fig04_gather_tilesize"
+  "fig04_gather_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gather_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

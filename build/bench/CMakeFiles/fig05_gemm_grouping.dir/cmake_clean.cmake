@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_gemm_grouping.dir/fig05_gemm_grouping.cpp.o"
+  "CMakeFiles/fig05_gemm_grouping.dir/fig05_gemm_grouping.cpp.o.d"
+  "fig05_gemm_grouping"
+  "fig05_gemm_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gemm_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

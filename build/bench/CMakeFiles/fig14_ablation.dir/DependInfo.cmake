@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_ablation.cpp" "bench/CMakeFiles/fig14_ablation.dir/fig14_ablation.cpp.o" "gcc" "bench/CMakeFiles/fig14_ablation.dir/fig14_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/minuet_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/minuet_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmas/CMakeFiles/minuet_gmas.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/minuet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashtable/CMakeFiles/minuet_hashtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusort/CMakeFiles/minuet_gpusort.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/minuet_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minuet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_layerwise.dir/fig15_layerwise.cpp.o"
+  "CMakeFiles/fig15_layerwise.dir/fig15_layerwise.cpp.o.d"
+  "fig15_layerwise"
+  "fig15_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_map_query.dir/fig16_map_query.cpp.o"
+  "CMakeFiles/fig16_map_query.dir/fig16_map_query.cpp.o.d"
+  "fig16_map_query"
+  "fig16_map_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_map_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_map_build.dir/fig17_map_build.cpp.o"
+  "CMakeFiles/fig17_map_build.dir/fig17_map_build.cpp.o.d"
+  "fig17_map_build"
+  "fig17_map_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_map_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_hyperparams.dir/fig18_hyperparams.cpp.o"
+  "CMakeFiles/fig18_hyperparams.dir/fig18_hyperparams.cpp.o.d"
+  "fig18_hyperparams"
+  "fig18_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

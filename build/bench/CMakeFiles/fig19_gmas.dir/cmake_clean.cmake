@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_gmas.dir/fig19_gmas.cpp.o"
+  "CMakeFiles/fig19_gmas.dir/fig19_gmas.cpp.o.d"
+  "fig19_gmas"
+  "fig19_gmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_gmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_best_tile.dir/fig20_best_tile.cpp.o"
+  "CMakeFiles/fig20_best_tile.dir/fig20_best_tile.cpp.o.d"
+  "fig20_best_tile"
+  "fig20_best_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_best_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

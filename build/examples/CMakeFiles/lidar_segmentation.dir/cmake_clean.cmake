@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidar_segmentation.dir/lidar_segmentation.cpp.o"
+  "CMakeFiles/lidar_segmentation.dir/lidar_segmentation.cpp.o.d"
+  "lidar_segmentation"
+  "lidar_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidar_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

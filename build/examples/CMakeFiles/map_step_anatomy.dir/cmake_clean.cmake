@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_step_anatomy.dir/map_step_anatomy.cpp.o"
+  "CMakeFiles/map_step_anatomy.dir/map_step_anatomy.cpp.o.d"
+  "map_step_anatomy"
+  "map_step_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_step_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for map_step_anatomy.
+# This may be replaced when dependencies are built.

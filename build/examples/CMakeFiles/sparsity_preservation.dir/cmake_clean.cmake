@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_preservation.dir/sparsity_preservation.cpp.o"
+  "CMakeFiles/sparsity_preservation.dir/sparsity_preservation.cpp.o.d"
+  "sparsity_preservation"
+  "sparsity_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

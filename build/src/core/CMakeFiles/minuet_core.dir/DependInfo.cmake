@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinate.cpp" "src/core/CMakeFiles/minuet_core.dir/coordinate.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/coordinate.cpp.o.d"
+  "/root/repo/src/core/dense_reference.cpp" "src/core/CMakeFiles/minuet_core.dir/dense_reference.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/dense_reference.cpp.o.d"
+  "/root/repo/src/core/feature_matrix.cpp" "src/core/CMakeFiles/minuet_core.dir/feature_matrix.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/feature_matrix.cpp.o.d"
+  "/root/repo/src/core/kernel_map.cpp" "src/core/CMakeFiles/minuet_core.dir/kernel_map.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/kernel_map.cpp.o.d"
+  "/root/repo/src/core/point_cloud.cpp" "src/core/CMakeFiles/minuet_core.dir/point_cloud.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/point_cloud.cpp.o.d"
+  "/root/repo/src/core/voxelizer.cpp" "src/core/CMakeFiles/minuet_core.dir/voxelizer.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/voxelizer.cpp.o.d"
+  "/root/repo/src/core/weight_offsets.cpp" "src/core/CMakeFiles/minuet_core.dir/weight_offsets.cpp.o" "gcc" "src/core/CMakeFiles/minuet_core.dir/weight_offsets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_core.dir/coordinate.cpp.o"
+  "CMakeFiles/minuet_core.dir/coordinate.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/dense_reference.cpp.o"
+  "CMakeFiles/minuet_core.dir/dense_reference.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/feature_matrix.cpp.o"
+  "CMakeFiles/minuet_core.dir/feature_matrix.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/kernel_map.cpp.o"
+  "CMakeFiles/minuet_core.dir/kernel_map.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/point_cloud.cpp.o"
+  "CMakeFiles/minuet_core.dir/point_cloud.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/voxelizer.cpp.o"
+  "CMakeFiles/minuet_core.dir/voxelizer.cpp.o.d"
+  "CMakeFiles/minuet_core.dir/weight_offsets.cpp.o"
+  "CMakeFiles/minuet_core.dir/weight_offsets.cpp.o.d"
+  "libminuet_core.a"
+  "libminuet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

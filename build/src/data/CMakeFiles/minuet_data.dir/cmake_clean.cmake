@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_data.dir/generators.cpp.o"
+  "CMakeFiles/minuet_data.dir/generators.cpp.o.d"
+  "libminuet_data.a"
+  "libminuet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

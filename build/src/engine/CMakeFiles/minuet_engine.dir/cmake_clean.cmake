@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_engine.dir/engine.cpp.o"
+  "CMakeFiles/minuet_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/minuet_engine.dir/network.cpp.o"
+  "CMakeFiles/minuet_engine.dir/network.cpp.o.d"
+  "libminuet_engine.a"
+  "libminuet_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

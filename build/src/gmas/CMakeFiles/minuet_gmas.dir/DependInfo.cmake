@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmas/autotune.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/autotune.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/autotune.cpp.o.d"
+  "/root/repo/src/gmas/executor.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/executor.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/executor.cpp.o.d"
+  "/root/repo/src/gmas/gather_scatter.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/gather_scatter.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/gather_scatter.cpp.o.d"
+  "/root/repo/src/gmas/gemm.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/gemm.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/gemm.cpp.o.d"
+  "/root/repo/src/gmas/grouping.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/grouping.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/grouping.cpp.o.d"
+  "/root/repo/src/gmas/metadata.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/metadata.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/metadata.cpp.o.d"
+  "/root/repo/src/gmas/pooling.cpp" "src/gmas/CMakeFiles/minuet_gmas.dir/pooling.cpp.o" "gcc" "src/gmas/CMakeFiles/minuet_gmas.dir/pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minuet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/minuet_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_gmas.dir/autotune.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/autotune.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/executor.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/executor.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/gather_scatter.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/gather_scatter.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/gemm.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/gemm.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/grouping.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/grouping.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/metadata.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/metadata.cpp.o.d"
+  "CMakeFiles/minuet_gmas.dir/pooling.cpp.o"
+  "CMakeFiles/minuet_gmas.dir/pooling.cpp.o.d"
+  "libminuet_gmas.a"
+  "libminuet_gmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_gmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

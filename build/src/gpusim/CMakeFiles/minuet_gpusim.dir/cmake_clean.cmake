@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_gpusim.dir/cache_sim.cpp.o"
+  "CMakeFiles/minuet_gpusim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/minuet_gpusim.dir/device.cpp.o"
+  "CMakeFiles/minuet_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/minuet_gpusim.dir/device_config.cpp.o"
+  "CMakeFiles/minuet_gpusim.dir/device_config.cpp.o.d"
+  "libminuet_gpusim.a"
+  "libminuet_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_gpusort.dir/radix_sort.cpp.o"
+  "CMakeFiles/minuet_gpusort.dir/radix_sort.cpp.o.d"
+  "libminuet_gpusort.a"
+  "libminuet_gpusort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_gpusort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for minuet_gpusort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashtable/cuckoo.cpp" "src/hashtable/CMakeFiles/minuet_hashtable.dir/cuckoo.cpp.o" "gcc" "src/hashtable/CMakeFiles/minuet_hashtable.dir/cuckoo.cpp.o.d"
+  "/root/repo/src/hashtable/hash_common.cpp" "src/hashtable/CMakeFiles/minuet_hashtable.dir/hash_common.cpp.o" "gcc" "src/hashtable/CMakeFiles/minuet_hashtable.dir/hash_common.cpp.o.d"
+  "/root/repo/src/hashtable/linear_probe.cpp" "src/hashtable/CMakeFiles/minuet_hashtable.dir/linear_probe.cpp.o" "gcc" "src/hashtable/CMakeFiles/minuet_hashtable.dir/linear_probe.cpp.o.d"
+  "/root/repo/src/hashtable/spatial.cpp" "src/hashtable/CMakeFiles/minuet_hashtable.dir/spatial.cpp.o" "gcc" "src/hashtable/CMakeFiles/minuet_hashtable.dir/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/minuet_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minuet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

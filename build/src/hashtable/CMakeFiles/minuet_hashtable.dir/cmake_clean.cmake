@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_hashtable.dir/cuckoo.cpp.o"
+  "CMakeFiles/minuet_hashtable.dir/cuckoo.cpp.o.d"
+  "CMakeFiles/minuet_hashtable.dir/hash_common.cpp.o"
+  "CMakeFiles/minuet_hashtable.dir/hash_common.cpp.o.d"
+  "CMakeFiles/minuet_hashtable.dir/linear_probe.cpp.o"
+  "CMakeFiles/minuet_hashtable.dir/linear_probe.cpp.o.d"
+  "CMakeFiles/minuet_hashtable.dir/spatial.cpp.o"
+  "CMakeFiles/minuet_hashtable.dir/spatial.cpp.o.d"
+  "libminuet_hashtable.a"
+  "libminuet_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_io.dir/serialization.cpp.o"
+  "CMakeFiles/minuet_io.dir/serialization.cpp.o.d"
+  "libminuet_io.a"
+  "libminuet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

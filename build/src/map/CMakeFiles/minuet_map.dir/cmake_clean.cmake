@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_map.dir/binary_baselines.cpp.o"
+  "CMakeFiles/minuet_map.dir/binary_baselines.cpp.o.d"
+  "CMakeFiles/minuet_map.dir/hash_map.cpp.o"
+  "CMakeFiles/minuet_map.dir/hash_map.cpp.o.d"
+  "CMakeFiles/minuet_map.dir/map_builder.cpp.o"
+  "CMakeFiles/minuet_map.dir/map_builder.cpp.o.d"
+  "CMakeFiles/minuet_map.dir/minuet_map.cpp.o"
+  "CMakeFiles/minuet_map.dir/minuet_map.cpp.o.d"
+  "libminuet_map.a"
+  "libminuet_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

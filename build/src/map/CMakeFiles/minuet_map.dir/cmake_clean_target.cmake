@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminuet_map.a"
+)

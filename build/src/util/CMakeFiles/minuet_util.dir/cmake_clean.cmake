@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_util.dir/check.cpp.o"
+  "CMakeFiles/minuet_util.dir/check.cpp.o.d"
+  "CMakeFiles/minuet_util.dir/half.cpp.o"
+  "CMakeFiles/minuet_util.dir/half.cpp.o.d"
+  "CMakeFiles/minuet_util.dir/rng.cpp.o"
+  "CMakeFiles/minuet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/minuet_util.dir/summary.cpp.o"
+  "CMakeFiles/minuet_util.dir/summary.cpp.o.d"
+  "libminuet_util.a"
+  "libminuet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

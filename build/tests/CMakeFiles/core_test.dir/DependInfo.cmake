@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coordinate_test.cpp" "tests/CMakeFiles/core_test.dir/core/coordinate_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/coordinate_test.cpp.o.d"
+  "/root/repo/tests/core/dense_reference_test.cpp" "tests/CMakeFiles/core_test.dir/core/dense_reference_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dense_reference_test.cpp.o.d"
+  "/root/repo/tests/core/kernel_map_test.cpp" "tests/CMakeFiles/core_test.dir/core/kernel_map_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kernel_map_test.cpp.o.d"
+  "/root/repo/tests/core/point_cloud_test.cpp" "tests/CMakeFiles/core_test.dir/core/point_cloud_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/point_cloud_test.cpp.o.d"
+  "/root/repo/tests/core/voxelizer_test.cpp" "tests/CMakeFiles/core_test.dir/core/voxelizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/voxelizer_test.cpp.o.d"
+  "/root/repo/tests/core/weight_offsets_test.cpp" "tests/CMakeFiles/core_test.dir/core/weight_offsets_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/weight_offsets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minuet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/coordinate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/coordinate_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/dense_reference_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/dense_reference_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/kernel_map_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/kernel_map_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/point_cloud_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/point_cloud_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/voxelizer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/voxelizer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/weight_offsets_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/weight_offsets_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

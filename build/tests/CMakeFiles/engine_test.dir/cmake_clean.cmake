@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/batch_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/batch_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_device_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_device_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/fp16_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/fp16_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/full_network_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/full_network_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/generative_conv_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/generative_conv_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/pooling_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/pooling_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/random_network_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/random_network_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

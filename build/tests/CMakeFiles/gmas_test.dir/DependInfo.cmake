@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gmas/gather_scatter_test.cpp" "tests/CMakeFiles/gmas_test.dir/gmas/gather_scatter_test.cpp.o" "gcc" "tests/CMakeFiles/gmas_test.dir/gmas/gather_scatter_test.cpp.o.d"
+  "/root/repo/tests/gmas/gmas_test.cpp" "tests/CMakeFiles/gmas_test.dir/gmas/gmas_test.cpp.o" "gcc" "tests/CMakeFiles/gmas_test.dir/gmas/gmas_test.cpp.o.d"
+  "/root/repo/tests/gmas/grouping_test.cpp" "tests/CMakeFiles/gmas_test.dir/gmas/grouping_test.cpp.o" "gcc" "tests/CMakeFiles/gmas_test.dir/gmas/grouping_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmas/CMakeFiles/minuet_gmas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minuet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/minuet_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmas_test.dir/gmas/gather_scatter_test.cpp.o"
+  "CMakeFiles/gmas_test.dir/gmas/gather_scatter_test.cpp.o.d"
+  "CMakeFiles/gmas_test.dir/gmas/gmas_test.cpp.o"
+  "CMakeFiles/gmas_test.dir/gmas/gmas_test.cpp.o.d"
+  "CMakeFiles/gmas_test.dir/gmas/grouping_test.cpp.o"
+  "CMakeFiles/gmas_test.dir/gmas/grouping_test.cpp.o.d"
+  "gmas_test"
+  "gmas_test.pdb"
+  "gmas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

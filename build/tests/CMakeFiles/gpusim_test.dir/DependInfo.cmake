@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpusim/bandwidth_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/bandwidth_test.cpp.o.d"
+  "/root/repo/tests/gpusim/cache_sim_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/cache_sim_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/cache_sim_test.cpp.o.d"
+  "/root/repo/tests/gpusim/device_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/minuet_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minuet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusort_test.dir/gpusort/radix_sort_test.cpp.o"
+  "CMakeFiles/gpusort_test.dir/gpusort/radix_sort_test.cpp.o.d"
+  "gpusort_test"
+  "gpusort_test.pdb"
+  "gpusort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

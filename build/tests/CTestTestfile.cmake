@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusort_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtable_test[1]_include.cmake")
+include("/root/repo/build/tests/map_test[1]_include.cmake")
+include("/root/repo/build/tests/gmas_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")

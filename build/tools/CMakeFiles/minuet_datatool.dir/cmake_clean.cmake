@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_datatool.dir/minuet_data.cpp.o"
+  "CMakeFiles/minuet_datatool.dir/minuet_data.cpp.o.d"
+  "minuet_dataset"
+  "minuet_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_datatool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minuet_run.dir/minuet_run.cpp.o"
+  "CMakeFiles/minuet_run.dir/minuet_run.cpp.o.d"
+  "minuet_run"
+  "minuet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minuet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
