@@ -1,0 +1,95 @@
+// Serving-loop benchmark: cold-vs-warm inference through a RunSession.
+//
+// A deployed model runs the same network on a stream of frames. The first
+// sight of a coordinate set is a cold run (Map step, metadata kernels, GEMM
+// grouping, workspace allocation); every repeat is warm — the session replays
+// the cached ExecutionPlan and draws all scratch storage from its workspace
+// pool. This table quantifies what the serving path saves per engine: the
+// simulated on-GPU time (the Map/metadata work that drops out), the host-side
+// orchestration time, and the per-run allocation count (zero when warm).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/timer.h"
+
+namespace minuet {
+namespace {
+
+constexpr int64_t kPoints = 8000;
+constexpr int kWarmRuns = 5;
+
+void BenchEngine(EngineKind kind, const Network& net, const PointCloud& cloud,
+                 const DeviceConfig& device) {
+  EngineConfig config;
+  config.kind = kind;
+  config.functional = false;  // timing-only: charge kernels, skip arithmetic
+  Engine engine(config, device);
+  engine.Prepare(net, 1);
+  if (kind == EngineKind::kMinuet) {
+    engine.Autotune(cloud);
+  }
+
+  RunSession session(engine);
+  WallTimer timer;
+  RunResult cold = session.Run(cloud);
+  const double cold_host = timer.ElapsedMillis();
+  const uint64_t cold_allocs = session.workspace_pool().stats().allocations;
+
+  double warm_host = 0.0;
+  double warm_sim = 0.0;
+  double warm_map = 0.0;
+  uint64_t warm_allocs = 0;
+  RunResult warm;
+  for (int r = 0; r < kWarmRuns; ++r) {
+    session.workspace_pool().ResetStats();
+    timer.Reset();
+    warm = session.Run(cloud);
+    warm_host += timer.ElapsedMillis();
+    warm_sim += device.CyclesToMillis(warm.total.TotalCycles());
+    warm_map += device.CyclesToMillis(warm.total.MapCycles());
+    warm_allocs += session.workspace_pool().stats().allocations;
+  }
+
+  bench::Row("%-16s %9.3f %9.3f %9.3f %9.3f %9.2f %9.2f %7llu %7llu", EngineKindName(kind),
+             device.CyclesToMillis(cold.total.TotalCycles()), warm_sim / kWarmRuns,
+             device.CyclesToMillis(cold.total.MapCycles()), warm_map / kWarmRuns, cold_host,
+             warm_host / kWarmRuns, static_cast<unsigned long long>(cold_allocs),
+             static_cast<unsigned long long>(warm_allocs / kWarmRuns));
+}
+
+int Main() {
+  bench::PrintTitle("serve_warm_loop",
+                    "repeated inference through RunSession (plan cache + workspace pool)");
+  bench::PrintNote("cold = first sight of the coordinate set (records the plan); "
+                   "warm = replay (avg of 5). sim = simulated GPU ms, host = wall-clock "
+                   "orchestration ms, allocs = workspace allocations per run.");
+
+  DeviceConfig device = MakeRtx3090();
+  GeneratorConfig gen;
+  gen.target_points = kPoints;
+  gen.channels = 4;
+  gen.seed = 3;
+  PointCloud cloud = GenerateCloud(DatasetKind::kKitti, gen);
+  Network net = MakeMinkUNet42(4);
+
+  std::printf("network %s | kitti (%lld points) | %s\n", net.name.c_str(),
+              static_cast<long long>(cloud.num_points()), device.name.c_str());
+  bench::Rule();
+  bench::Row("%-16s %9s %9s %9s %9s %9s %9s %7s %7s", "engine", "cold-sim", "warm-sim",
+             "cold-map", "warm-map", "cold-host", "warm-host", "cAllocs", "wAllocs");
+  bench::Rule();
+  for (EngineKind kind :
+       {EngineKind::kMinkowski, EngineKind::kTorchSparse, EngineKind::kMinuet}) {
+    BenchEngine(kind, net, cloud, device);
+  }
+  bench::Rule();
+  return 0;
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main() { return minuet::Main(); }

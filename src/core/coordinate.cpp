@@ -34,6 +34,56 @@ uint64_t PackDelta(const Coord3& d) {
   return static_cast<uint64_t>(v);
 }
 
+uint64_t MakeQueryKey(uint64_t output_key, const Coord3& d) {
+  Coord3 c = UnpackCoord(output_key);
+  Coord3 q{c.x + d.x, c.y + d.y, c.z + d.z};
+  if (!CoordInRange(q)) {
+    return kInvalidQueryKey;
+  }
+  return PackCoord(q);
+}
+
+uint64_t ClampedQueryKey(uint64_t output_key, const Coord3& d, bool* in_range) {
+  Coord3 c = UnpackCoord(output_key);
+  Coord3 q{c.x + d.x, c.y + d.y, c.z + d.z};
+  bool ok = CoordInRange(q);
+  if (in_range != nullptr) {
+    *in_range = ok;
+  }
+  if (ok) {
+    return PackCoord(q);
+  }
+  // Lexicographic floor of q into the valid box: the largest valid key that
+  // is <= q in coordinate order. Monotone in q, hence in output_key.
+  if (q.x > kCoordMax) {
+    return PackCoord(Coord3{kCoordMax, kCoordMax, kCoordMax});
+  }
+  if (q.x < kCoordMin) {
+    return 0;  // below every valid key: PackCoord({kCoordMin, kCoordMin, kCoordMin})
+  }
+  if (q.y > kCoordMax) {
+    return PackCoord(Coord3{q.x, kCoordMax, kCoordMax});
+  }
+  if (q.y < kCoordMin) {
+    if (q.x == kCoordMin) {
+      return 0;
+    }
+    return PackCoord(Coord3{q.x - 1, kCoordMax, kCoordMax});
+  }
+  // Only z is out of range here.
+  if (q.z > kCoordMax) {
+    return PackCoord(Coord3{q.x, q.y, kCoordMax});
+  }
+  // q.z < kCoordMin: step back to the predecessor of (q.x, q.y, kCoordMin).
+  if (q.y > kCoordMin) {
+    return PackCoord(Coord3{q.x, q.y - 1, kCoordMax});
+  }
+  if (q.x > kCoordMin) {
+    return PackCoord(Coord3{q.x - 1, kCoordMax, kCoordMax});
+  }
+  return 0;
+}
+
 bool CoordInRange(const Coord3& c) {
   return c.x >= kCoordMin && c.x <= kCoordMax && c.y >= kCoordMin && c.y <= kCoordMax &&
          c.z >= kCoordMin && c.z <= kCoordMax;

@@ -66,6 +66,34 @@ Coord3 UnpackCoord(uint64_t key);
 // in-range results never carry or borrow across field boundaries.
 uint64_t PackDelta(const Coord3& d);
 
+// Sentinel for a rejected query key. Valid packed keys occupy bits 0..62
+// (three 21-bit fields), so bit 63 is never set on one: the sentinel compares
+// greater than every valid key (binary searches fall off the end), is never
+// inserted into a hash table, and is distinct from the tables' empty-slot
+// marker (UINT64_MAX).
+inline constexpr uint64_t kInvalidQueryKey = uint64_t{1} << 63;
+
+// Query generation with range *rejection* (DESIGN.md §4): the packed key of
+// c + d where output_key == PackCoord(c), or kInvalidQueryKey when c + d
+// leaves the packable lattice. The raw 64-bit add output_key + PackDelta(d)
+// silently wraps across the 21-bit field boundaries for coordinates near the
+// ±2^20 bias edge and can alias another (valid) coordinate; this helper makes
+// such queries miss instead.
+uint64_t MakeQueryKey(uint64_t output_key, const Coord3& d);
+
+// Query generation with range *clamping*: when c + d leaves the lattice, the
+// returned key is the lexicographic floor of c + d into the valid box — the
+// largest valid key that is <= the true sum in coordinate order (0 when the
+// sum is below every valid coordinate) — and *in_range reports validity.
+// A per-axis clamp would NOT work here: it can invert the order of nearby
+// queries (clamping x collapses distinct x values whose y fields then compare
+// in the wrong direction). The lex floor is monotone non-decreasing in
+// output_key for a fixed d by construction, so sorted-search bounds (DTBS
+// backward search, MergePath partitioning) stay correct even when some
+// queries leave the lattice — callers must gate match emission on *in_range,
+// since a clamped key can coincide with a real boundary coordinate.
+uint64_t ClampedQueryKey(uint64_t output_key, const Coord3& d, bool* in_range);
+
 // True iff all three axes are within [kCoordMin, kCoordMax].
 bool CoordInRange(const Coord3& c);
 

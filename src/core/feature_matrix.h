@@ -19,6 +19,25 @@ class FeatureMatrix {
     MINUET_CHECK_GT(cols, 0);
   }
 
+  // Adopts `storage` as the backing store, resized to rows * cols. When the
+  // storage comes from a WorkspacePool with sufficient capacity this performs
+  // no allocation; contents beyond what resize value-initializes are whatever
+  // the slab held.
+  FeatureMatrix(int64_t rows, int64_t cols, std::vector<float> storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    MINUET_CHECK_GE(rows, 0);
+    MINUET_CHECK_GT(cols, 0);
+    data_.resize(static_cast<size_t>(rows * cols));
+  }
+
+  // Releases the backing store (e.g. back to a WorkspacePool); the matrix
+  // becomes empty (0x0).
+  std::vector<float> TakeStorage() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }

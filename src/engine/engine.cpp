@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -23,18 +24,7 @@ namespace minuet {
 
 namespace {
 
-// A coordinate set at one tensor stride. `parent` is the finer level this one
-// was downsampled from; transposed convs upsample back to it. Keys are always
-// sorted (library invariant) — this is the cross-layer reuse of Section 5.1.1.
-struct CoordLevel {
-  int32_t tensor_stride = 1;
-  std::vector<Coord3> coords;
-  std::vector<uint64_t> keys;
-  std::shared_ptr<CoordLevel> parent;
-
-  int64_t size() const { return static_cast<int64_t>(coords.size()); }
-};
-using LevelPtr = std::shared_ptr<CoordLevel>;
+// CoordLevel/LevelPtr live in plan_cache.h now, shared with ExecutionPlan.
 
 struct Activation {
   LevelPtr level;
@@ -308,6 +298,7 @@ Engine::Engine(const EngineConfig& config, const DeviceConfig& device_config)
 void Engine::Prepare(const Network& network, uint64_t seed) {
   network_ = network;
   prepared_ = true;
+  ++plan_generation_;  // new weights: cached plans must not be replayed
   conv_weights_.clear();
   linear_weights_.clear();
   layer_tiles_.clear();
@@ -467,10 +458,13 @@ double Engine::Autotune(std::span<const PointCloud> samples) {
                          pick_best(scatter_profiles[i], layer_tiles_[i].second)};
     }
   }
+  ++plan_generation_;  // re-tuned tiles: cached plans are stale
   return timer.ElapsedMillis();
 }
 
-RunResult Engine::Run(const PointCloud& input) {
+RunResult Engine::Run(const PointCloud& input) { return RunImpl(input, nullptr); }
+
+RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
   MINUET_CHECK(prepared_) << "Prepare() must run before Run()";
   MINUET_CHECK_EQ(input.channels(), network_.in_channels);
   Device& dev = *device_;
@@ -480,28 +474,75 @@ RunResult Engine::Run(const PointCloud& input) {
   const bool is_minuet = config_.kind == EngineKind::kMinuet;
   const bool use_sorted_map = is_minuet && config_.features.segmented_sorting;
 
+  WorkspacePool* pool = ctx != nullptr ? ctx->pool : nullptr;
+  ExecutionPlan* plan_record = ctx != nullptr ? ctx->record : nullptr;
+  const ExecutionPlan* plan_replay = ctx != nullptr ? ctx->replay : nullptr;
+  if (plan_record != nullptr) {
+    plan_record->tiles = layer_tiles_;
+  }
+  // All activation matrices produced below come from the pool (zero-filled,
+  // matching the fresh-allocation semantics) and go back to it when replaced,
+  // so a warmed-up session allocates nothing per run.
+  auto new_matrix = [&](int64_t rows, int64_t cols) {
+    if (pool != nullptr) {
+      return FeatureMatrix(rows, cols,
+                           pool->Acquire(static_cast<size_t>(rows * cols), /*zero=*/true));
+    }
+    return FeatureMatrix(rows, cols, 0.0f);
+  };
+  auto recycle = [&](FeatureMatrix& m) {
+    if (pool != nullptr && m.rows() * m.cols() > 0) {
+      pool->Release(m.TakeStorage());
+    }
+  };
+
   // All engines consume the canonical (key-sorted) coordinate order so that
   // outputs are comparable. Minuet is the engine that *needs* sorted arrays,
-  // so it alone pays for the input sort (Figure 9's one-time sort).
+  // so it alone pays for the input sort (Figure 9's one-time sort). A warm
+  // session run reuses the cached sorted level, so the coordinate radix sort
+  // drops out; the feature permutation is per-run work and stays.
   Activation act;
   {
     PointCloud sorted = input;
     SortPointCloud(sorted);
     if (use_sorted_map) {
-      std::vector<uint64_t> keys = PackCoords(input.coords);
-      std::vector<uint32_t> vals(keys.size());
-      std::iota(vals.begin(), vals.end(), 0u);
-      KernelStats sort_stats = RadixSortCoordPairs(dev, keys, vals).kernels;
-      AccumulateKernel(result.total, &StepBreakdown::map_build, sort_stats);
+      if (plan_replay == nullptr) {
+        std::vector<uint64_t> keys = PackCoords(input.coords);
+        std::vector<uint32_t> vals(keys.size());
+        std::iota(vals.begin(), vals.end(), 0u);
+        KernelStats sort_stats = RadixSortCoordPairs(dev, keys, vals).kernels;
+        AccumulateKernel(result.total, &StepBreakdown::map_build, sort_stats);
+      }
       // Features are permuted into sorted order alongside.
       AccumulateKernel(result.total, &StepBreakdown::map_build,
                        CopyColumns(dev, sorted.features, sorted.features, 0, false));
     }
-    act.level = std::make_shared<CoordLevel>();
-    act.level->tensor_stride = 1;
-    act.level->coords = std::move(sorted.coords);
-    act.level->keys = PackCoords(act.level->coords);
-    act.features = std::move(sorted.features);
+    if (plan_replay != nullptr) {
+      act.level = plan_replay->root;
+      MINUET_CHECK(act.level != nullptr) << "replayed plan has no root level";
+    } else {
+      act.level = std::make_shared<CoordLevel>();
+      act.level->tensor_stride = 1;
+      act.level->coords = std::move(sorted.coords);
+      act.level->keys = PackCoords(act.level->coords);
+      if (plan_record != nullptr) {
+        plan_record->root = act.level;
+      }
+    }
+    if (pool != nullptr) {
+      // Move the input features into pooled storage so every later recycle()
+      // sees a pool-owned slab (strict Acquire/Release pairing).
+      FeatureMatrix pooled(sorted.features.rows(), sorted.features.cols(),
+                           pool->Acquire(static_cast<size_t>(sorted.features.rows() *
+                                                             sorted.features.cols()),
+                                         /*zero=*/false));
+      std::copy(sorted.features.data(),
+                sorted.features.data() + sorted.features.rows() * sorted.features.cols(),
+                pooled.data());
+      act.features = std::move(pooled);
+    } else {
+      act.features = std::move(sorted.features);
+    }
   }
 
   std::vector<Activation> slots(static_cast<size_t>(network_.NumSlots()));
@@ -533,7 +574,7 @@ RunResult Engine::Run(const PointCloud& input) {
 
         if (conv.kernel_size == 1 && conv.stride == 1 && !conv.transposed) {
           // 1x1 stride-1 conv == one GEMM over the feature matrix.
-          FeatureMatrix out(target->features.rows(), conv.c_out, 0.0f);
+          FeatureMatrix out = new_matrix(target->features.rows(), conv.c_out);
           KernelStats gemm = dev.LaunchGemm("conv1x1_gemm", target->features.rows(), conv.c_out,
                                             conv.c_in);
           AccumulateKernel(layer, &StepBreakdown::gemm, gemm);
@@ -542,94 +583,132 @@ RunResult Engine::Run(const PointCloud& input) {
             BlockedGemm(target->features.data(), weights.per_offset[0].data(), out.data(),
                         target->features.rows(), conv.c_in, conv.c_out);
           }
+          recycle(target->features);
           target->features = std::move(out);
           record.num_outputs = target->level->size();
         } else {
-          // Resolve the output coordinate level.
-          LevelPtr out_level;
-          if (conv.transposed) {
-            MINUET_CHECK(target->level->parent != nullptr)
-                << "transposed conv without a matching encoder level";
+          // Warm replay consumes the next cached conv step; cold sessions
+          // append one. Both are per-instruction and in program order.
+          const ConvStep* cached = nullptr;
+          if (plan_replay != nullptr) {
+            MINUET_CHECK_LT(ctx->conv_cursor, plan_replay->conv_steps.size())
+                << "replayed plan does not match the network";
+            cached = &plan_replay->conv_steps[ctx->conv_cursor++];
           }
-          std::vector<Coord3> offsets = MakeWeightOffsets(
-              conv.kernel_size, conv.transposed ? target->level->tensor_stride / conv.stride
-                                                : target->level->tensor_stride);
-          std::vector<Coord3> query_offsets = offsets;
-          if (conv.transposed) {
-            MINUET_CHECK(target->level->parent != nullptr)
-                << "transposed conv without a matching encoder level";
-            out_level = target->level->parent;
-            // Transposed map: entry (p, q, d) when q = p + d, i.e. the normal
-            // builder with mirrored offsets; rows keep the weight order.
-            for (Coord3& d : query_offsets) {
-              d = Coord3{-d.x, -d.y, -d.z};
-            }
-          } else if (conv.generative) {
-            MINUET_CHECK_EQ(conv.stride, 1) << "generative convs must have stride 1";
-            out_level = std::make_shared<CoordLevel>();
-            out_level->tensor_stride = target->level->tensor_stride;
-            out_level->coords = DilateCoords(target->level->coords, offsets);
-            out_level->keys = PackCoords(out_level->coords);
-            out_level->parent = target->level;
-            // Coordinate generation: K^3 |P| candidates deduplicated.
-            AccumulateKernel(layer, &StepBreakdown::map_build,
-                             ChargeDilationDedup(dev, target->level->keys, offsets.size(),
-                                                 out_level->size(), use_sorted_map));
-          } else if (conv.stride > 1) {
-            out_level = std::make_shared<CoordLevel>();
-            out_level->tensor_stride = target->level->tensor_stride * conv.stride;
-            out_level->coords = DownsampleCoords(target->level->coords, out_level->tensor_stride);
-            out_level->keys = PackCoords(out_level->coords);
-            out_level->parent = target->level;
-            // Output-coordinate generation must deduplicate (Eq. 1).
-            AccumulateKernel(layer, &StepBreakdown::map_build,
-                             ChargeDownsampleDedup(dev, target->level->keys,
-                                                   out_level->tensor_stride, out_level->size(),
-                                                   use_sorted_map));
+          ConvStep* step = nullptr;
+          if (plan_record != nullptr) {
+            plan_record->conv_steps.emplace_back();
+            step = &plan_record->conv_steps.back();
+          }
+
+          LevelPtr out_level;
+          KernelMap built_map;             // cold path only
+          const KernelMap* kernel_map;     // what GMaS executes
+          if (cached != nullptr) {
+            // The entire Map step — output-coordinate generation, map build,
+            // queries, compaction — is a pure function of the coordinate set
+            // and is replayed from the plan.
+            out_level = cached->out_level;
+            kernel_map = cached->kernel_map.get();
           } else {
-            out_level = target->level;
+            // Resolve the output coordinate level. Check the parent before
+            // deriving offsets: a transposed conv with no encoder level would
+            // otherwise die on tensor_stride / stride == 0 with an unrelated
+            // message.
+            if (conv.transposed) {
+              MINUET_CHECK(target->level->parent != nullptr)
+                  << "transposed conv without a matching encoder level";
+            }
+            std::vector<Coord3> offsets = MakeWeightOffsets(
+                conv.kernel_size, conv.transposed ? target->level->tensor_stride / conv.stride
+                                                  : target->level->tensor_stride);
+            std::vector<Coord3> query_offsets = offsets;
+            if (conv.transposed) {
+              out_level = target->level->parent;
+              // Transposed map: entry (p, q, d) when q = p + d, i.e. the normal
+              // builder with mirrored offsets; rows keep the weight order.
+              for (Coord3& d : query_offsets) {
+                d = Coord3{-d.x, -d.y, -d.z};
+              }
+            } else if (conv.generative) {
+              MINUET_CHECK_EQ(conv.stride, 1) << "generative convs must have stride 1";
+              out_level = std::make_shared<CoordLevel>();
+              out_level->tensor_stride = target->level->tensor_stride;
+              out_level->coords = DilateCoords(target->level->coords, offsets);
+              out_level->keys = PackCoords(out_level->coords);
+              out_level->parent = target->level;
+              // Coordinate generation: K^3 |P| candidates deduplicated.
+              AccumulateKernel(layer, &StepBreakdown::map_build,
+                               ChargeDilationDedup(dev, target->level->keys, offsets.size(),
+                                                   out_level->size(), use_sorted_map));
+            } else if (conv.stride > 1) {
+              out_level = std::make_shared<CoordLevel>();
+              out_level->tensor_stride = target->level->tensor_stride * conv.stride;
+              out_level->coords =
+                  DownsampleCoords(target->level->coords, out_level->tensor_stride);
+              out_level->keys = PackCoords(out_level->coords);
+              out_level->parent = target->level;
+              // Output-coordinate generation must deduplicate (Eq. 1).
+              AccumulateKernel(layer, &StepBreakdown::map_build,
+                               ChargeDownsampleDedup(dev, target->level->keys,
+                                                     out_level->tensor_stride, out_level->size(),
+                                                     use_sorted_map));
+            } else {
+              out_level = target->level;
+            }
+
+            // --- Map step.
+            MapBuildInput map_in;
+            map_in.source_keys = target->level->keys;
+            map_in.output_keys = out_level->keys;
+            map_in.offsets = query_offsets;
+            map_in.source_sorted = true;
+            map_in.output_sorted = true;
+            MapBuilderBase* map_builder;
+            if (use_sorted_map) {
+              map_builder = &minuet_builder;
+            } else if (config_.kind == EngineKind::kMinkowski) {
+              map_builder = &linear_builder;
+            } else {
+              map_builder = &cuckoo_builder;
+            }
+            MapBuildResult map = map_builder->Build(dev, map_in);
+            AccumulateKernel(layer, &StepBreakdown::map_build, map.build_stats);
+            AccumulateKernel(layer, &StepBreakdown::map_query, map.query_stats);
+            built_map = CompactPositionTable(map.table, query_offsets);
+            AccumulateKernel(layer, &StepBreakdown::map_query,
+                             ChargeMapCompaction(dev, map.table, built_map.TotalEntries()));
+            kernel_map = &built_map;
           }
           record.num_outputs = out_level->size();
-
-          // --- Map step.
-          MapBuildInput map_in;
-          map_in.source_keys = target->level->keys;
-          map_in.output_keys = out_level->keys;
-          map_in.offsets = query_offsets;
-          map_in.source_sorted = true;
-          map_in.output_sorted = true;
-          MapBuilderBase* map_builder;
-          if (use_sorted_map) {
-            map_builder = &minuet_builder;
-          } else if (config_.kind == EngineKind::kMinkowski) {
-            map_builder = &linear_builder;
-          } else {
-            map_builder = &cuckoo_builder;
-          }
-          MapBuildResult map = map_builder->Build(dev, map_in);
-          AccumulateKernel(layer, &StepBreakdown::map_build, map.build_stats);
-          AccumulateKernel(layer, &StepBreakdown::map_query, map.query_stats);
-          KernelMap kernel_map = CompactPositionTable(map.table, query_offsets);
-          AccumulateKernel(layer, &StepBreakdown::map_query,
-                           ChargeMapCompaction(dev, map.table, kernel_map.TotalEntries()));
 
           // --- GMaS step.
           FeatureMatrix out;
           if (config_.kind == EngineKind::kMinkowski) {
-            GmasResult gmas = RunPerOffsetFused(dev, kernel_map, target->features,
+            GmasResult gmas = RunPerOffsetFused(dev, *kernel_map, target->features,
                                                 weights.per_offset, out_level->size(), functional);
             AccumulateKernel(layer, &StepBreakdown::gather, gmas.stats.gather);
             AccumulateKernel(layer, &StepBreakdown::gemm, gmas.stats.gemm);
             layer.gemm_kernels += gmas.stats.plan.NumKernels();
             layer.actual_rows += gmas.stats.plan.actual_rows;
-            out = std::move(gmas.output);
+            if (pool != nullptr) {
+              // The fused path allocates its own output; move it into pooled
+              // storage so the recycle chain stays pool-owned throughout.
+              out = new_matrix(gmas.output.rows(), gmas.output.cols());
+              std::copy(gmas.output.data(),
+                        gmas.output.data() + gmas.output.rows() * gmas.output.cols(), out.data());
+            } else {
+              out = std::move(gmas.output);
+            }
           } else {
             GmasConfig gmas_cfg;
             bool sorted_grouping = is_minuet && config_.features.sorted_grouping;
             gmas_cfg.grouping = sorted_grouping ? GroupingStrategy::kSortedOrder
                                                 : GroupingStrategy::kMapOrder;
             gmas_cfg.padding_threshold = config_.padding_threshold;
-            auto [gather_tile, scatter_tile] = layer_tiles_[static_cast<size_t>(conv_index)];
+            auto [gather_tile, scatter_tile] =
+                (plan_replay != nullptr ? plan_replay->tiles
+                                        : layer_tiles_)[static_cast<size_t>(conv_index)];
             // Tiles must divide the channel counts; the fixed default may not.
             while (conv.c_in % gather_tile != 0) {
               --gather_tile;
@@ -646,8 +725,21 @@ RunResult Engine::Run(const PointCloud& input) {
             gmas_cfg.precision = config_.precision;
             record.gather_tile = gather_tile;
             record.scatter_tile = scatter_tile;
-            GmasResult gmas = RunGatherGemmScatter(dev, kernel_map, target->features,
-                                                   weights.per_offset, out_level->size(), gmas_cfg);
+            GmasScratch scratch;
+            GmasScratch* scratch_ptr = nullptr;
+            if (ctx != nullptr) {
+              scratch.pool = pool;
+              if (cached != nullptr && cached->grouping != nullptr) {
+                scratch.plan = cached->grouping.get();
+                scratch.tables = cached->tables.get();
+              } else if (step != nullptr) {
+                scratch.record_tables = true;
+              }
+              scratch_ptr = &scratch;
+            }
+            GmasResult gmas =
+                RunGatherGemmScatter(dev, *kernel_map, target->features, weights.per_offset,
+                                     out_level->size(), gmas_cfg, scratch_ptr);
             AccumulateKernel(layer, &StepBreakdown::metadata, gmas.stats.metadata);
             AccumulateKernel(layer, &StepBreakdown::metadata, gmas.stats.buffer_setup);
             AccumulateKernel(layer, &StepBreakdown::gather, gmas.stats.gather);
@@ -657,8 +749,17 @@ RunResult Engine::Run(const PointCloud& input) {
             layer.gemm_kernels += gmas.stats.plan.NumKernels();
             layer.padded_rows += gmas.stats.plan.padded_rows();
             layer.actual_rows += gmas.stats.plan.actual_rows;
+            if (step != nullptr) {
+              step->grouping = std::make_shared<GroupingPlan>(gmas.stats.plan);
+              step->tables = gmas.tables;  // may be null for an empty map
+            }
             out = std::move(gmas.output);
           }
+          if (step != nullptr) {
+            step->out_level = out_level;
+            step->kernel_map = std::make_shared<KernelMap>(std::move(built_map));
+          }
+          recycle(target->features);
           target->features = std::move(out);
           target->level = out_level;
         }
@@ -674,47 +775,68 @@ RunResult Engine::Run(const PointCloud& input) {
       }
       case Instr::Op::kMaxPool:
       case Instr::Op::kAvgPool: {
-        const ConvParams& pool = instr.conv;
-        MINUET_CHECK(!pool.transposed && !pool.generative);
+        const ConvParams& pool_params = instr.conv;
+        MINUET_CHECK(!pool_params.transposed && !pool_params.generative);
+        const PoolStep* cached = nullptr;
+        if (plan_replay != nullptr) {
+          MINUET_CHECK_LT(ctx->pool_cursor, plan_replay->pool_steps.size())
+              << "replayed plan does not match the network";
+          cached = &plan_replay->pool_steps[ctx->pool_cursor++];
+        }
         LevelPtr out_level;
-        if (pool.stride > 1) {
-          out_level = std::make_shared<CoordLevel>();
-          out_level->tensor_stride = act.level->tensor_stride * pool.stride;
-          out_level->coords = DownsampleCoords(act.level->coords, out_level->tensor_stride);
-          out_level->keys = PackCoords(out_level->coords);
-          out_level->parent = act.level;
-          AccumulateKernel(result.total, &StepBreakdown::map_build,
-                           ChargeDownsampleDedup(dev, act.level->keys,
-                                                 out_level->tensor_stride, out_level->size(),
-                                                 use_sorted_map));
+        MapBuildResult map;               // cold path only
+        const MapPositionTable* table;    // what the pool kernel reads
+        if (cached != nullptr) {
+          out_level = cached->out_level;
+          table = cached->table.get();
         } else {
-          out_level = act.level;
+          if (pool_params.stride > 1) {
+            out_level = std::make_shared<CoordLevel>();
+            out_level->tensor_stride = act.level->tensor_stride * pool_params.stride;
+            out_level->coords = DownsampleCoords(act.level->coords, out_level->tensor_stride);
+            out_level->keys = PackCoords(out_level->coords);
+            out_level->parent = act.level;
+            AccumulateKernel(result.total, &StepBreakdown::map_build,
+                             ChargeDownsampleDedup(dev, act.level->keys,
+                                                   out_level->tensor_stride, out_level->size(),
+                                                   use_sorted_map));
+          } else {
+            out_level = act.level;
+          }
+          std::vector<Coord3> offsets =
+              MakeWeightOffsets(pool_params.kernel_size, act.level->tensor_stride);
+          MapBuildInput map_in;
+          map_in.source_keys = act.level->keys;
+          map_in.output_keys = out_level->keys;
+          map_in.offsets = offsets;
+          map_in.source_sorted = true;
+          map_in.output_sorted = true;
+          MapBuilderBase* map_builder;
+          if (use_sorted_map) {
+            map_builder = &minuet_builder;
+          } else if (config_.kind == EngineKind::kMinkowski) {
+            map_builder = &linear_builder;
+          } else {
+            map_builder = &cuckoo_builder;
+          }
+          map = map_builder->Build(dev, map_in);
+          AccumulateKernel(result.total, &StepBreakdown::map_build, map.build_stats);
+          AccumulateKernel(result.total, &StepBreakdown::map_query, map.query_stats);
+          table = &map.table;
         }
-        std::vector<Coord3> offsets =
-            MakeWeightOffsets(pool.kernel_size, act.level->tensor_stride);
-        MapBuildInput map_in;
-        map_in.source_keys = act.level->keys;
-        map_in.output_keys = out_level->keys;
-        map_in.offsets = offsets;
-        map_in.source_sorted = true;
-        map_in.output_sorted = true;
-        MapBuilderBase* map_builder;
-        if (use_sorted_map) {
-          map_builder = &minuet_builder;
-        } else if (config_.kind == EngineKind::kMinkowski) {
-          map_builder = &linear_builder;
-        } else {
-          map_builder = &cuckoo_builder;
-        }
-        MapBuildResult map = map_builder->Build(dev, map_in);
-        AccumulateKernel(result.total, &StepBreakdown::map_build, map.build_stats);
-        AccumulateKernel(result.total, &StepBreakdown::map_query, map.query_stats);
-        FeatureMatrix pooled(out_level->size(), act.features.cols(), 0.0f);
+        FeatureMatrix pooled = new_matrix(out_level->size(), act.features.cols());
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
-                         SparsePoolKernel(dev, map.table, act.features, pooled,
+                         SparsePoolKernel(dev, *table, act.features, pooled,
                                           instr.op == Instr::Op::kMaxPool ? PoolMode::kMax
                                                                           : PoolMode::kAverage,
                                           functional));
+        if (plan_record != nullptr) {
+          PoolStep step;
+          step.out_level = out_level;
+          step.table = std::make_shared<MapPositionTable>(std::move(map.table));
+          plan_record->pool_steps.push_back(std::move(step));
+        }
+        recycle(act.features);
         act.features = std::move(pooled);
         act.level = out_level;
         break;
@@ -732,7 +854,8 @@ RunResult Engine::Run(const PointCloud& input) {
         MINUET_CHECK_GE(instr.slot, 0);
         Activation& slot = slots[static_cast<size_t>(instr.slot)];
         slot.level = act.level;
-        slot.features = FeatureMatrix(act.features.rows(), act.features.cols());
+        recycle(slot.features);  // a re-used slot returns its old slab first
+        slot.features = new_matrix(act.features.rows(), act.features.cols());
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          CopyColumns(dev, act.features, slot.features, 0, functional));
         break;
@@ -749,18 +872,21 @@ RunResult Engine::Run(const PointCloud& input) {
         MINUET_CHECK_GE(instr.slot, 0);
         Activation& slot = slots[static_cast<size_t>(instr.slot)];
         MINUET_CHECK(slot.level == act.level) << "concat across coordinate levels";
-        FeatureMatrix merged(act.features.rows(), act.features.cols() + slot.features.cols());
+        FeatureMatrix merged =
+            new_matrix(act.features.rows(), act.features.cols() + slot.features.cols());
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          CopyColumns(dev, act.features, merged, 0, functional));
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          CopyColumns(dev, slot.features, merged, act.features.cols(), functional));
+        recycle(act.features);
         act.features = std::move(merged);
         break;
       }
       case Instr::Op::kGlobalAvgPool: {
-        FeatureMatrix pooled(1, act.features.cols(), 0.0f);
+        FeatureMatrix pooled = new_matrix(1, act.features.cols());
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          GlobalAvgPool(dev, act.features, pooled, functional));
+        recycle(act.features);
         act.features = std::move(pooled);
         auto pooled_level = std::make_shared<CoordLevel>();
         pooled_level->tensor_stride = act.level->tensor_stride;
@@ -783,7 +909,7 @@ RunResult Engine::Run(const PointCloud& input) {
             }
           }
         }
-        FeatureMatrix out(act.features.rows(), instr.linear_out, 0.0f);
+        FeatureMatrix out = new_matrix(act.features.rows(), instr.linear_out);
         KernelStats gemm =
             dev.LaunchGemm("linear_head", act.features.rows(), instr.linear_out, c_in);
         AccumulateKernel(result.total, &StepBreakdown::gemm, gemm);
@@ -791,6 +917,7 @@ RunResult Engine::Run(const PointCloud& input) {
           BlockedGemm(act.features.data(), w.data(), out.data(), act.features.rows(), c_in,
                       instr.linear_out);
         }
+        recycle(act.features);
         act.features = std::move(out);
         ++linear_index;
         break;
@@ -798,8 +925,70 @@ RunResult Engine::Run(const PointCloud& input) {
     }
   }
 
-  result.features = std::move(act.features);
+  if (pool != nullptr) {
+    // Detach the result into plain storage so the caller keeping it does not
+    // pin a pooled slab (the next warm run would have to allocate afresh),
+    // and hand every remaining slab back so the pool ends the run balanced.
+    FeatureMatrix detached(act.features.rows(), act.features.cols());
+    std::copy(act.features.data(),
+              act.features.data() + act.features.rows() * act.features.cols(), detached.data());
+    recycle(act.features);
+    for (Activation& slot : slots) {
+      recycle(slot.features);
+    }
+    result.features = std::move(detached);
+  } else {
+    result.features = std::move(act.features);
+  }
   result.coords = act.level->coords;
+  return result;
+}
+
+uint64_t Engine::PlanConfigFingerprint() const {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  uint64_t h = plan_generation_;
+  h = mix(h, static_cast<uint64_t>(config_.kind));
+  h = mix(h, static_cast<uint64_t>(config_.features.segmented_sorting) |
+                 static_cast<uint64_t>(config_.features.double_traversal) << 1 |
+                 static_cast<uint64_t>(config_.features.autotuned_tiles) << 2 |
+                 static_cast<uint64_t>(config_.features.sorted_grouping) << 3);
+  h = mix(h, static_cast<uint64_t>(config_.precision));
+  h = mix(h, static_cast<uint64_t>(config_.map_source_block));
+  h = mix(h, static_cast<uint64_t>(config_.map_query_block));
+  uint64_t threshold_bits;
+  static_assert(sizeof(threshold_bits) == sizeof(config_.padding_threshold));
+  std::memcpy(&threshold_bits, &config_.padding_threshold, sizeof(threshold_bits));
+  h = mix(h, threshold_bits);
+  h = mix(h, static_cast<uint64_t>(config_.fixed_tile));
+  h = mix(h, static_cast<uint64_t>(config_.stream_pool_size));
+  h = mix(h, static_cast<uint64_t>(config_.functional));
+  return h;
+}
+
+RunSession::RunSession(Engine& engine, size_t plan_capacity)
+    : engine_(&engine), cache_(plan_capacity) {}
+
+RunResult RunSession::Run(const PointCloud& input) {
+  PlanKey key;
+  key.coord_fingerprint = FingerprintCoords(input.coords);
+  key.config_fingerprint = engine_->PlanConfigFingerprint();
+  key.device = engine_->device_config_.name;
+
+  SessionCtx ctx;
+  ctx.pool = &pool_;
+  if (std::shared_ptr<const ExecutionPlan> plan = cache_.Lookup(key)) {
+    ctx.replay = plan.get();
+    ++stats_.warm_runs;
+    return engine_->RunImpl(input, &ctx);
+  }
+  auto recorded = std::make_shared<ExecutionPlan>();
+  ctx.record = recorded.get();
+  ++stats_.cold_runs;
+  RunResult result = engine_->RunImpl(input, &ctx);
+  cache_.Insert(key, std::move(recorded));
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "src/core/point_cloud.h"
 #include "src/engine/network.h"
+#include "src/engine/plan_cache.h"
 #include "src/gmas/executor.h"
 #include "src/gpusim/device.h"
 #include "src/map/map_builder.h"
@@ -65,12 +66,16 @@ struct StepBreakdown {
   double elementwise = 0.0;
   int64_t launches = 0;
   int64_t gemm_kernels = 0;
+  // Excess (zero-fill) buffer rows, accumulated from GroupingPlan::
+  // padded_rows() — i.e. already "padded minus actual", not the padded total.
   int64_t padded_rows = 0;
-  int64_t actual_rows = 0;
+  int64_t actual_rows = 0;  // total kernel-map entries across layers
 
   double MapCycles() const { return map_build + map_query; }
   double GmasCycles() const { return metadata + gather + gemm + scatter; }
   double TotalCycles() const { return MapCycles() + GmasCycles() + elementwise; }
+  // Figure 5's convention: (padded - actual) / actual feature vectors. Same
+  // metric as GroupingPlan::PaddingOverhead(), aggregated over the run.
   double PaddingOverhead() const {
     return actual_rows == 0 ? 0.0
                             : static_cast<double>(padded_rows) / static_cast<double>(actual_rows);
@@ -136,18 +141,66 @@ class Engine {
   }
 
  private:
+  friend class RunSession;
+
   struct ConvWeights {
     std::vector<FeatureMatrix> per_offset;  // K^3 matrices of c_in x c_out
   };
+
+  // The one inference path. `ctx == nullptr` is the stateless Run(); with a
+  // SessionCtx it additionally draws storage from the session's workspace
+  // pool and records (cold) or replays (warm) an ExecutionPlan. Warm replay
+  // produces bit-identical features while skipping the input radix sort, the
+  // coordinate dedup charges, the Map step, and the GMaS metadata kernels.
+  RunResult RunImpl(const PointCloud& input, SessionCtx* ctx);
+
+  // Fingerprint of everything besides the coordinates that a cached plan
+  // depends on: engine config plus the Prepare()/Autotune() generation (so
+  // new weights or re-tuned tiles invalidate old plans implicitly).
+  uint64_t PlanConfigFingerprint() const;
 
   EngineConfig config_;
   DeviceConfig device_config_;
   std::unique_ptr<Device> device_;
   Network network_;
   bool prepared_ = false;
+  uint64_t plan_generation_ = 0;  // bumped by Prepare() and Autotune()
   std::vector<ConvWeights> conv_weights_;       // indexed by conv layer
   std::vector<FeatureMatrix> linear_weights_;   // indexed by linear instr order
   std::vector<std::pair<int, int>> layer_tiles_;  // (gather, scatter) per conv
+};
+
+struct SessionStats {
+  uint64_t cold_runs = 0;
+  uint64_t warm_runs = 0;
+};
+
+// Persistent inference session: a workspace pool plus a plan cache bound to
+// one engine. The first run of each distinct coordinate set is cold (records
+// an ExecutionPlan, warms the pool); repeats are warm — same features bit for
+// bit, but the Map step, metadata kernels, input sort, and per-run heap
+// allocation all drop out. This is the serving loop of a deployed model:
+//
+//   RunSession session(engine);
+//   for (const PointCloud& frame : stream) {
+//     RunResult out = session.Run(frame);   // warm after first sight
+//   }
+class RunSession {
+ public:
+  explicit RunSession(Engine& engine, size_t plan_capacity = 8);
+
+  // Semantically identical to engine.Run(input) — cold or warm.
+  RunResult Run(const PointCloud& input);
+
+  const SessionStats& stats() const { return stats_; }
+  PlanCache& plan_cache() { return cache_; }
+  WorkspacePool& workspace_pool() { return pool_; }
+
+ private:
+  Engine* engine_;
+  PlanCache cache_;
+  WorkspacePool pool_;
+  SessionStats stats_;
 };
 
 }  // namespace minuet

@@ -25,32 +25,60 @@ KernelStats GmasStepStats::Combined() const {
 GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
                                 const FeatureMatrix& input_features,
                                 const std::vector<FeatureMatrix>& weights, int64_t num_outputs,
-                                const GmasConfig& config) {
+                                const GmasConfig& config, GmasScratch* scratch) {
   MINUET_CHECK_EQ(map.num_offsets(), static_cast<int64_t>(weights.size()));
   const int64_t c_in = input_features.cols();
   MINUET_CHECK(!weights.empty());
   const int64_t c_out = weights[0].cols();
 
+  WorkspacePool* pool = scratch != nullptr ? scratch->pool : nullptr;
+  auto make_matrix = [&](int64_t rows, int64_t cols, bool zero) {
+    if (pool != nullptr) {
+      return FeatureMatrix(rows, cols,
+                           pool->Acquire(static_cast<size_t>(rows * cols), zero));
+    }
+    return FeatureMatrix(rows, cols, 0.0f);
+  };
+
   GmasResult result;
-  result.output = FeatureMatrix(num_outputs, c_out, 0.0f);
+  result.output = make_matrix(num_outputs, c_out, /*zero=*/true);
 
   // GEMM reordering sorts K^3 sizes on the host — negligible (<4% of layer
-  // time in the paper; nanoseconds here) but part of the plan.
-  result.stats.plan = PlanGemmGroups(map.EntryCounts(), config.grouping,
-                                     config.padding_threshold);
+  // time in the paper; nanoseconds here) but part of the plan. A prebuilt
+  // plan (PlanCache hit) skips it.
+  if (scratch != nullptr && scratch->plan != nullptr) {
+    result.stats.plan = *scratch->plan;
+  } else {
+    result.stats.plan = PlanGemmGroups(map.EntryCounts(), config.grouping,
+                                       config.padding_threshold);
+  }
   const GroupingPlan& plan = result.stats.plan;
   if (plan.buffer_rows == 0 || num_outputs == 0) {
     return result;
   }
 
-  MetadataTables tables = BuildMetadataTables(device, map, plan, input_features.rows(),
-                                              num_outputs, &result.stats.metadata);
+  // Metadata tables: reuse prebuilt ones when supplied (skipping the charged
+  // build kernels — the warm-path saving), otherwise build and optionally
+  // export them for the caller's cache.
+  const MetadataTables* tables = scratch != nullptr ? scratch->tables : nullptr;
+  std::shared_ptr<MetadataTables> built;
+  if (tables == nullptr) {
+    built = std::make_shared<MetadataTables>(
+        BuildMetadataTables(device, map, plan, input_features.rows(), num_outputs,
+                            &result.stats.metadata));
+    tables = built.get();
+    if (scratch != nullptr && scratch->record_tables) {
+      result.tables = built;
+    }
+  }
+  MINUET_CHECK_EQ(tables->buffer_rows, plan.buffer_rows);
 
   const int element_bytes = config.precision == Precision::kFp16 ? 2 : 4;
   const double gemm_rate = config.precision == Precision::kFp16 ? 2.0 : 1.0;
 
-  FeatureMatrix in_buffer(plan.buffer_rows, c_in);
-  FeatureMatrix out_buffer(plan.buffer_rows, c_out);
+  // ClearBuffer memsets unconditionally, so pooled (stale) storage is safe.
+  FeatureMatrix in_buffer = make_matrix(plan.buffer_rows, c_in, /*zero=*/false);
+  FeatureMatrix out_buffer = make_matrix(plan.buffer_rows, c_out, /*zero=*/false);
   result.stats.buffer_setup += ClearBuffer(device, in_buffer, element_bytes);
   result.stats.buffer_setup += ClearBuffer(device, out_buffer, element_bytes);
 
@@ -59,7 +87,7 @@ GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
   gather_cfg.threads_per_block = config.threads_per_block;
   gather_cfg.functional = config.functional;
   gather_cfg.element_bytes = element_bytes;
-  result.stats.gather = GatherKernel(device, tables, input_features, in_buffer, gather_cfg);
+  result.stats.gather = GatherKernel(device, *tables, input_features, in_buffer, gather_cfg);
 
   BatchedGemmResult gemm = ExecuteGroupedGemms(device, plan, map.EntryCounts(), in_buffer,
                                                weights, out_buffer, config.stream_pool_size,
@@ -72,7 +100,12 @@ GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
   scatter_cfg.threads_per_block = config.threads_per_block;
   scatter_cfg.functional = config.functional;
   scatter_cfg.element_bytes = element_bytes;
-  result.stats.scatter = ScatterKernel(device, out_buffer, tables, result.output, scatter_cfg);
+  result.stats.scatter = ScatterKernel(device, out_buffer, *tables, result.output, scatter_cfg);
+
+  if (pool != nullptr) {
+    pool->Release(in_buffer.TakeStorage());
+    pool->Release(out_buffer.TakeStorage());
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #ifndef SRC_GMAS_EXECUTOR_H_
 #define SRC_GMAS_EXECUTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/core/feature_matrix.h"
@@ -11,6 +12,7 @@
 #include "src/gmas/gemm.h"
 #include "src/gmas/grouping.h"
 #include "src/gpusim/device.h"
+#include "src/util/workspace_pool.h"
 
 namespace minuet {
 
@@ -50,6 +52,27 @@ struct GmasStepStats {
 struct GmasResult {
   FeatureMatrix output;  // |Q| x C_out (zero-filled in timing-only mode)
   GmasStepStats stats;
+  // Metadata tables built during this run, exported only when
+  // GmasScratch::record_tables was set (so a session can cache them).
+  std::shared_ptr<const MetadataTables> tables;
+};
+
+// Optional serving-path state for RunGatherGemmScatter. Everything is
+// borrowed, nothing is required: a default GmasScratch behaves exactly like
+// passing nullptr.
+struct GmasScratch {
+  // Gather/GEMM buffers and the output matrix draw their storage from this
+  // pool instead of fresh heap allocations (released back before returning,
+  // except the output, whose storage the caller owns and may recycle).
+  WorkspacePool* pool = nullptr;
+  // Prebuilt grouping plan + metadata tables (from a PlanCache hit): skips
+  // PlanGemmGroups and the charged BuildMetadataTables kernels entirely.
+  // Both must describe the same kernel map that is being executed.
+  const GroupingPlan* plan = nullptr;
+  const MetadataTables* tables = nullptr;
+  // Export the tables built by this run via GmasResult::tables (cold run of
+  // a session, so the next run can pass them back in as prebuilt).
+  bool record_tables = false;
 };
 
 // The batched dataflow (TorchSparse / Minuet): one Gather over all offsets,
@@ -57,7 +80,7 @@ struct GmasResult {
 GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
                                 const FeatureMatrix& input_features,
                                 const std::vector<FeatureMatrix>& weights, int64_t num_outputs,
-                                const GmasConfig& config);
+                                const GmasConfig& config, GmasScratch* scratch = nullptr);
 
 // The per-offset fused dataflow (MinkowskiEngine): no buffers, no padding,
 // one (traffic + GEMM) pair per non-empty offset at reduced GEMM efficiency.

@@ -38,9 +38,14 @@ struct GroupingPlan {
   int64_t buffer_rows = 0;  // total buffer height including padding
   int64_t actual_rows = 0;  // total kernel-map entries
 
+  // The zero rows added by batching, i.e. padded minus actual feature
+  // vectors. NOTE: this is already the *excess*, not the padded total.
   int64_t padded_rows() const { return buffer_rows - actual_rows; }
-  // The paper's padding-overhead metric (Figure 5): x / y with x padded and
-  // y actual feature vectors.
+  // The paper's padding-overhead metric (Figure 5): (padded - actual) /
+  // actual feature vectors, equivalently padded_rows() / actual_rows. 0.0 for
+  // an empty map. Pinned by grouping_test's Figure5 tests — keep both this
+  // and StepBreakdown::PaddingOverhead() (which accumulates padded_rows()
+  // per layer) on this convention.
   double PaddingOverhead() const;
   int64_t NumKernels() const { return static_cast<int64_t>(groups.size()); }
 };

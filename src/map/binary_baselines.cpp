@@ -60,7 +60,7 @@ MapBuildResult NaiveBinaryMapBuilder::Build(Device& device, const MapBuildInput&
   if (n_src == 0 || n_out == 0 || n_off == 0) {
     return result;
   }
-  ValidateQuerySafety(input.output_keys, input.offsets);
+  const bool safe_queries = QueriesStayInLattice(input.output_keys, input.offsets);
 
   SortedSource src = PrepareSource(device, input, result.build_stats);
 
@@ -88,7 +88,14 @@ MapBuildResult NaiveBinaryMapBuilder::Build(Device& device, const MapBuildInput&
           for (int64_t t = begin; t < end; ++t) {
             int64_t i = order[static_cast<size_t>(t)];
             ctx.GlobalRead(&input.output_keys[static_cast<size_t>(i)], sizeof(uint64_t));
-            uint64_t query = input.output_keys[static_cast<size_t>(i)] + delta;
+            // Boundary sums that would wrap across key fields become the
+            // sentinel, which is greater than every valid key: the search
+            // lands past the last candidate and reports a miss.
+            uint64_t query =
+                safe_queries
+                    ? input.output_keys[static_cast<size_t>(i)] + delta
+                    : MakeQueryKey(input.output_keys[static_cast<size_t>(i)],
+                                   input.offsets[static_cast<size_t>(k)]);
             int64_t lo = 0;
             int64_t hi = n_src;
             while (lo < hi) {
@@ -132,7 +139,7 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
   if (n_src == 0 || n_out == 0 || n_off == 0) {
     return result;
   }
-  ValidateQuerySafety(input.output_keys, input.offsets);
+  const bool safe_queries = QueriesStayInLattice(input.output_keys, input.offsets);
 
   SortedSource src = PrepareSource(device, input, result.build_stats);
 
@@ -150,8 +157,13 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
           for (int64_t t = begin; t < end; ++t) {
             int64_t k = t / n_out;
             int64_t i = t % n_out;
-            queries[static_cast<size_t>(t)] = input.output_keys[static_cast<size_t>(i)] +
-                                              PackDelta(input.offsets[static_cast<size_t>(k)]);
+            // Wrapping boundary sums become the sentinel; it sorts past every
+            // valid key and never equals a source key, so those queries miss.
+            queries[static_cast<size_t>(t)] =
+                safe_queries ? input.output_keys[static_cast<size_t>(i)] +
+                                   PackDelta(input.offsets[static_cast<size_t>(k)])
+                             : MakeQueryKey(input.output_keys[static_cast<size_t>(i)],
+                                            input.offsets[static_cast<size_t>(k)]);
             tags[static_cast<size_t>(t)] = static_cast<uint32_t>(t);
           }
           ctx.GlobalRead(&input.output_keys[static_cast<size_t>(begin % n_out)],
@@ -230,7 +242,7 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
   if (n_src == 0 || n_out == 0 || n_off == 0) {
     return result;
   }
-  ValidateQuerySafety(input.output_keys, input.offsets);
+  const bool safe_queries = QueriesStayInLattice(input.output_keys, input.offsets);
 
   SortedSource src = PrepareSource(device, input, result.build_stats);
   // Merge path needs sorted queries; sort a copy of the outputs if required.
@@ -253,9 +265,21 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
   const int64_t blocks_per_segment = (total_diag + diagonal_block_ - 1) / diagonal_block_;
 
   for (int64_t k = 0; k < n_off; ++k) {
-    uint64_t delta = PackDelta(input.offsets[static_cast<size_t>(k)]);
-    // query(i) = out_keys[i] + delta, evaluated on the fly.
-    auto query_at = [&](int64_t i) { return out_keys[static_cast<size_t>(i)] + delta; };
+    const Coord3 offset = input.offsets[static_cast<size_t>(k)];
+    uint64_t delta = PackDelta(offset);
+    // query(i) = out_keys[i] + delta, evaluated on the fly. When boundary
+    // sums could wrap across key fields, the per-axis clamped form keeps the
+    // query sequence monotone (so the merge partitioning stays valid) and
+    // matches are additionally gated on the true sum staying in range.
+    auto query_at = [&](int64_t i, bool* valid) {
+      if (safe_queries) {
+        if (valid != nullptr) {
+          *valid = true;
+        }
+        return out_keys[static_cast<size_t>(i)] + delta;
+      }
+      return ClampedQueryKey(out_keys[static_cast<size_t>(i)], offset, valid);
+    };
 
     KernelStats lookup = device.Launch(
         "merge_path", LaunchDims{blocks_per_segment, 128, 0}, [&](BlockCtx& ctx) {
@@ -273,7 +297,7 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
               ctx.GlobalRead(&out_keys[static_cast<size_t>(qi - 1)], sizeof(uint64_t));
             }
             ++comparisons;
-            if (qi > 0 && src.keys[static_cast<size_t>(si)] < query_at(qi - 1)) {
+            if (qi > 0 && src.keys[static_cast<size_t>(si)] < query_at(qi - 1, nullptr)) {
               lo = si + 1;
             } else {
               hi = si;
@@ -289,10 +313,12 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
           int64_t q_read_begin = qi;
           for (int64_t d = d0; d < d1 && (si < n_src || qi < n_out);) {
             ++comparisons;
-            if (qi >= n_out || (si < n_src && src.keys[static_cast<size_t>(si)] < query_at(qi))) {
+            bool valid = true;
+            uint64_t query = qi < n_out ? query_at(qi, &valid) : 0;
+            if (qi >= n_out || (si < n_src && src.keys[static_cast<size_t>(si)] < query)) {
               ++si;
             } else {
-              if (si < n_src && src.keys[static_cast<size_t>(si)] == query_at(qi)) {
+              if (valid && si < n_src && src.keys[static_cast<size_t>(si)] == query) {
                 uint32_t value =
                     src.vals ? src.vals[static_cast<size_t>(si)] : static_cast<uint32_t>(si);
                 if (src.vals != nullptr) {

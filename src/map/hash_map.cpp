@@ -86,7 +86,7 @@ MapBuildResult HashMapBuilder::Build(Device& device, const MapBuildInput& input)
   if (input.source_keys.empty() || n_out == 0 || n_off == 0) {
     return result;
   }
-  ValidateQuerySafety(input.output_keys, input.offsets);
+  const bool safe_queries = QueriesStayInLattice(input.output_keys, input.offsets);
 
   std::unique_ptr<HashTableBase> table;
   result.build_stats = BuildEngineHashTable(device, kind_, input.source_keys, &table);
@@ -113,9 +113,13 @@ MapBuildResult HashMapBuilder::Build(Device& device, const MapBuildInput& input)
           for (int64_t t = begin; t < end; ++t) {
             int64_t k = t / n_out;
             int64_t i = t % n_out;
+            // Boundary sums that would wrap across key fields become the
+            // never-inserted sentinel, so they probe to a miss.
             queries[static_cast<size_t>(t)] =
-                input.output_keys[static_cast<size_t>(i)] +
-                PackDelta(input.offsets[static_cast<size_t>(k)]);
+                safe_queries ? input.output_keys[static_cast<size_t>(i)] +
+                                   PackDelta(input.offsets[static_cast<size_t>(k)])
+                             : MakeQueryKey(input.output_keys[static_cast<size_t>(i)],
+                                            input.offsets[static_cast<size_t>(k)]);
           }
           ctx.Compute(static_cast<uint64_t>(end - begin) * 2);
           ctx.GlobalWrite(&queries[static_cast<size_t>(begin)],

@@ -27,10 +27,10 @@ KernelStats ChargeMapCompaction(Device& device, const MapPositionTable& table,
   });
 }
 
-void ValidateQuerySafety(std::span<const uint64_t> output_keys,
-                         std::span<const Coord3> offsets) {
+bool QueriesStayInLattice(std::span<const uint64_t> output_keys,
+                          std::span<const Coord3> offsets) {
   if (output_keys.empty() || offsets.empty()) {
-    return;
+    return true;
   }
   Coord3 lo{kCoordMax, kCoordMax, kCoordMax};
   Coord3 hi{kCoordMin, kCoordMin, kCoordMin};
@@ -44,9 +44,11 @@ void ValidateQuerySafety(std::span<const uint64_t> output_keys,
     hi.z = std::max(hi.z, c.z);
   }
   for (const Coord3& d : offsets) {
-    MINUET_CHECK(CoordInRange(lo + d) && CoordInRange(hi + d))
-        << "query coordinates would leave the packable lattice; offset " << d;
+    if (!CoordInRange(lo + d) || !CoordInRange(hi + d)) {
+      return false;
+    }
   }
+  return true;
 }
 
 }  // namespace minuet

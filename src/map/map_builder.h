@@ -60,11 +60,12 @@ class MapBuilderBase {
   virtual MapBuildResult Build(Device& device, const MapBuildInput& input) = 0;
 };
 
-// Checks the packing precondition: every output coordinate plus every offset
-// must stay inside the packable lattice, so query keys never wrap across
-// fields (which could alias another coordinate). Aborts via MINUET_CHECK on
-// violation. All builders call this.
-void ValidateQuerySafety(std::span<const uint64_t> output_keys, std::span<const Coord3> offsets);
+// True iff every output coordinate plus every offset stays inside the
+// packable lattice, i.e. the raw `output_key + delta_key` add never wraps
+// across fields. Builders that pass can use the raw add; otherwise they fall
+// back to per-query clamping/rejection (ClampedQueryKey / MakeQueryKey) so
+// boundary clouds produce misses instead of aliased matches or aborts.
+bool QueriesStayInLattice(std::span<const uint64_t> output_keys, std::span<const Coord3> offsets);
 
 // Charges the compaction of a dense position table into per-offset kernel-map
 // pair lists (stream the K^3|Q| positions, scan the match counts, scatter the

@@ -47,7 +47,11 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
   if (n_src == 0 || n_out == 0 || n_off == 0) {
     return result;
   }
-  ValidateQuerySafety(input.output_keys, input.offsets);
+  // When the whole output set plus every offset stays inside the lattice the
+  // kernels materialise queries with the paper's one 64-bit add; otherwise
+  // boundary queries are clamped for search ordering and rejected for match
+  // emission (they can have no in-lattice partner).
+  const bool safe_queries = QueriesStayInLattice(input.output_keys, input.offsets);
 
   // --- Build phase: sorted source / output arrays (radix sort via gpusort).
   // When the caller's arrays are already sorted (cross-layer reuse,
@@ -93,6 +97,17 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
   uint64_t comparisons = 0;
   uint32_t* positions = result.table.positions.data();
 
+  // On-the-fly query generation (Section 5.1.1): fast path is the raw add.
+  auto query_key = [&](uint64_t out_key, uint32_t k, bool* valid) {
+    if (safe_queries) {
+      if (valid != nullptr) {
+        *valid = true;
+      }
+      return out_key + delta_keys[k];
+    }
+    return ClampedQueryKey(out_key, input.offsets[k], valid);
+  };
+
   if (!config_.double_traversal) {
     // Ablation path: sorted query segments, but each query binary-searches
     // the whole source array in global memory.
@@ -105,13 +120,13 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
           int64_t seg = ctx.block_index() / chunks_per_segment;
           int64_t piece = ctx.block_index() % chunks_per_segment;
           uint32_t k = offset_order[static_cast<size_t>(seg)];
-          uint64_t delta = delta_keys[k];
           int64_t q0 = piece * chunk;
           int64_t q1 = std::min<int64_t>(q0 + chunk, n_out);
           ctx.GlobalRead(&out_keys[static_cast<size_t>(q0)],
                          static_cast<size_t>(q1 - q0) * sizeof(uint64_t));
           for (int64_t i = q0; i < q1; ++i) {
-            uint64_t query = out_keys[static_cast<size_t>(i)] + delta;
+            bool valid = true;
+            uint64_t query = query_key(out_keys[static_cast<size_t>(i)], k, &valid);
             int64_t lo = 0;
             int64_t hi = n_src;
             while (lo < hi) {
@@ -125,7 +140,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
               }
             }
             ctx.Compute(20);
-            if (lo < n_src && src_keys[static_cast<size_t>(lo)] == query) {
+            if (valid && lo < n_src && src_keys[static_cast<size_t>(lo)] == query) {
               uint32_t value = src_vals ? src_vals[static_cast<size_t>(lo)]
                                         : static_cast<uint32_t>(lo);
               if (src_vals != nullptr) {
@@ -163,19 +178,19 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
             int64_t seg = item / num_source_blocks;
             int64_t s = item % num_source_blocks;
             uint32_t k = offset_order[static_cast<size_t>(seg)];
-            uint64_t delta = delta_keys[k];
             int64_t pivot_index = std::min<int64_t>((s + 1) * block_b, n_src) - 1;
             ctx.GlobalRead(&src_keys[static_cast<size_t>(pivot_index)], sizeof(uint64_t));
             uint64_t pivot = src_keys[static_cast<size_t>(pivot_index)];
-            // upper bound: first i with out_keys[i] + delta > pivot. The sum
-            // never wraps (ValidateQuerySafety), so compare sums directly.
+            // upper bound: first i whose query key exceeds the pivot. Query
+            // keys are monotone non-decreasing in i (clamped when a boundary
+            // sum would wrap), so the bound is well defined either way.
             int64_t lo = 0;
             int64_t hi = n_out;
             while (lo < hi) {
               int64_t mid = lo + (hi - lo) / 2;
               ctx.GlobalRead(&out_keys[static_cast<size_t>(mid)], sizeof(uint64_t));
               ++comparisons;
-              if (out_keys[static_cast<size_t>(mid)] + delta > pivot) {
+              if (query_key(out_keys[static_cast<size_t>(mid)], k, nullptr) > pivot) {
                 hi = mid;
               } else {
                 lo = mid + 1;
@@ -241,7 +256,6 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
       [&](BlockCtx& ctx) {
         const QueryBlockTask& task = tasks[static_cast<size_t>(ctx.block_index())];
         ctx.GlobalRead(&tasks[static_cast<size_t>(ctx.block_index())], sizeof(QueryBlockTask));
-        uint64_t delta = delta_keys[task.offset_index];
         int64_t sb = static_cast<int64_t>(task.source_block) * block_b;
         int64_t se = std::min<int64_t>(sb + block_b, n_src);
         // Stage the source block into shared memory.
@@ -252,7 +266,8 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
         ctx.GlobalRead(&out_keys[task.query_begin],
                        static_cast<size_t>(task.query_end - task.query_begin) * sizeof(uint64_t));
         for (uint32_t i = task.query_begin; i < task.query_end; ++i) {
-          uint64_t query = out_keys[i] + delta;
+          bool valid = true;
+          uint64_t query = query_key(out_keys[i], task.offset_index, &valid);
           int64_t lo = sb;
           int64_t hi = se;
           while (lo < hi) {
@@ -266,7 +281,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
             }
           }
           ctx.Compute(16);
-          if (lo < se && src_keys[static_cast<size_t>(lo)] == query) {
+          if (valid && lo < se && src_keys[static_cast<size_t>(lo)] == query) {
             uint32_t value =
                 src_vals ? src_vals[static_cast<size_t>(lo)] : static_cast<uint32_t>(lo);
             if (src_vals != nullptr) {

@@ -1,0 +1,82 @@
+#include "src/util/workspace_pool.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace minuet {
+
+int WorkspacePool::SizeClass(size_t count) {
+  MINUET_DCHECK(count > 0);
+  int cls = 0;
+  while ((size_t{1} << cls) < count) {
+    ++cls;
+  }
+  MINUET_CHECK_LT(cls, kNumClasses);
+  return cls;
+}
+
+std::vector<float> WorkspacePool::Acquire(size_t count, bool zero) {
+  if (count == 0) {
+    return {};
+  }
+  const int cls = SizeClass(count);
+  auto& list = free_lists_[cls];
+  std::vector<float> slab;
+  if (!list.empty()) {
+    slab = std::move(list.back());
+    list.pop_back();
+    cached_bytes_ -= slab.capacity() * sizeof(float);
+    ++stats_.reuses;
+    if (zero) {
+      slab.assign(count, 0.0f);
+    } else {
+      // Capacity covers the whole class, so this never reallocates; only the
+      // grown tail (if any) gets value-initialized.
+      slab.resize(count);
+    }
+  } else {
+    const size_t cap = size_t{1} << cls;
+    slab.reserve(cap);
+    slab.resize(count);  // vectors zero-initialize; `zero` is free here
+    ++stats_.allocations;
+    stats_.bytes_allocated += cap * sizeof(float);
+    live_bytes_ += cap * sizeof(float);
+    stats_.high_water_bytes = std::max<uint64_t>(stats_.high_water_bytes, live_bytes_);
+  }
+  ++stats_.outstanding;
+  return slab;
+}
+
+void WorkspacePool::Release(std::vector<float> slab) {
+  if (slab.capacity() == 0) {
+    return;
+  }
+  MINUET_DCHECK(stats_.outstanding > 0);
+  --stats_.outstanding;
+  // Store under the class the capacity can actually serve. Acquire hands out
+  // exact power-of-two capacities, but a caller may have grown the slab
+  // (reallocating to a non-power-of-two capacity); such a slab can still
+  // serve every request of the class below its rounded-up size.
+  int cls = SizeClass(slab.capacity());
+  if ((size_t{1} << cls) != slab.capacity()) {
+    --cls;
+    if (cls < 0) {
+      return;
+    }
+  }
+  cached_bytes_ += slab.capacity() * sizeof(float);
+  free_lists_[cls].push_back(std::move(slab));
+}
+
+void WorkspacePool::Trim() {
+  for (auto& list : free_lists_) {
+    for (auto& slab : list) {
+      live_bytes_ -= std::min(live_bytes_, slab.capacity() * sizeof(float));
+    }
+    list.clear();
+  }
+  cached_bytes_ = 0;
+}
+
+}  // namespace minuet

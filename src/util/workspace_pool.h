@@ -1,0 +1,77 @@
+// Arena-style reuse pool for float workspaces (the serving path's answer to
+// per-inference std::vector churn).
+//
+// Slabs are handed out by power-of-two size class: Acquire rounds the request
+// up to the next power of two, reuses a cached slab of that class when one is
+// free, and otherwise allocates. Release returns the slab to its class's free
+// list instead of the heap. A warm serving loop therefore reaches a steady
+// state where Acquire never allocates — the Stats counters make that property
+// testable (bench/serve_warm_loop asserts allocations stop after warm-up).
+//
+// The pool stores raw std::vector<float> storage rather than FeatureMatrix so
+// that src/util stays below src/core in the dependency order; FeatureMatrix
+// has an adopt-storage constructor and TakeStorage() for the round trip.
+//
+// Not thread-safe: one pool per session / per thread.
+#ifndef SRC_UTIL_WORKSPACE_POOL_H_
+#define SRC_UTIL_WORKSPACE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace minuet {
+
+class WorkspacePool {
+ public:
+  struct Stats {
+    // Slabs allocated from the heap (cache misses).
+    uint64_t allocations = 0;
+    // Acquisitions served from a free list (cache hits).
+    uint64_t reuses = 0;
+    // Total bytes ever heap-allocated through this pool.
+    uint64_t bytes_allocated = 0;
+    // Peak bytes simultaneously owned (outstanding + cached), the
+    // steady-state footprint a real allocator would reserve.
+    uint64_t high_water_bytes = 0;
+    // Slabs currently acquired and not yet released.
+    int64_t outstanding = 0;
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  // Returns storage with size() == count (capacity: count rounded up to a
+  // power of two). Contents are zero-filled only when `zero` is set; pooled
+  // reuse otherwise hands back stale data, so callers that partially write
+  // must clear themselves (gather/GEMM buffers are always fully overwritten
+  // or explicitly cleared by ClearBuffer).
+  std::vector<float> Acquire(size_t count, bool zero);
+
+  // Returns a slab to its size-class free list. Slabs must originate from
+  // Acquire on this pool (releasing a moved-from/empty vector is a no-op).
+  void Release(std::vector<float> slab);
+
+  // Drops every cached slab (keeps lifetime counters).
+  void Trim();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // Bytes currently cached in free lists (not outstanding).
+  size_t cached_bytes() const { return cached_bytes_; }
+
+ private:
+  static constexpr int kNumClasses = 48;  // 2^47 floats is far past any cloud
+  static int SizeClass(size_t count);
+
+  std::vector<std::vector<float>> free_lists_[kNumClasses];
+  size_t live_bytes_ = 0;    // outstanding + cached capacity bytes
+  size_t cached_bytes_ = 0;  // capacity bytes sitting in free lists
+  Stats stats_;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_UTIL_WORKSPACE_POOL_H_

@@ -73,6 +73,95 @@ TEST(CoordinateTest, DeltaAdditionPreservesOrderWithinSegment) {
   }
 }
 
+TEST(CoordinateTest, MakeQueryKeyRejectsFieldWrap) {
+  // (0, kCoordMax, 0) + (0, 1, 0): the raw delta add would carry out of the
+  // y field and alias (1, kCoordMin, 0) — a real lattice point. The safe
+  // query constructor must return the sentinel instead.
+  uint64_t key = PackCoord(Coord3{0, kCoordMax, 0});
+  Coord3 d{0, 1, 0};
+  uint64_t raw = key + PackDelta(d);
+  EXPECT_EQ(raw, PackCoord(Coord3{1, kCoordMin, 0}));  // the aliasing hazard
+  EXPECT_EQ(MakeQueryKey(key, d), kInvalidQueryKey);
+}
+
+TEST(CoordinateTest, MakeQueryKeyMatchesRawAddInRange) {
+  Pcg32 rng(19);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Coord3 c{rng.NextInt(-100000, 100000), rng.NextInt(-100000, 100000),
+             rng.NextInt(-100000, 100000)};
+    Coord3 d{rng.NextInt(-8, 8), rng.NextInt(-8, 8), rng.NextInt(-8, 8)};
+    uint64_t key = PackCoord(c);
+    EXPECT_EQ(MakeQueryKey(key, d), key + PackDelta(d));
+  }
+}
+
+TEST(CoordinateTest, InvalidQueryKeySortsPastAllValidKeys) {
+  // Valid packed keys use bits 0..62; the sentinel is bit 63, so rejected
+  // queries binary-search past the end of any sorted source array and can
+  // never equal an inserted hash key.
+  EXPECT_GT(kInvalidQueryKey, PackCoord(Coord3{kCoordMax, kCoordMax, kCoordMax}));
+  EXPECT_NE(kInvalidQueryKey, ~uint64_t{0});  // distinct from hash empty-slot
+}
+
+TEST(CoordinateTest, ClampedQueryKeyReportsRangeAndLexFloors) {
+  bool in_range = false;
+  uint64_t key = PackCoord(Coord3{kCoordMax, -5, kCoordMin});
+  // In-range query: identical to the raw add, flagged valid.
+  EXPECT_EQ(ClampedQueryKey(key, Coord3{-1, 2, 3}, &in_range),
+            key + PackDelta(Coord3{-1, 2, 3}));
+  EXPECT_TRUE(in_range);
+  // x overflows: lex floor is the box maximum, flagged invalid.
+  EXPECT_EQ(ClampedQueryKey(key, Coord3{2, 0, -1}, &in_range),
+            PackCoord(Coord3{kCoordMax, kCoordMax, kCoordMax}));
+  EXPECT_FALSE(in_range);
+  // x underflows: lex floor is below every valid key.
+  EXPECT_EQ(ClampedQueryKey(PackCoord(Coord3{kCoordMin, 9, 0}), Coord3{-1, 0, 0},
+                            &in_range),
+            0u);
+  EXPECT_FALSE(in_range);
+  // y overflows with x in range: floor is (x, max, max).
+  EXPECT_EQ(ClampedQueryKey(PackCoord(Coord3{7, kCoordMax, 3}), Coord3{0, 1, 0},
+                            &in_range),
+            PackCoord(Coord3{7, kCoordMax, kCoordMax}));
+  EXPECT_FALSE(in_range);
+  // y underflows: floor steps back to the previous x slice.
+  EXPECT_EQ(ClampedQueryKey(PackCoord(Coord3{7, kCoordMin, 3}), Coord3{0, -1, 0},
+                            &in_range),
+            PackCoord(Coord3{6, kCoordMax, kCoordMax}));
+  EXPECT_FALSE(in_range);
+  // z underflows: floor steps back to the previous y slice.
+  EXPECT_EQ(ClampedQueryKey(PackCoord(Coord3{7, 2, kCoordMin}), Coord3{0, 0, -1},
+                            &in_range),
+            PackCoord(Coord3{7, 1, kCoordMax}));
+  EXPECT_FALSE(in_range);
+}
+
+TEST(CoordinateTest, ClampedQueryKeyIsMonotoneInOutputKey) {
+  // The DTBS backward search and MergePath partitioning rely on query(i)
+  // being non-decreasing in the sorted output index for a fixed delta. The
+  // first two pairs are adversarial: a naive per-axis clamp inverts their
+  // order (clamping x collapses distinct x values whose y fields then compare
+  // the wrong way); the lex floor must not.
+  std::vector<Coord3> coords = {
+      {kCoordMin, 9, 0},      {kCoordMin + 1, 3, 0},  // inverts per-axis at d=(-1,0,0)
+      {kCoordMax - 1, 5, 0},  {kCoordMax, 0, 0},      // inverts per-axis at d=(2,0,0)
+      {kCoordMin, 0, 0},      {kCoordMin + 1, kCoordMax - 1, 0},
+      {-3, kCoordMax, 7},     {0, 0, kCoordMin},
+      {5, kCoordMin, 12},     {kCoordMax, kCoordMax, kCoordMax}};
+  std::vector<uint64_t> keys;
+  for (const Coord3& c : coords) keys.push_back(PackCoord(c));
+  std::sort(keys.begin(), keys.end());
+  for (const Coord3& d : std::vector<Coord3>{
+           {1, 1, 1}, {-1, 0, 0}, {2, 0, 0}, {-1, 2, 0}, {2, -2, 2}, {0, 0, -3}}) {
+    uint64_t prev = 0;
+    for (uint64_t key : keys) {
+      uint64_t q = ClampedQueryKey(key, d, nullptr);
+      EXPECT_GE(q, prev) << UnpackCoord(key) << " + " << d;
+      prev = q;
+    }
+  }
+}
+
 TEST(CoordinateTest, CoordInRange) {
   EXPECT_TRUE(CoordInRange(Coord3{0, 0, 0}));
   EXPECT_TRUE(CoordInRange(Coord3{kCoordMax, kCoordMin, 0}));

@@ -1,0 +1,196 @@
+// Edge-case sweep: inputs that exercise degenerate shapes through the whole
+// MapBuilder -> GMaS -> Engine stack. Every case must complete without a
+// crash and produce finite (non-NaN) features on all three engines.
+//
+//   - the empty cloud (a LiDAR frame with every point filtered out),
+//   - a voxelizer input whose points all collapse into one voxel,
+//   - an even kernel (K=2) strided conv applied at tensor stride > 1
+//     (the second level of a K=2/s=2 downsampling ladder).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dense_reference.h"
+#include "src/core/voxelizer.h"
+#include "src/core/weight_offsets.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/rng.h"
+
+namespace minuet {
+namespace {
+
+PointCloud SmallCloud(int target, int span, int64_t channels, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < target; ++i) {
+    keys.push_back(PackCoord(
+        Coord3{rng.NextInt(-span, span), rng.NextInt(-span, span), rng.NextInt(-span, span)}));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  PointCloud cloud;
+  for (uint64_t k : keys) {
+    cloud.coords.push_back(UnpackCoord(k));
+  }
+  cloud.features = FeatureMatrix(static_cast<int64_t>(keys.size()), channels);
+  for (int64_t i = 0; i < cloud.features.rows(); ++i) {
+    for (int64_t j = 0; j < channels; ++j) {
+      cloud.features.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return cloud;
+}
+
+bool AllFinite(const FeatureMatrix& m) {
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m.At(i, j))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+EngineConfig ConfigFor(EngineKind kind) {
+  EngineConfig config;
+  config.kind = kind;
+  return config;
+}
+
+class EdgeCaseSuite : public ::testing::TestWithParam<EngineKind> {};
+
+// --- Empty cloud -------------------------------------------------------------
+
+TEST_P(EdgeCaseSuite, EmptyCloudFlowsThroughTheWholeNetwork) {
+  PointCloud empty;
+  empty.features = FeatureMatrix(0, 4);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(MakeTinyUNet(4), 3);
+  RunResult result = engine.Run(empty);
+  EXPECT_EQ(result.features.rows(), 0);
+  EXPECT_TRUE(result.coords.empty());
+}
+
+TEST_P(EdgeCaseSuite, EmptyCloudThroughClassificationHead) {
+  // Global average pooling over zero points must yield finite (zero) logits,
+  // not a 0/0 NaN.
+  PointCloud empty;
+  empty.features = FeatureMatrix(0, 4);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(MakeSparseResNet21(4, 10), 3);
+  RunResult result = engine.Run(empty);
+  ASSERT_EQ(result.features.rows(), 1);
+  EXPECT_TRUE(AllFinite(result.features));
+}
+
+TEST_P(EdgeCaseSuite, EmptyCloudThroughRunSession) {
+  PointCloud empty;
+  empty.features = FeatureMatrix(0, 4);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(MakeTinyUNet(4), 3);
+  RunSession session(engine);
+  RunResult cold = session.Run(empty);
+  RunResult warm = session.Run(empty);
+  EXPECT_EQ(session.stats().warm_runs, 1u);
+  EXPECT_EQ(cold.features.rows(), 0);
+  EXPECT_EQ(warm.features.rows(), 0);
+}
+
+// --- All-duplicates voxelizer input ------------------------------------------
+
+TEST_P(EdgeCaseSuite, AllDuplicatePointsCollapseToOneVoxelAndRun) {
+  // 100 points in the same voxel: the voxelizer must merge them into one
+  // coordinate with averaged features, and the network must process the
+  // single-point cloud.
+  std::vector<FloatPoint> points(100, FloatPoint{0.101f, 0.102f, 0.103f});
+  FeatureMatrix raw(100, 4);
+  for (int64_t i = 0; i < raw.rows(); ++i) {
+    for (int64_t j = 0; j < raw.cols(); ++j) {
+      raw.At(i, j) = static_cast<float>(i % 7) + static_cast<float>(j);
+    }
+  }
+  PointCloud cloud = Voxelize(points, raw, VoxelizerConfig{0.05f});
+  ASSERT_EQ(cloud.num_points(), 1);
+  EXPECT_TRUE(AllFinite(cloud.features));
+  // Averaged features: mean of i%7 over 0..99 (= 295/100), per-column shift j
+  // rides on top.
+  EXPECT_NEAR(cloud.features.At(0, 0), 2.95f, 1e-4f);
+  EXPECT_NEAR(cloud.features.At(0, 3), 5.95f, 1e-4f);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(MakeTinyUNet(4), 3);
+  RunResult result = engine.Run(cloud);
+  EXPECT_EQ(result.features.rows(), 1);
+  EXPECT_TRUE(AllFinite(result.features));
+}
+
+// --- Even kernel (K=2) strided at tensor stride > 1 --------------------------
+
+Network EvenKernelLadder(int64_t channels) {
+  // Two K=2 stride-2 convs: the second one runs at tensor stride 2, so its
+  // weight offsets are {0, 2} per axis and its outputs land on stride 4.
+  Network net;
+  net.name = "even_ladder";
+  net.in_channels = channels;
+  for (int i = 0; i < 2; ++i) {
+    Instr instr;
+    instr.op = Instr::Op::kConv;
+    instr.conv = ConvParams{/*kernel_size=*/2, /*stride=*/2, /*transposed=*/false, channels,
+                            channels};
+    net.instrs.push_back(instr);
+  }
+  return net;
+}
+
+TEST_P(EdgeCaseSuite, EvenKernelStridedLayerAtCoarseStrideMatchesReference) {
+  const int64_t channels = 5;
+  PointCloud cloud = SmallCloud(300, 10, channels, 7);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(EvenKernelLadder(channels), 11);
+  RunResult got = engine.Run(cloud);
+  EXPECT_TRUE(AllFinite(got.features));
+
+  // Layer 1: stride-1 lattice, offsets {0,1}^3, outputs on stride 2.
+  auto coords1 = DownsampleCoords(cloud.coords, 2);
+  FeatureMatrix ref1 = ReferenceSparseConv(cloud, coords1, MakeWeightOffsets(2, 1),
+                                           engine.conv_weights(0));
+  // Layer 2: stride-2 lattice, offsets {0,2}^3, outputs on stride 4.
+  PointCloud mid;
+  mid.coords = coords1;
+  mid.features = std::move(ref1);
+  auto coords2 = DownsampleCoords(coords1, 4);
+  FeatureMatrix ref2 = ReferenceSparseConv(mid, coords2, MakeWeightOffsets(2, 2),
+                                           engine.conv_weights(1));
+
+  ASSERT_EQ(got.features.rows(), ref2.rows());
+  ASSERT_EQ(got.coords, coords2);
+  EXPECT_LT(MaxAbsDiff(got.features, ref2), 1e-4f);
+}
+
+TEST_P(EdgeCaseSuite, EvenKernelLadderWarmSessionIsBitIdentical) {
+  const int64_t channels = 5;
+  PointCloud cloud = SmallCloud(300, 10, channels, 7);
+
+  Engine engine(ConfigFor(GetParam()), MakeRtx3090());
+  engine.Prepare(EvenKernelLadder(channels), 11);
+  RunResult baseline = engine.Run(cloud);
+
+  RunSession session(engine);
+  session.Run(cloud);
+  RunResult warm = session.Run(cloud);
+  EXPECT_EQ(MaxAbsDiff(warm.features, baseline.features), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EdgeCaseSuite,
+                         ::testing::Values(EngineKind::kMinuet, EngineKind::kTorchSparse,
+                                           EngineKind::kMinkowski),
+                         [](const auto& info) { return EngineKindName(info.param); });
+
+}  // namespace
+}  // namespace minuet

@@ -298,5 +298,17 @@ TEST(NetworkTest, SlotsAreBounded) {
   EXPECT_LE(net.NumSlots(), 8);
 }
 
+TEST(StepBreakdownTest, PaddingOverheadMatchesFigure5Convention) {
+  // padded_rows accumulates GroupingPlan::padded_rows() — the excess — so the
+  // run-level metric stays (padded - actual) / actual, same as the per-plan
+  // one (pinned in grouping_test).
+  StepBreakdown b;
+  b.padded_rows = 9;
+  b.actual_rows = 18;
+  EXPECT_DOUBLE_EQ(b.PaddingOverhead(), 0.5);
+  StepBreakdown empty;
+  EXPECT_DOUBLE_EQ(empty.PaddingOverhead(), 0.0);  // no 0/0 NaN on empty runs
+}
+
 }  // namespace
 }  // namespace minuet

@@ -97,11 +97,12 @@ TEST(FailureInjectionTest, DuplicateSourceKeysDieInReference) {
   EXPECT_DEATH(ReferenceMapPositions(dup, dup, offsets), "duplicate");
 }
 
-TEST(FailureInjectionTest, OutOfLatticeQueriesDie) {
-  // Output coordinates at the lattice edge + offsets would wrap: builders
-  // refuse rather than alias keys.
+TEST(FailureInjectionTest, OutOfLatticeQueriesMissGracefully) {
+  // Output coordinates at the lattice edge + offsets that would wrap across
+  // packed-key fields: builders must neither abort nor alias keys — the
+  // wrapping query simply reports no match.
   std::vector<uint64_t> keys = {PackCoord(Coord3{kCoordMax, 0, 0})};
-  std::vector<Coord3> offsets = {{1, 0, 0}};
+  std::vector<Coord3> offsets = {{1, 0, 0}, {0, 0, 0}};
   Device dev(MakeRtx3090());
   MinuetMapBuilder builder;
   MapBuildInput in;
@@ -110,7 +111,10 @@ TEST(FailureInjectionTest, OutOfLatticeQueriesDie) {
   in.offsets = offsets;
   in.source_sorted = true;
   in.output_sorted = true;
-  EXPECT_DEATH(builder.Build(dev, in), "lattice");
+  MapBuildResult result = builder.Build(dev, in);
+  ASSERT_EQ(result.table.positions.size(), 2u);
+  EXPECT_EQ(result.table.At(0, 0), kNoMatch);  // wrapping query misses
+  EXPECT_EQ(result.table.At(1, 0), 0u);        // identity offset still hits
 }
 
 TEST(FailureInjectionTest, MismatchedWeightShapesDie) {

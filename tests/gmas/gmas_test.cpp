@@ -332,5 +332,61 @@ TEST(GmasTest, PaddingStatsFlowThroughResult) {
   EXPECT_LT(MaxAbsDiff(sorted_res.output, map_res.output), 1e-4f);
 }
 
+TEST(GmasScratchTest, PrebuiltPlanAndTablesMatchAndSkipMetadataKernels) {
+  Device dev(MakeRtx3090());
+  const int64_t c_in = 8, c_out = 12;
+  PointCloud cloud = RandomCloud(400, 10, c_in, 21);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c_in, c_out, 22);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GmasConfig cfg;
+
+  // Cold run records its plan + tables.
+  GmasScratch cold;
+  cold.record_tables = true;
+  GmasResult first =
+      RunGatherGemmScatter(dev, map, cloud.features, weights, cloud.num_points(), cfg, &cold);
+  ASSERT_NE(first.tables, nullptr);
+  EXPECT_GT(first.stats.metadata.num_launches, 0);
+
+  // Warm run replays them: identical features, zero metadata kernels.
+  GmasScratch warm;
+  warm.plan = &first.stats.plan;
+  warm.tables = first.tables.get();
+  GmasResult second =
+      RunGatherGemmScatter(dev, map, cloud.features, weights, cloud.num_points(), cfg, &warm);
+  EXPECT_EQ(second.stats.metadata.num_launches, 0);
+  EXPECT_EQ(second.tables, nullptr);  // nothing was built, nothing recorded
+  ASSERT_EQ(first.output.rows(), second.output.rows());
+  EXPECT_EQ(MaxAbsDiff(first.output, second.output), 0.0f);  // bit-identical
+}
+
+TEST(GmasScratchTest, PooledBuffersStopAllocatingAfterWarmup) {
+  Device dev(MakeRtx3090());
+  const int64_t c = 8;
+  PointCloud cloud = RandomCloud(300, 9, c, 23);
+  auto offsets = MakeWeightOffsets(3, 1);
+  auto weights = RandomWeights(offsets.size(), c, c, 24);
+  KernelMap map = MakeMap(cloud, cloud.coords, offsets);
+  GmasConfig cfg;
+
+  WorkspacePool pool;
+  GmasScratch scratch;
+  scratch.pool = &pool;
+  FeatureMatrix expect = ReferenceSparseConv(cloud, cloud.coords, offsets, weights);
+  for (int iter = 0; iter < 4; ++iter) {
+    GmasResult res =
+        RunGatherGemmScatter(dev, map, cloud.features, weights, cloud.num_points(), cfg, &scratch);
+    EXPECT_LT(MaxAbsDiff(res.output, expect), 1e-4f) << "iter " << iter;
+    pool.Release(res.output.TakeStorage());
+    if (iter == 0) {
+      pool.ResetStats();  // warm-up paid; steady state must not allocate
+    }
+  }
+  EXPECT_EQ(pool.stats().allocations, 0u);
+  EXPECT_GT(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.stats().outstanding, 0);
+}
+
 }  // namespace
 }  // namespace minuet

@@ -185,5 +185,31 @@ TEST_P(GroupingThresholdSweep, GroupOverheadRespectsThreshold) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, GroupingThresholdSweep,
                          ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.5, 1.0));
 
+// Pins the Figure 5 padding-overhead convention: (padded - actual) / actual
+// feature vectors, where padded_rows() is already the excess. An audit hook:
+// if either PaddingOverhead() or padded_rows() changes convention (e.g. to
+// padded-total / actual, which would read 1.0 higher everywhere), these exact
+// values break.
+TEST(GroupingTest, Figure5OverheadConventionPinned) {
+  // One group of {9, 5, 4}: height 9, padded total 27, actual 18, excess 9.
+  std::vector<int64_t> sizes = {9, 5, 4};
+  GroupingPlan plan = PlanGemmGroups(sizes, GroupingStrategy::kMapOrder, 1.0);
+  ASSERT_EQ(plan.NumKernels(), 1);
+  EXPECT_EQ(plan.buffer_rows, 27);
+  EXPECT_EQ(plan.actual_rows, 18);
+  EXPECT_EQ(plan.padded_rows(), 9);                    // excess, NOT the total
+  EXPECT_DOUBLE_EQ(plan.PaddingOverhead(), 9.0 / 18.0);
+  // A perfectly packed plan reads 0.0, not 1.0 (the padded-total convention
+  // would give 1.0 here).
+  GroupingPlan packed = PlanGemmGroups({4, 4}, GroupingStrategy::kMapOrder, 0.0);
+  EXPECT_DOUBLE_EQ(packed.PaddingOverhead(), 0.0);
+}
+
+TEST(GroupingTest, Figure5OverheadOfEmptyMapIsZero) {
+  GroupingPlan plan = PlanGemmGroups({0, 0, 0}, GroupingStrategy::kSortedOrder);
+  EXPECT_EQ(plan.actual_rows, 0);
+  EXPECT_DOUBLE_EQ(plan.PaddingOverhead(), 0.0);  // no 0/0 NaN
+}
+
 }  // namespace
 }  // namespace minuet

@@ -198,6 +198,41 @@ TEST_P(MapBuilderSuite, TensorStride2Offsets) {
   EXPECT_EQ(got.table.positions, ReferenceMapPositions(coords, coords, offsets).positions);
 }
 
+TEST_P(MapBuilderSuite, BoundaryCloudMatchesReference) {
+  auto builder = AllBuilders()[GetParam()].make();
+  Device dev(MakeRtx3090());
+  // Clusters hugging the corners and faces of the packable box: many K=3
+  // queries step outside the lattice, and several raw delta adds would wrap
+  // across key fields onto coordinates that really exist in the cloud (e.g.
+  // (-1, kCoordMax, z) + (0, 1, 0) wraps to (0, kCoordMin, z)). Builders must
+  // report misses for those, exactly like the dense reference.
+  std::vector<int32_t> edges = {kCoordMin, kCoordMin + 1, -1, 0, kCoordMax - 1, kCoordMax};
+  std::vector<uint64_t> keys;
+  for (int32_t x : edges) {
+    for (int32_t y : edges) {
+      for (int32_t z : edges) {
+        keys.push_back(PackCoord(Coord3{x, y, z}));
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<Coord3> coords;
+  coords.reserve(keys.size());
+  for (uint64_t k : keys) {
+    coords.push_back(UnpackCoord(k));
+  }
+  auto offsets = MakeWeightOffsets(3, 1);
+
+  MapBuildInput in;
+  in.source_keys = keys;
+  in.output_keys = keys;
+  in.offsets = offsets;
+  in.source_sorted = true;
+  in.output_sorted = true;
+  MapBuildResult got = builder->Build(dev, in);
+  EXPECT_EQ(got.table.positions, ReferenceMapPositions(coords, coords, offsets).positions);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBuilders, MapBuilderSuite,
                          ::testing::Range<size_t>(0, AllBuilders().size()),
                          [](const ::testing::TestParamInfo<size_t>& info) {

@@ -15,6 +15,7 @@
 #include "src/engine/engine.h"
 #include "src/gpusim/device_config.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace minuet {
 namespace {
@@ -30,6 +31,8 @@ struct Options {
   bool autotune = true;
   bool layers = false;
   bool fp16 = false;
+  int repeat = 1;      // total inference runs per engine
+  bool reuse = false;  // serve repeats through a RunSession (plan cache + pool)
   std::string trace_csv;  // empty: no trace
 };
 
@@ -40,7 +43,13 @@ struct Options {
                "                  [--dataset kitti|s3dis|sem3d|shapenet|random]\n"
                "                  [--gpu 2070s|2080ti|3090|a100] [--points N]\n"
                "                  [--seed N] [--functional 0|1] [--autotune 0|1] [--layers]\n"
-               "                  [--precision fp32|fp16] [--trace out.csv]\n");
+               "                  [--precision fp32|fp16] [--trace out.csv]\n"
+               "                  [--repeat N] [--reuse]\n"
+               "\n"
+               "  --repeat N   run each engine N times on the same cloud\n"
+               "  --reuse      serve repeats through a persistent RunSession\n"
+               "               (cached plans + pooled workspaces; warm runs skip\n"
+               "               the Map step and allocate nothing)\n");
   std::exit(2);
 }
 
@@ -72,6 +81,13 @@ Options Parse(int argc, char** argv) {
       opts.autotune = std::atoi(next().c_str()) != 0;
     } else if (arg == "--layers") {
       opts.layers = true;
+    } else if (arg == "--repeat") {
+      opts.repeat = std::atoi(next().c_str());
+      if (opts.repeat < 1) {
+        Usage();
+      }
+    } else if (arg == "--reuse") {
+      opts.reuse = true;
     } else if (arg == "--trace") {
       opts.trace_csv = next();
     } else if (arg == "--precision") {
@@ -146,7 +162,48 @@ void RunOne(EngineKind kind, const Options& opts, const Network& net, const Poin
   if (!opts.trace_csv.empty()) {
     engine.device().EnableTrace(true);
   }
-  RunResult result = engine.Run(cloud);
+  RunResult result;
+  if (opts.reuse) {
+    // Serving mode: first run is cold (records the execution plan, warms the
+    // workspace pool), the rest replay it. Reported result is the last run.
+    RunSession session(engine);
+    WallTimer timer;
+    result = session.Run(cloud);
+    const double cold_host_ms = timer.ElapsedMillis();
+    const double cold_sim_ms = device.CyclesToMillis(result.total.TotalCycles());
+    const uint64_t cold_allocs = session.workspace_pool().stats().allocations;
+    double warm_host_ms = 0.0;
+    double warm_sim_ms = 0.0;
+    uint64_t warm_allocs = 0;
+    for (int r = 1; r < opts.repeat; ++r) {
+      session.workspace_pool().ResetStats();
+      timer.Reset();
+      result = session.Run(cloud);
+      warm_host_ms += timer.ElapsedMillis();
+      warm_sim_ms += device.CyclesToMillis(result.total.TotalCycles());
+      warm_allocs += session.workspace_pool().stats().allocations;
+    }
+    const int warm_runs = opts.repeat - 1;
+    if (warm_runs > 0) {
+      std::printf("%-16s serving: cold %9.3f ms sim / %8.3f ms host / %llu allocs"
+                  "  ->  warm %9.3f ms sim / %8.3f ms host / %llu allocs (avg of %d)\n",
+                  EngineKindName(kind), cold_sim_ms, cold_host_ms,
+                  static_cast<unsigned long long>(cold_allocs), warm_sim_ms / warm_runs,
+                  warm_host_ms / warm_runs,
+                  static_cast<unsigned long long>(warm_allocs / static_cast<uint64_t>(warm_runs)),
+                  warm_runs);
+    } else {
+      std::printf("%-16s serving: cold %9.3f ms sim / %8.3f ms host / %llu allocs"
+                  " (no warm runs; use --repeat)\n",
+                  EngineKindName(kind), cold_sim_ms, cold_host_ms,
+                  static_cast<unsigned long long>(cold_allocs));
+    }
+  } else {
+    for (int r = 0; r + 1 < opts.repeat; ++r) {
+      engine.Run(cloud);  // stateless repeats redo everything
+    }
+    result = engine.Run(cloud);
+  }
   if (!opts.trace_csv.empty()) {
     std::string path = opts.trace_csv;
     if (opts.engine == "all") {
