@@ -13,7 +13,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
+
+#include "src/util/json_writer.h"
 
 namespace minuet {
 namespace bench {
@@ -38,6 +42,116 @@ inline void Row(const char* fmt, ...) {
 inline void Rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+// Machine-readable twin of the printed table. A bench constructs one report,
+// mirrors every printed row into it (AddRow + Value), and calls Write() at
+// the end. Inactive — all calls no-ops, Write() returns true — unless the
+// binary was invoked with `--json=FILE` (or `--json FILE`), so the text
+// output never changes.
+//
+// Schema:
+//   {"bench": "<name>",
+//    "meta":  {"key": value, ...},          // scale, device, dataset, ...
+//    "rows":  [{"key": value, ...}, ...]}   // one object per table row
+class JsonReport {
+ public:
+  using Value = std::variant<int64_t, double, std::string>;
+
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      } else if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      }
+    }
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  void Meta(const std::string& key, Value value) {
+    if (active()) {
+      meta_.emplace_back(key, std::move(value));
+    }
+  }
+
+  void AddRow() {
+    if (active()) {
+      rows_.emplace_back();
+    }
+  }
+
+  // Appends a field to the most recent row (AddRow first).
+  void Set(const std::string& key, Value value) {
+    if (active() && !rows_.empty()) {
+      rows_.back().emplace_back(key, std::move(value));
+    }
+  }
+
+  // Writes the report. True when inactive or successfully written; callers
+  // should propagate false as a non-zero exit code.
+  bool Write() const {
+    if (!active()) {
+      return true;
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", bench_name_);
+    w.Key("meta");
+    w.BeginObject();
+    for (const auto& [key, value] : meta_) {
+      WriteValue(w, key, value);
+    }
+    w.EndObject();
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& row : rows_) {
+      w.BeginObject();
+      for (const auto& [key, value] : row) {
+        WriteValue(w, key, value);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string json = w.TakeString();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not open %s for writing\n", path_.c_str());
+      return false;
+    }
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = written == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) {
+      std::printf("json report written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", path_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, Value>>;
+
+  static void WriteValue(JsonWriter& w, const std::string& key, const Value& value) {
+    w.Key(key);
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      w.Value(*i);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      w.Value(*d);
+    } else {
+      w.Value(std::get<std::string>(value));
+    }
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
 
 // Benches read their point-count scale from MINUET_BENCH_POINTS when set, so
 // the full suite can be re-run quickly at reduced scale.

@@ -16,7 +16,7 @@
 namespace minuet {
 namespace {
 
-void Run(const std::vector<int64_t>& sizes) {
+void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report) {
   auto offsets = MakeWeightOffsets(3, 1);
   bench::Row("%-10s %-24s %10s", "points", "implementation", "L2 hit");
   bench::Rule();
@@ -47,6 +47,10 @@ void Run(const std::vector<int64_t>& sizes) {
       MapBuildResult result = impl.builder->Build(device, input);
       bench::Row("%-10lld %-24s %9.1f%%", static_cast<long long>(n), impl.label,
                  100.0 * result.lookup_stats.L2HitRatio());
+      report.AddRow();
+      report.Set("points", n);
+      report.Set("implementation", std::string(impl.label));
+      report.Set("l2_hit_ratio", result.lookup_stats.L2HitRatio());
     }
     bench::Rule();
   }
@@ -55,11 +59,13 @@ void Run(const std::vector<int64_t>& sizes) {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig03_map_l2_hitratio", argc, argv);
   bench::PrintTitle("Figure 3",
                     "L2 hit ratio of kernel-map building (lookup kernels), random clouds");
   bench::PrintNote("point counts scaled ~5x down from the paper (1e5..5e6 -> 2e4..1e6)");
-  Run({20000, 50000, 100000, 200000, 500000, 1000000});
-  return 0;
+  report.Meta("device", std::string("RTX 3090"));
+  Run({20000, 50000, 100000, 200000, 500000, 1000000}, report);
+  return report.Write() ? 0 : 1;
 }

@@ -25,7 +25,7 @@ struct Stats {
   std::vector<double> gemm_ms;
 };
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const int64_t points = 60000;
   const int64_t c = 64;
   auto offsets = MakeWeightOffsets(3, 1);
@@ -73,6 +73,12 @@ void Run() {
       c_case.stats->gemm_ms.push_back(ms);
       bench::Row("%-10s %-12s %8.1f%% %8lld %10.3f", DatasetName(dataset), c_case.label,
                  100.0 * plan.PaddingOverhead(), static_cast<long long>(plan.NumKernels()), ms);
+      report.AddRow();
+      report.Set("dataset", std::string(DatasetName(dataset)));
+      report.Set("strategy", std::string(c_case.label));
+      report.Set("padding_overhead", plan.PaddingOverhead());
+      report.Set("gemm_kernels", plan.NumKernels());
+      report.Set("gemm_ms", ms);
     }
     bench::Rule();
   }
@@ -93,11 +99,14 @@ void Run() {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig05_gemm_grouping", argc, argv);
   bench::PrintTitle("Figure 5 / Table (Sec. 3)",
                     "GEMM grouping: padding overhead, kernel count, simulated GEMM time");
   bench::PrintNote("60K-point clouds, K=3, C_in=C_out=64, threshold 0.25, 4-stream pool");
-  Run();
-  return 0;
+  report.Meta("points", int64_t{60000});
+  report.Meta("channels", int64_t{64});
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

@@ -27,8 +27,9 @@ double RunEndToEnd(EngineKind kind, const Network& net, const PointCloud& cloud,
   return device.CyclesToMillis(result.total.TotalCycles());
 }
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const int64_t points = bench::PointsFromEnv(100000);
+  report.Meta("points", points);
   std::vector<Network> networks = {MakeSparseResNet21(4, 20), MakeMinkUNet42(4)};
 
   std::vector<double> over_mink, over_ts;
@@ -55,6 +56,15 @@ void Run() {
       over_ts.push_back(ts / mn);
       bench::Row("%-16s %-10s %12.2f %12.2f %12.2f %9.2fx %9.2fx", net.name.c_str(),
                  DatasetName(dataset), mink, ts, mn, mink / mn, ts / mn);
+      report.AddRow();
+      report.Set("network", net.name);
+      report.Set("dataset", std::string(DatasetName(dataset)));
+      report.Set("device", std::string("RTX 3090"));
+      report.Set("minkowski_ms", mink);
+      report.Set("torchsparse_ms", ts);
+      report.Set("minuet_ms", mn);
+      report.Set("speedup_vs_minkowski", mink / mn);
+      report.Set("speedup_vs_torchsparse", ts / mn);
     }
   }
   bench::Rule();
@@ -82,6 +92,15 @@ void Run() {
       double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, device);
       bench::Row("%-16s %12.2f %12.2f %12.2f %9.2fx %9.2fx", device.name.c_str(), mink, ts, mn,
                  mink / mn, ts / mn);
+      report.AddRow();
+      report.Set("network", net.name);
+      report.Set("dataset", std::string("kitti"));
+      report.Set("device", device.name);
+      report.Set("minkowski_ms", mink);
+      report.Set("torchsparse_ms", ts);
+      report.Set("minuet_ms", mn);
+      report.Set("speedup_vs_minkowski", mink / mn);
+      report.Set("speedup_vs_torchsparse", ts / mn);
     }
   }
 }
@@ -89,11 +108,12 @@ void Run() {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig12_end_to_end", argc, argv);
   bench::PrintTitle("Figure 12", "End-to-end speedup across networks, datasets and GPUs");
   bench::PrintNote("100K-point clouds (MINUET_BENCH_POINTS overrides), timing-only mode;");
   bench::PrintNote("Minuet autotuned per layer beforehand (tuning excluded, as in the paper)");
-  Run();
-  return 0;
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

@@ -15,6 +15,8 @@
 #include "src/map/binary_baselines.h"
 #include "src/map/hash_map.h"
 #include "src/map/minuet_map.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/check.h"
 #include "src/util/half.h"
 #include "src/util/rng.h"
@@ -44,7 +46,7 @@ KernelStats ApplyBnRelu(Device& device, FeatureMatrix& features, bool functional
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = features.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("bn_relu", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("engine/elementwise/bn_relu", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -70,7 +72,7 @@ KernelStats AddInto(Device& device, FeatureMatrix& dst, const FeatureMatrix& src
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = dst.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("residual_add", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("engine/elementwise/residual_add", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -99,7 +101,7 @@ KernelStats CopyColumns(Device& device, const FeatureMatrix& src, FeatureMatrix&
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = src.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("copy_features", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("engine/elementwise/copy_features", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     for (int64_t i = begin; i < end; ++i) {
@@ -122,7 +124,7 @@ KernelStats GlobalAvgPool(Device& device, const FeatureMatrix& src, FeatureMatri
   const int64_t rows = std::max<int64_t>(src.rows(), 1);
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t blocks = std::max<int64_t>(1, (src.rows() + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("global_avg_pool", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("engine/elementwise/global_avg_pool", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, src.rows());
     if (begin >= end) {
@@ -168,7 +170,7 @@ KernelStats ChargeDilationDedup(Device& device, std::span<const uint64_t> input_
   }
   constexpr int64_t kItemsPerBlock = 1024;
   const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
-  stats += device.Launch("dilate_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  stats += device.Launch("engine/coords/dilate_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kItemsPerBlock;
     int64_t end = std::min(begin + kItemsPerBlock, n);
     ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -179,7 +181,7 @@ KernelStats ChargeDilationDedup(Device& device, std::span<const uint64_t> input_
   });
   if (sorted_engine) {
     stats += RadixSortCoordPairs(device, candidates, {}).kernels;
-    stats += device.Launch("dilate_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    stats += device.Launch("engine/coords/dilate_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
       int64_t begin = ctx.block_index() * kItemsPerBlock;
       int64_t end = std::min(begin + kItemsPerBlock, n);
       ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -217,7 +219,7 @@ KernelStats ChargeDownsampleDedup(Device& device, std::span<const uint64_t> inpu
   std::vector<uint64_t> candidates(static_cast<size_t>(n));
   constexpr int64_t kItemsPerBlock = 1024;
   const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
-  stats += device.Launch("downsample_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  stats += device.Launch("engine/coords/downsample_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kItemsPerBlock;
     int64_t end = std::min(begin + kItemsPerBlock, n);
     ctx.GlobalRead(&input_keys[static_cast<size_t>(begin)],
@@ -236,7 +238,7 @@ KernelStats ChargeDownsampleDedup(Device& device, std::span<const uint64_t> inpu
   if (sorted_engine) {
     // Sort + adjacent-unique compaction.
     stats += RadixSortCoordPairs(device, candidates, {}).kernels;
-    stats += device.Launch("downsample_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    stats += device.Launch("engine/coords/downsample_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
       int64_t begin = ctx.block_index() * kItemsPerBlock;
       int64_t end = std::min(begin + kItemsPerBlock, n);
       ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -470,6 +472,17 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
   Device& dev = *device_;
   RunResult result;
 
+  trace::Span run_span("run", "run");
+  if (run_span.active()) {
+    run_span.Attr("engine", EngineKindName(config_.kind));
+    run_span.Attr("num_points", input.num_points());
+    run_span.Attr("warm", int64_t{ctx != nullptr && ctx->replay != nullptr});
+  }
+  // Stream-pool GEMM overlap makes a layer's reported simulated time smaller
+  // than the sum of its kernels' cycles; accumulated here so the run span can
+  // reconcile its children the same way the layer spans do.
+  double run_overlap_saved = 0.0;
+
   const bool functional = config_.functional;
   const bool is_minuet = config_.kind == EngineKind::kMinuet;
   const bool use_sorted_map = is_minuet && config_.features.segmented_sorting;
@@ -506,6 +519,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
     PointCloud sorted = input;
     SortPointCloud(sorted);
     if (use_sorted_map) {
+      trace::Span span("engine/input_sort", "step");
       if (plan_replay == nullptr) {
         std::vector<uint64_t> keys = PackCoords(input.coords);
         std::vector<uint32_t> vals(keys.size());
@@ -571,11 +585,17 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         record.params = conv;
         record.num_inputs = target->level->size();
         StepBreakdown layer;
+        trace::Span layer_span;
+        if (trace::Span::Enabled()) {
+          layer_span = trace::Span("conv" + std::to_string(conv_index), "layer");
+        }
+        double layer_overlap_saved = 0.0;
 
         if (conv.kernel_size == 1 && conv.stride == 1 && !conv.transposed) {
           // 1x1 stride-1 conv == one GEMM over the feature matrix.
+          trace::Span span("engine/conv1x1", "step");
           FeatureMatrix out = new_matrix(target->features.rows(), conv.c_out);
-          KernelStats gemm = dev.LaunchGemm("conv1x1_gemm", target->features.rows(), conv.c_out,
+          KernelStats gemm = dev.LaunchGemm("engine/gemm/conv1x1", target->features.rows(), conv.c_out,
                                             conv.c_in);
           AccumulateKernel(layer, &StepBreakdown::gemm, gemm);
           layer.gemm_kernels += 1;
@@ -638,6 +658,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
               out_level->keys = PackCoords(out_level->coords);
               out_level->parent = target->level;
               // Coordinate generation: K^3 |P| candidates deduplicated.
+              trace::Span span("engine/coords_dedup", "step");
               AccumulateKernel(layer, &StepBreakdown::map_build,
                                ChargeDilationDedup(dev, target->level->keys, offsets.size(),
                                                    out_level->size(), use_sorted_map));
@@ -649,6 +670,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
               out_level->keys = PackCoords(out_level->coords);
               out_level->parent = target->level;
               // Output-coordinate generation must deduplicate (Eq. 1).
+              trace::Span span("engine/coords_dedup", "step");
               AccumulateKernel(layer, &StepBreakdown::map_build,
                                ChargeDownsampleDedup(dev, target->level->keys,
                                                      out_level->tensor_stride, out_level->size(),
@@ -658,6 +680,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
             }
 
             // --- Map step.
+            trace::Span map_span("engine/map", "step");
             MapBuildInput map_in;
             map_in.source_keys = target->level->keys;
             map_in.output_keys = out_level->keys;
@@ -745,6 +768,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
             AccumulateKernel(layer, &StepBreakdown::gather, gmas.stats.gather);
             layer.gemm += gmas.stats.gemm_stream_cycles;
             layer.launches += gmas.stats.gemm.num_launches;
+            layer_overlap_saved = gmas.stats.gemm.cycles - gmas.stats.gemm_stream_cycles;
             AccumulateKernel(layer, &StepBreakdown::scatter, gmas.stats.scatter);
             layer.gemm_kernels += gmas.stats.plan.NumKernels();
             layer.padded_rows += gmas.stats.plan.padded_rows();
@@ -767,6 +791,21 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         if (functional && config_.precision == Precision::kFp16) {
           RoundFeaturesToHalf(target->features);
         }
+        if (layer_span.active()) {
+          layer_span.Attr("conv_index", int64_t{conv_index});
+          layer_span.Attr("c_in", conv.c_in);
+          layer_span.Attr("c_out", conv.c_out);
+          layer_span.Attr("kernel_size", int64_t{conv.kernel_size});
+          layer_span.Attr("stride", int64_t{conv.stride});
+          layer_span.Attr("num_inputs", record.num_inputs);
+          layer_span.Attr("num_outputs", record.num_outputs);
+          layer_span.Attr("sim_cycles", layer.TotalCycles());
+          layer_span.Attr("overlap_saved_cycles", layer_overlap_saved);
+          layer_span.Attr("padding_ratio", layer.PaddingOverhead());
+          layer_span.Attr("launches", layer.launches);
+          layer_span.Attr("gemm_kernels", layer.gemm_kernels);
+        }
+        run_overlap_saved += layer_overlap_saved;
         record.cycles = layer;
         result.total += layer;
         result.layers.push_back(std::move(record));
@@ -775,6 +814,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
       }
       case Instr::Op::kMaxPool:
       case Instr::Op::kAvgPool: {
+        trace::Span step_span("engine/pool", "step");
         const ConvParams& pool_params = instr.conv;
         MINUET_CHECK(!pool_params.transposed && !pool_params.generative);
         const PoolStep* cached = nullptr;
@@ -842,6 +882,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         break;
       }
       case Instr::Op::kBnRelu: {
+        trace::Span step_span("engine/elementwise", "step");
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          ApplyBnRelu(dev, act.features, functional));
         if (functional && config_.precision == Precision::kFp16) {
@@ -851,6 +892,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
       }
       case Instr::Op::kResidualSave:
       case Instr::Op::kSkipSave: {
+        trace::Span step_span("engine/elementwise", "step");
         MINUET_CHECK_GE(instr.slot, 0);
         Activation& slot = slots[static_cast<size_t>(instr.slot)];
         slot.level = act.level;
@@ -861,6 +903,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         break;
       }
       case Instr::Op::kResidualAdd: {
+        trace::Span step_span("engine/elementwise", "step");
         MINUET_CHECK_GE(instr.slot, 0);
         Activation& slot = slots[static_cast<size_t>(instr.slot)];
         MINUET_CHECK(slot.level == act.level) << "residual add across coordinate levels";
@@ -869,6 +912,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         break;
       }
       case Instr::Op::kConcatSkip: {
+        trace::Span step_span("engine/elementwise", "step");
         MINUET_CHECK_GE(instr.slot, 0);
         Activation& slot = slots[static_cast<size_t>(instr.slot)];
         MINUET_CHECK(slot.level == act.level) << "concat across coordinate levels";
@@ -883,6 +927,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         break;
       }
       case Instr::Op::kGlobalAvgPool: {
+        trace::Span step_span("engine/elementwise", "step");
         FeatureMatrix pooled = new_matrix(1, act.features.cols());
         AccumulateKernel(result.total, &StepBreakdown::elementwise,
                          GlobalAvgPool(dev, act.features, pooled, functional));
@@ -896,6 +941,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         break;
       }
       case Instr::Op::kLinear: {
+        trace::Span step_span("engine/head", "step");
         const int64_t c_in = act.features.cols();
         FeatureMatrix& w = linear_weights_[linear_index];
         if (w.rows() != c_in || w.cols() != instr.linear_out) {
@@ -911,7 +957,7 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
         }
         FeatureMatrix out = new_matrix(act.features.rows(), instr.linear_out);
         KernelStats gemm =
-            dev.LaunchGemm("linear_head", act.features.rows(), instr.linear_out, c_in);
+            dev.LaunchGemm("engine/gemm/linear_head", act.features.rows(), instr.linear_out, c_in);
         AccumulateKernel(result.total, &StepBreakdown::gemm, gemm);
         if (functional) {
           BlockedGemm(act.features.data(), w.data(), out.data(), act.features.rows(), c_in,
@@ -941,6 +987,12 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
     result.features = std::move(act.features);
   }
   result.coords = act.level->coords;
+  if (run_span.active()) {
+    run_span.Attr("sim_cycles", result.total.TotalCycles());
+    run_span.Attr("overlap_saved_cycles", run_overlap_saved);
+    run_span.Attr("launches", result.total.launches);
+    run_span.Attr("sim_ms", device_config_.CyclesToMillis(result.total.TotalCycles()));
+  }
   return result;
 }
 
@@ -981,15 +1033,59 @@ RunResult RunSession::Run(const PointCloud& input) {
   ctx.pool = &pool_;
   if (std::shared_ptr<const ExecutionPlan> plan = cache_.Lookup(key)) {
     ctx.replay = plan.get();
-    ++stats_.warm_runs;
+    ++warm_runs_;
     return engine_->RunImpl(input, &ctx);
   }
   auto recorded = std::make_shared<ExecutionPlan>();
   ctx.record = recorded.get();
-  ++stats_.cold_runs;
+  ++cold_runs_;
   RunResult result = engine_->RunImpl(input, &ctx);
   cache_.Insert(key, std::move(recorded));
   return result;
+}
+
+SessionStats RunSession::stats() const {
+  SessionStats stats;
+  stats.cold_runs = cold_runs_;
+  stats.warm_runs = warm_runs_;
+  stats.plan = cache_.stats();
+  stats.pool = pool_.stats();
+  return stats;
+}
+
+void RunSession::PublishMetrics(trace::MetricsRegistry& registry) const {
+  const SessionStats s = stats();
+  registry.GetCounter("session/cold_runs").Set(static_cast<int64_t>(s.cold_runs));
+  registry.GetCounter("session/warm_runs").Set(static_cast<int64_t>(s.warm_runs));
+  registry.GetCounter("plan_cache/hits").Set(static_cast<int64_t>(s.plan.hits));
+  registry.GetCounter("plan_cache/misses").Set(static_cast<int64_t>(s.plan.misses));
+  registry.GetCounter("plan_cache/evictions").Set(static_cast<int64_t>(s.plan.evictions));
+  registry.GetCounter("plan_cache/size").Set(static_cast<int64_t>(cache_.size()));
+  registry.GetCounter("workspace_pool/allocations")
+      .Set(static_cast<int64_t>(s.pool.allocations));
+  registry.GetCounter("workspace_pool/reuses").Set(static_cast<int64_t>(s.pool.reuses));
+  registry.GetCounter("workspace_pool/bytes_allocated")
+      .Set(static_cast<int64_t>(s.pool.bytes_allocated));
+  registry.GetCounter("workspace_pool/high_water_bytes")
+      .Set(static_cast<int64_t>(s.pool.high_water_bytes));
+  registry.GetCounter("workspace_pool/outstanding").Set(s.pool.outstanding);
+}
+
+void PublishRunMetrics(const RunResult& result, const DeviceConfig& device_config,
+                       trace::MetricsRegistry& registry) {
+  for (const LayerRecord& layer : result.layers) {
+    const std::string prefix = "engine/layer" + std::to_string(layer.conv_index) + "/";
+    registry.GetGauge(prefix + "padding_ratio").Set(layer.cycles.PaddingOverhead());
+    registry.GetGauge(prefix + "launches").Set(static_cast<double>(layer.cycles.launches));
+    registry.GetGauge(prefix + "gemm_kernels")
+        .Set(static_cast<double>(layer.cycles.gemm_kernels));
+    registry.GetGauge(prefix + "sim_ms")
+        .Set(device_config.CyclesToMillis(layer.cycles.TotalCycles()));
+  }
+  registry.GetGauge("engine/run/padding_ratio").Set(result.total.PaddingOverhead());
+  registry.GetGauge("engine/run/launches").Set(static_cast<double>(result.total.launches));
+  registry.GetGauge("engine/run/sim_ms")
+      .Set(device_config.CyclesToMillis(result.total.TotalCycles()));
 }
 
 std::vector<RunResult> Engine::RunBatch(std::span<const PointCloud> batch) {

@@ -170,9 +170,14 @@ class Engine {
   std::vector<std::pair<int, int>> layer_tiles_;  // (gather, scatter) per conv
 };
 
+// Snapshot of a session's serving-path counters: run outcomes plus the two
+// caches that make warm runs cheap. `plan`/`pool` are copied from the live
+// PlanCache / WorkspacePool at stats() time.
 struct SessionStats {
   uint64_t cold_runs = 0;
   uint64_t warm_runs = 0;
+  PlanCache::Stats plan;      // lookup hits / misses / LRU evictions
+  WorkspacePool::Stats pool;  // slab allocations / reuses / outstanding
 };
 
 // Persistent inference session: a workspace pool plus a plan cache bound to
@@ -192,16 +197,28 @@ class RunSession {
   // Semantically identical to engine.Run(input) — cold or warm.
   RunResult Run(const PointCloud& input);
 
-  const SessionStats& stats() const { return stats_; }
+  // Snapshot including the current plan-cache and workspace-pool counters.
+  SessionStats stats() const;
   PlanCache& plan_cache() { return cache_; }
   WorkspacePool& workspace_pool() { return pool_; }
+
+  // Copies the session counters into `registry` as counters/gauges under
+  // "session/...", "plan_cache/..." and "workspace_pool/...".
+  void PublishMetrics(trace::MetricsRegistry& registry) const;
 
  private:
   Engine* engine_;
   PlanCache cache_;
   WorkspacePool pool_;
-  SessionStats stats_;
+  uint64_t cold_runs_ = 0;
+  uint64_t warm_runs_ = 0;
 };
+
+// Copies a run's per-layer breakdown into `registry` as gauges under
+// "engine/layer<k>/..." (padding ratio, launches, simulated milliseconds)
+// plus "engine/run/..." totals.
+void PublishRunMetrics(const RunResult& result, const DeviceConfig& device_config,
+                       trace::MetricsRegistry& registry);
 
 }  // namespace minuet
 

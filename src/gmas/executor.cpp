@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/gmas/metadata.h"
+#include "src/trace/trace.h"
 #include "src/util/check.h"
 
 namespace minuet {
@@ -63,6 +64,7 @@ GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
   const MetadataTables* tables = scratch != nullptr ? scratch->tables : nullptr;
   std::shared_ptr<MetadataTables> built;
   if (tables == nullptr) {
+    trace::Span span("gmas/metadata", "step");
     built = std::make_shared<MetadataTables>(
         BuildMetadataTables(device, map, plan, input_features.rows(), num_outputs,
                             &result.stats.metadata));
@@ -79,28 +81,49 @@ GmasResult RunGatherGemmScatter(Device& device, const KernelMap& map,
   // ClearBuffer memsets unconditionally, so pooled (stale) storage is safe.
   FeatureMatrix in_buffer = make_matrix(plan.buffer_rows, c_in, /*zero=*/false);
   FeatureMatrix out_buffer = make_matrix(plan.buffer_rows, c_out, /*zero=*/false);
-  result.stats.buffer_setup += ClearBuffer(device, in_buffer, element_bytes);
-  result.stats.buffer_setup += ClearBuffer(device, out_buffer, element_bytes);
+  {
+    trace::Span span("gmas/buffer", "step");
+    result.stats.buffer_setup += ClearBuffer(device, in_buffer, element_bytes);
+    result.stats.buffer_setup += ClearBuffer(device, out_buffer, element_bytes);
+  }
 
   TileKernelConfig gather_cfg;
   gather_cfg.tile_size = config.gather_tile;
   gather_cfg.threads_per_block = config.threads_per_block;
   gather_cfg.functional = config.functional;
   gather_cfg.element_bytes = element_bytes;
-  result.stats.gather = GatherKernel(device, *tables, input_features, in_buffer, gather_cfg);
+  {
+    trace::Span span("gmas/gather", "step");
+    result.stats.gather = GatherKernel(device, *tables, input_features, in_buffer, gather_cfg);
+  }
 
-  BatchedGemmResult gemm = ExecuteGroupedGemms(device, plan, map.EntryCounts(), in_buffer,
-                                               weights, out_buffer, config.stream_pool_size,
-                                               config.functional, gemm_rate, element_bytes);
-  result.stats.gemm = gemm.stats;
-  result.stats.gemm_stream_cycles = gemm.stream_cycles;
+  {
+    // The stream pool overlaps grouped GEMMs, so the step's simulated elapsed
+    // time (stream_cycles) is less than the sum of its kernels' cycles. The
+    // difference is recorded so trace consumers can reconcile the two.
+    trace::Span span("gmas/gemm", "step");
+    BatchedGemmResult gemm = ExecuteGroupedGemms(device, plan, map.EntryCounts(), in_buffer,
+                                                 weights, out_buffer, config.stream_pool_size,
+                                                 config.functional, gemm_rate, element_bytes);
+    result.stats.gemm = gemm.stats;
+    result.stats.gemm_stream_cycles = gemm.stream_cycles;
+    if (span.active()) {
+      span.Attr("sim_cycles", gemm.stream_cycles);
+      span.Attr("overlap_saved_cycles", gemm.stats.cycles - gemm.stream_cycles);
+      span.Attr("num_groups", static_cast<int64_t>(plan.groups.size()));
+      span.Attr("padding_ratio", plan.PaddingOverhead());
+    }
+  }
 
   TileKernelConfig scatter_cfg;
   scatter_cfg.tile_size = config.scatter_tile;
   scatter_cfg.threads_per_block = config.threads_per_block;
   scatter_cfg.functional = config.functional;
   scatter_cfg.element_bytes = element_bytes;
-  result.stats.scatter = ScatterKernel(device, out_buffer, *tables, result.output, scatter_cfg);
+  {
+    trace::Span span("gmas/scatter", "step");
+    result.stats.scatter = ScatterKernel(device, out_buffer, *tables, result.output, scatter_cfg);
+  }
 
   if (pool != nullptr) {
     pool->Release(in_buffer.TakeStorage());
@@ -123,6 +146,10 @@ GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
   // The fused path still plans (trivially) so padding stats read as zero.
   result.stats.plan = PlanGemmGroups(map.EntryCounts(), GroupingStrategy::kNoBatch, 0.0);
 
+  // One step span covers the whole per-offset loop: the fused dataflow has no
+  // separate gather/gemm/scatter phases to attribute time to.
+  trace::Span fused_span("gmas/fused", "step");
+
   for (int64_t k = 0; k < map.num_offsets(); ++k) {
     const auto& entries = map.entries[static_cast<size_t>(k)];
     if (entries.empty()) {
@@ -138,7 +165,7 @@ GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
     const int64_t n = static_cast<int64_t>(entries.size());
     const int64_t blocks = (n + kEntriesPerBlock - 1) / kEntriesPerBlock;
     result.stats.gather += device.Launch(
-        "fused_offset_traffic", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+        "gmas/fused/offset_traffic", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kEntriesPerBlock;
           int64_t end = std::min(begin + kEntriesPerBlock, n);
           ctx.GlobalRead(&entries[static_cast<size_t>(begin)],
@@ -166,7 +193,7 @@ GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
           }
         });
     // Math half: the arithmetic at fused-kernel (non-library) efficiency.
-    result.stats.gemm += device.LaunchGemm("fused_offset_gemm", n, c_out, c_in, 1,
+    result.stats.gemm += device.LaunchGemm("gmas/fused/offset_gemm", n, c_out, c_in, 1,
                                            FusedGemmEfficiency(c_in, c_out));
   }
   result.stats.gemm_stream_cycles = result.stats.gemm.cycles;

@@ -50,7 +50,7 @@ KernelStats ClearBuffer(Device& device, FeatureMatrix& buffer, int element_bytes
   const int64_t rows = buffer.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
   const int64_t row_bytes = buffer.cols() * static_cast<int64_t>(element_bytes);
-  return device.Launch("buffer_memset", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("gmas/buffer/memset", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -82,7 +82,7 @@ KernelStats GatherKernel(Device& device, const MetadataTables& tables,
   const int64_t tile_bytes = config.tile_size * static_cast<int64_t>(config.element_bytes);
 
   return device.Launch(
-      "gather", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
+      "gmas/gather/tile_copy", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * config.threads_per_block;
         int64_t end = std::min(begin + config.threads_per_block, total_threads);
         ForEachPointSpan(begin, end, tiles_per_row, [&](const ThreadSpan& span) {
@@ -136,7 +136,7 @@ KernelStats ScatterKernel(Device& device, const FeatureMatrix& buffer,
   const int64_t tile_bytes = config.tile_size * static_cast<int64_t>(config.element_bytes);
 
   return device.Launch(
-      "scatter", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
+      "gmas/scatter/tile_reduce", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * config.threads_per_block;
         int64_t end = std::min(begin + config.threads_per_block, total_threads);
         ForEachPointSpan(begin, end, tiles_per_row, [&](const ThreadSpan& span) {

@@ -63,7 +63,7 @@ BatchedGemmResult ExecuteGroupedGemms(Device& device, const GroupingPlan& plan,
   StreamPool pool(num_streams, device.config().launch_overhead_cycles);
   for (const GemmGroup& group : plan.groups) {
     KernelStats stats = device.LaunchGemm(
-        "batched_gemm", group.rows_per_gemm, c_out, c_in,
+        "gmas/gemm/grouped_batch", group.rows_per_gemm, c_out, c_in,
         static_cast<int64_t>(group.offset_indices.size()), efficiency,
         static_cast<double>(element_bytes));
     pool.Submit(stats.cycles);

@@ -35,7 +35,7 @@ MetadataTables BuildMetadataTables(Device& device, const KernelMap& map,
   }
 
   KernelStats launch = device.Launch(
-      "build_metadata", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+      "gmas/metadata/build_tables", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kEntriesPerBlock;
         int64_t end = std::min(begin + kEntriesPerBlock, total_entries);
         if (begin >= end) {

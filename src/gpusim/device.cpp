@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/check.h"
 
 namespace minuet {
+
+namespace {
+
+// Leaf span for one simulated launch: the host range covers the simulation
+// of the kernel, the sim range is the kernel's modelled duration (this is
+// the only place the tracer's simulated clock advances). The KernelStats
+// payload rides along as span attributes.
+void EmitKernelSpan(trace::Tracer* tracer, int64_t span_id, const KernelStats& stats) {
+  tracer->AdvanceSim(stats.millis * 1e3);
+  tracer->SetAttr(span_id, "cycles", stats.cycles);
+  tracer->SetAttr(span_id, "l2_hits", static_cast<int64_t>(stats.l2_hits));
+  tracer->SetAttr(span_id, "l2_misses", static_cast<int64_t>(stats.l2_misses));
+  tracer->SetAttr(span_id, "l2_hit_ratio", stats.L2HitRatio());
+  tracer->SetAttr(span_id, "bytes_read", static_cast<int64_t>(stats.global_bytes_read));
+  tracer->SetAttr(span_id, "bytes_written", static_cast<int64_t>(stats.global_bytes_written));
+  tracer->SetAttr(span_id, "shared_bytes", static_cast<int64_t>(stats.shared_bytes));
+  tracer->SetAttr(span_id, "lane_ops", static_cast<int64_t>(stats.lane_ops));
+  tracer->SetAttr(span_id, "blocks", stats.num_blocks);
+  tracer->CloseSpan(span_id);
+}
+
+}  // namespace
 
 KernelStats& KernelStats::operator+=(const KernelStats& other) {
   cycles += other.cycles;
@@ -75,6 +99,8 @@ int64_t Device::ConcurrentBlocks(const LaunchDims& dims) const {
 KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
                            const std::function<void(BlockCtx&)>& body) {
   MINUET_CHECK_GE(dims.num_blocks, 0);
+  trace::Tracer* tracer = trace::Tracer::Get();
+  const int64_t span_id = tracer != nullptr ? tracer->OpenSpan(name, "kernel") : -1;
   KernelStats stats;
   stats.name = name;
   stats.num_blocks = dims.num_blocks;
@@ -145,6 +171,9 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
   stats.millis = config_.CyclesToMillis(total_cycles);
   totals_ += stats;
   Record(stats);
+  if (tracer != nullptr) {
+    EmitKernelSpan(tracer, span_id, stats);
+  }
   return stats;
 }
 
@@ -155,6 +184,8 @@ KernelStats Device::LaunchGemm(const std::string& name, int64_t m, int64_t n, in
   MINUET_CHECK_GE(k, 0);
   MINUET_CHECK_GE(batch, 1);
   MINUET_CHECK_GT(efficiency, 0.0);
+  trace::Tracer* tracer = trace::Tracer::Get();
+  const int64_t span_id = tracer != nullptr ? tracer->OpenSpan(name, "kernel") : -1;
   KernelStats stats;
   stats.name = name;
   stats.num_launches = 1;
@@ -184,10 +215,36 @@ KernelStats Device::LaunchGemm(const std::string& name, int64_t m, int64_t n, in
   stats.global_bytes_written = static_cast<uint64_t>(bytes / 2);
   totals_ += stats;
   Record(stats);
+  if (tracer != nullptr) {
+    EmitKernelSpan(tracer, span_id, stats);
+  }
   return stats;
 }
 
-void Device::ResetTotals() { totals_ = KernelStats{}; }
+void Device::ResetTotals() {
+  totals_ = KernelStats{};
+  kernel_aggregates_.clear();
+}
+
+void Device::PublishMetrics(trace::MetricsRegistry& registry) const {
+  auto publish = [&registry](const std::string& prefix, const KernelStats& stats) {
+    registry.GetCounter(prefix + "/launches").Set(stats.num_launches);
+    registry.GetCounter(prefix + "/blocks").Set(stats.num_blocks);
+    registry.GetGauge(prefix + "/cycles").Set(stats.cycles);
+    registry.GetGauge(prefix + "/millis").Set(stats.millis);
+    registry.GetCounter(prefix + "/l2_hits").Set(static_cast<int64_t>(stats.l2_hits));
+    registry.GetCounter(prefix + "/l2_misses").Set(static_cast<int64_t>(stats.l2_misses));
+    registry.GetGauge(prefix + "/l2_hit_ratio").Set(stats.L2HitRatio());
+    registry.GetCounter(prefix + "/bytes_read")
+        .Set(static_cast<int64_t>(stats.global_bytes_read));
+    registry.GetCounter(prefix + "/bytes_written")
+        .Set(static_cast<int64_t>(stats.global_bytes_written));
+  };
+  publish("device/total", totals_);
+  for (const auto& [name, stats] : kernel_aggregates_) {
+    publish("device/kernel/" + name, stats);
+  }
+}
 
 bool WriteTraceCsv(const std::vector<KernelStats>& trace, const DeviceConfig& config,
                    const std::string& path) {

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "src/gpusim/device_config.h"
 
 namespace minuet {
+
+namespace trace {
+class MetricsRegistry;
+}  // namespace trace
 
 struct KernelStats {
   std::string name;
@@ -136,6 +141,17 @@ class Device {
   const KernelStats& totals() const { return totals_; }
   void ResetTotals();
 
+  // Per-kernel-name aggregates since construction or ResetTotals(). With the
+  // structured naming convention (phase/step/kernel, e.g. map/query/
+  // ss_search) this is the per-kernel breakdown a profiler would show.
+  const std::map<std::string, KernelStats>& kernel_aggregates() const {
+    return kernel_aggregates_;
+  }
+
+  // Copies the per-kernel aggregates and device totals into `registry` as
+  // counters/gauges under "device/kernel/<name>/..." and "device/total/...".
+  void PublishMetrics(trace::MetricsRegistry& registry) const;
+
   // Kernel tracing: when enabled, every launch's stats are recorded in order
   // (a poor man's Nsight timeline). Off by default — traces of full network
   // runs hold thousands of entries.
@@ -148,6 +164,7 @@ class Device {
   friend class BlockCtx;
 
   void Record(const KernelStats& stats) {
+    kernel_aggregates_[stats.name] += stats;
     if (trace_enabled_) {
       trace_.push_back(stats);
     }
@@ -156,6 +173,7 @@ class Device {
   DeviceConfig config_;
   CacheSim l2_;
   KernelStats totals_;
+  std::map<std::string, KernelStats> kernel_aggregates_;
   bool trace_enabled_ = false;
   std::vector<KernelStats> trace_;
 };

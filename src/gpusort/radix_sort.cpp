@@ -51,7 +51,7 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
     // Kernel 1: per-block digit histogram.
     std::fill(block_hist.begin(), block_hist.end(), 0);
     stats.kernels += device.Launch(
-        "radix_histogram", LaunchDims{num_blocks, kThreadsPerBlock, kNumBins * sizeof(uint32_t)},
+        "sort/radix/histogram", LaunchDims{num_blocks, kThreadsPerBlock, kNumBins * sizeof(uint32_t)},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kKeysPerBlock;
           int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
@@ -93,7 +93,7 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
     // for each (block, digit) the global base offset of its first element.
     std::vector<int64_t> base(static_cast<size_t>(num_blocks) * kNumBins);
     stats.kernels += device.Launch(
-        "radix_scan", LaunchDims{1, kThreadsPerBlock, 0}, [&](BlockCtx& ctx) {
+        "sort/radix/scan", LaunchDims{1, kThreadsPerBlock, 0}, [&](BlockCtx& ctx) {
           ctx.GlobalRead(block_hist.data(), block_hist.size() * sizeof(uint32_t));
           int64_t running = 0;
           for (int d = 0; d < kNumBins; ++d) {
@@ -112,7 +112,7 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
     // contiguous global write (a block's slice of a digit is contiguous in
     // the output by construction of the scan).
     stats.kernels += device.Launch(
-        "radix_scatter",
+        "sort/radix/scatter",
         LaunchDims{num_blocks, kThreadsPerBlock,
                    kKeysPerBlock * (sizeof(uint64_t) + sizeof(uint32_t))},
         [&](BlockCtx& ctx) {
@@ -187,7 +187,7 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
   Coord3 lo{INT32_MAX, INT32_MAX, INT32_MAX};
   Coord3 hi{INT32_MIN, INT32_MIN, INT32_MIN};
   stats.kernels += device.Launch(
-      "coord_minmax_reduce", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      "sort/coord/minmax_reduce", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -220,7 +220,7 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
   // Kernel B: re-pack each key into the compact layout (order-preserving).
   std::vector<uint64_t> compact(static_cast<size_t>(n));
   stats.kernels += device.Launch(
-      "coord_repack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      "sort/coord/repack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -245,7 +245,7 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
 
   // Kernel C: rebuild the original keys in sorted order.
   stats.kernels += device.Launch(
-      "coord_unpack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      "sort/coord/unpack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&compact[static_cast<size_t>(begin)],

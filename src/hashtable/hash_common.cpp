@@ -17,7 +17,7 @@ KernelStats ChargeTableMemset(Device& device, const void* table, size_t bytes) {
   const int64_t blocks =
       std::max<int64_t>(1, static_cast<int64_t>((bytes + kBytesPerBlock - 1) / kBytesPerBlock));
   const char* base = static_cast<const char*>(table);
-  return device.Launch("hash_table_memset", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+  return device.Launch("map/build/table_memset", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
     size_t begin = static_cast<size_t>(ctx.block_index()) * kBytesPerBlock;
     size_t end = std::min(begin + kBytesPerBlock, bytes);
     if (begin >= end) {

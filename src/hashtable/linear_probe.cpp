@@ -22,7 +22,7 @@ KernelStats LinearProbeHashTable::Build(Device& device, std::span<const uint64_t
   const int64_t n = static_cast<int64_t>(keys.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
   KernelStats build_stats = device.Launch(
-      "linear_probe_build", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      "map/build/linear_probe_insert", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -55,7 +55,7 @@ KernelStats LinearProbeHashTable::Query(Device& device, std::span<const uint64_t
   const int64_t n = static_cast<int64_t>(queries.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
   return device.Launch(
-      "linear_probe_query", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      "map/query/linear_probe_lookup", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&queries[static_cast<size_t>(begin)],

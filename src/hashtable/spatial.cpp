@@ -22,7 +22,7 @@ KernelStats SpatialHashTable::Build(Device& device, std::span<const uint64_t> ke
   const int64_t n = static_cast<int64_t>(keys.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
   KernelStats build_stats = device.Launch(
-      "spatial_build", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      "map/build/spatial_insert", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -66,7 +66,7 @@ KernelStats SpatialHashTable::Query(Device& device, std::span<const uint64_t> qu
   const int64_t n = static_cast<int64_t>(queries.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
   return device.Launch(
-      "spatial_query", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      "map/query/spatial_lookup", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&queries[static_cast<size_t>(begin)],

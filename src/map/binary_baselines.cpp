@@ -80,7 +80,7 @@ MapBuildResult NaiveBinaryMapBuilder::Build(Device& device, const MapBuildInput&
     uint64_t delta = PackDelta(input.offsets[static_cast<size_t>(k)]);
     const int64_t blocks = (n_out + kItemsPerBlock - 1) / kItemsPerBlock;
     KernelStats lookup = device.Launch(
-        "naive_binary_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        "map/query/naive_binary_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, n_out);
           ctx.GlobalRead(&order[static_cast<size_t>(begin)],
@@ -151,7 +151,7 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
   {
     const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
     result.query_stats += device.Launch(
-        "full_sort_make_queries", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        "map/query/full_sort_make_queries", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, total);
           for (int64_t t = begin; t < end; ++t) {
@@ -186,7 +186,7 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
   {
     const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
     KernelStats lookup = device.Launch(
-        "full_sort_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        "map/query/full_sort_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, total);
           ctx.GlobalRead(&queries[static_cast<size_t>(begin)],
@@ -282,7 +282,7 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
     };
 
     KernelStats lookup = device.Launch(
-        "merge_path", LaunchDims{blocks_per_segment, 128, 0}, [&](BlockCtx& ctx) {
+        "map/query/merge_path", LaunchDims{blocks_per_segment, 128, 0}, [&](BlockCtx& ctx) {
           // Diagonal binary search: find (si, qi) with si + qi = d0 such that
           // the merge is correctly partitioned.
           int64_t d0 = ctx.block_index() * diagonal_block_;

@@ -49,7 +49,7 @@ KernelStats BuildEngineHashTable(Device& device, HashTableKind kind,
     const int64_t blocks = std::max<int64_t>(
         1, static_cast<int64_t>((table_bytes + kBytesPerBlock - 1) / kBytesPerBlock));
     stats += device.Launch(
-        "minkowski_compact_scan", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+        "map/build/compact_scan", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
           size_t begin = static_cast<size_t>(ctx.block_index()) * kBytesPerBlock;
           size_t end = std::min(begin + kBytesPerBlock, table_bytes);
           if (begin >= end) {
@@ -100,7 +100,7 @@ MapBuildResult HashMapBuilder::Build(Device& device, const MapBuildInput& input)
   {
     const int64_t blocks = (total + kQueriesPerBlock - 1) / kQueriesPerBlock;
     result.query_stats += device.Launch(
-        "hash_make_queries", LaunchDims{blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+        "map/query/make_queries", LaunchDims{blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kQueriesPerBlock;
           int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, total);
           if (begin >= end) {

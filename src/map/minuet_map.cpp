@@ -115,7 +115,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     const int64_t chunks_per_segment = (n_out + chunk - 1) / chunk;
     const int64_t total_blocks = n_off * chunks_per_segment;
     KernelStats lookup = device.Launch(
-        "minuet_ss_search", LaunchDims{total_blocks, config_.threads_per_block, 0},
+        "map/query/ss_search", LaunchDims{total_blocks, config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t seg = ctx.block_index() / chunks_per_segment;
           int64_t piece = ctx.block_index() % chunks_per_segment;
@@ -170,7 +170,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     const int64_t items_per_block = config_.threads_per_block;
     const int64_t blocks = (items + items_per_block - 1) / items_per_block;
     result.query_stats += device.Launch(
-        "minuet_backward_search", LaunchDims{blocks, config_.threads_per_block, 0},
+        "map/query/backward_search", LaunchDims{blocks, config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * items_per_block;
           int64_t end = std::min<int64_t>(begin + items_per_block, items);
@@ -229,7 +229,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     const int64_t items = n_off * num_source_blocks;
     const int64_t blocks = (items + config_.threads_per_block - 1) / config_.threads_per_block;
     result.query_stats += device.Launch(
-        "minuet_balance", LaunchDims{std::max<int64_t>(blocks, 1), config_.threads_per_block, 0},
+        "map/query/balance", LaunchDims{std::max<int64_t>(blocks, 1), config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * config_.threads_per_block;
           int64_t end = std::min<int64_t>(begin + config_.threads_per_block, items);
@@ -251,7 +251,7 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
   // balanced query block; the source block is staged in scratchpad memory.
   const size_t shared_bytes = static_cast<size_t>(block_b) * sizeof(uint64_t);
   KernelStats forward = device.Launch(
-      "minuet_forward_search",
+      "map/query/forward_search",
       LaunchDims{static_cast<int64_t>(tasks.size()), config_.threads_per_block, shared_bytes},
       [&](BlockCtx& ctx) {
         const QueryBlockTask& task = tasks[static_cast<size_t>(ctx.block_index())];

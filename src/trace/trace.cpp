@@ -1,0 +1,147 @@
+#include "src/trace/trace.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+#include "src/util/json_writer.h"
+
+namespace minuet {
+namespace trace {
+
+Tracer* Tracer::installed_ = nullptr;
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::HostNowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int64_t Tracer::OpenSpan(std::string name, std::string category) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.parent = stack_.empty() ? -1 : stack_.back();
+  record.depth = static_cast<int>(stack_.size());
+  record.host_begin_us = HostNowUs();
+  record.sim_begin_us = sim_now_us_;
+  int64_t id = static_cast<int64_t>(spans_.size());
+  spans_.push_back(std::move(record));
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::CloseSpan(int64_t id) {
+  MINUET_CHECK(!stack_.empty()) << "CloseSpan with no open span";
+  MINUET_CHECK_EQ(stack_.back(), id) << "spans must close innermost-first";
+  SpanRecord& record = spans_[static_cast<size_t>(id)];
+  record.host_end_us = HostNowUs();
+  record.sim_end_us = sim_now_us_;
+  record.closed = true;
+  stack_.pop_back();
+}
+
+void Tracer::SetAttr(int64_t id, std::string key, AttrValue value) {
+  MINUET_CHECK_GE(id, 0);
+  MINUET_CHECK_LT(id, static_cast<int64_t>(spans_.size()));
+  spans_[static_cast<size_t>(id)].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+int64_t Tracer::CountCategory(const std::string& category) const {
+  int64_t count = 0;
+  for (const SpanRecord& span : spans_) {
+    count += span.category == category ? 1 : 0;
+  }
+  return count;
+}
+
+namespace {
+
+void WriteAttr(JsonWriter& w, const std::string& key, const AttrValue& value) {
+  w.Key(key);
+  if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    w.Value(*i);
+  } else if (const double* d = std::get_if<double>(&value)) {
+    w.Value(*d);
+  } else {
+    w.Value(std::get<std::string>(value));
+  }
+}
+
+// One "X" (complete) event on the given track. Chrome trace ts/dur are in
+// microseconds, which both clock domains already use.
+void WriteEvent(JsonWriter& w, const SpanRecord& span, int tid, double ts, double dur) {
+  w.BeginObject();
+  w.KV("name", span.name);
+  w.KV("cat", span.category);
+  w.KV("ph", "X");
+  w.KV("pid", 0);
+  w.KV("tid", tid);
+  w.KV("ts", ts);
+  w.KV("dur", dur);
+  w.Key("args");
+  w.BeginObject();
+  // Both clock domains on every event, so either track tells the full story.
+  w.KV("host_us", span.HostDurationUs());
+  w.KV("sim_us", span.SimDurationUs());
+  for (const auto& [key, value] : span.attrs) {
+    WriteAttr(w, key, value);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.Value("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  // Track names: tid 0 = host wall-clock, tid 1 = simulated device time.
+  for (int tid = 0; tid < 2; ++tid) {
+    w.BeginObject();
+    w.KV("name", "thread_name");
+    w.KV("ph", "M");
+    w.KV("pid", 0);
+    w.KV("tid", tid);
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", tid == 0 ? "host wall-clock" : "simulated device");
+    w.EndObject();
+    w.EndObject();
+  }
+
+  const double host_now = tracer.HostNowUs();
+  const double sim_now = tracer.sim_now_us();
+  for (SpanRecord span : tracer.spans()) {
+    if (!span.closed) {
+      // Export still-open spans as closed at "now" so partial traces load.
+      span.host_end_us = host_now;
+      span.sim_end_us = sim_now;
+    }
+    WriteEvent(w, span, /*tid=*/0, span.host_begin_us, span.HostDurationUs());
+    WriteEvent(w, span, /*tid=*/1, span.sim_begin_us, span.SimDurationUs());
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::string json = ChromeTraceJson(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace trace
+}  // namespace minuet

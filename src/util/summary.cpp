@@ -48,6 +48,54 @@ double MinValue(const std::vector<double>& values) {
   return *std::min_element(values.begin(), values.end());
 }
 
+double Percentile(std::vector<double> values, double p) {
+  MINUET_CHECK(!values.empty());
+  MINUET_CHECK_GE(p, 0.0);
+  MINUET_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+FixedHistogram::FixedHistogram(double lower, double upper, int num_buckets)
+    : lower_(lower), upper_(upper) {
+  MINUET_CHECK_GT(num_buckets, 0);
+  MINUET_CHECK_LT(lower, upper);
+  counts_.assign(static_cast<size_t>(num_buckets), 0);
+  bucket_width_ = (upper - lower) / static_cast<double>(num_buckets);
+}
+
+void FixedHistogram::Add(double value) {
+  if (total_count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_count_;
+  sum_ += value;
+  if (value < lower_) {
+    ++underflow_;
+  } else if (value >= upper_) {
+    ++overflow_;
+  } else {
+    size_t bucket = static_cast<size_t>((value - lower_) / bucket_width_);
+    // Rounding at the top edge can land one past the last bucket.
+    bucket = std::min(bucket, counts_.size() - 1);
+    ++counts_[bucket];
+  }
+}
+
+double FixedHistogram::BucketLower(int i) const {
+  return lower_ + static_cast<double>(i) * bucket_width_;
+}
+
 std::string HumanCount(uint64_t count) {
   char buf[32];
   if (count >= 1000000) {

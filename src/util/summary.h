@@ -1,7 +1,9 @@
-// Small statistics helpers shared by benches (means, geomeans, formatting).
+// Small statistics helpers shared by benches (means, geomeans, percentiles,
+// formatting) and the metrics registry (fixed-bucket histograms).
 #ifndef SRC_UTIL_SUMMARY_H_
 #define SRC_UTIL_SUMMARY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,47 @@ double GeoMean(const std::vector<double>& values);
 double Median(std::vector<double> values);
 double MaxValue(const std::vector<double>& values);
 double MinValue(const std::vector<double>& values);
+
+// p-th percentile (p in [0, 100]) with linear interpolation between order
+// statistics (the same convention as numpy.percentile's default). p=50
+// matches Median; p=0/100 match MinValue/MaxValue.
+double Percentile(std::vector<double> values, double p);
+
+// Fixed-bucket histogram over [lower, upper): `num_buckets` equal-width
+// buckets plus implicit underflow/overflow counts. Bucket edges are fixed at
+// construction so histograms from different runs can be diffed bucket by
+// bucket (the property a trajectory of BENCH_*.json points needs).
+class FixedHistogram {
+ public:
+  FixedHistogram(double lower, double upper, int num_buckets);
+
+  void Add(double value);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double lower() const { return lower_; }
+  double upper() const { return upper_; }
+  // Inclusive lower edge of bucket i.
+  double BucketLower(int i) const;
+  uint64_t BucketCount(int i) const { return counts_[static_cast<size_t>(i)]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total_count() const { return total_count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // undefined when total_count() == 0
+  double max() const { return max_; }
+
+ private:
+  double lower_;
+  double upper_;
+  double bucket_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 // "12.3K", "4.56M" style humanisation for point counts in bench tables.
 std::string HumanCount(uint64_t count);

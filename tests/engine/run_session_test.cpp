@@ -154,6 +154,47 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, RunSessionSuite,
 
 // --- Session-level cache behaviour ------------------------------------------
 
+TEST(RunSessionTest, StatsSnapshotTracksCacheAndPool) {
+  Engine engine(ConfigFor(EngineKind::kMinuet), MakeRtx3090());
+  engine.Prepare(MakeTinyUNet(4), 11);
+  PointCloud a = SmallCloud(200, 9, 4, 1);
+  PointCloud b = SmallCloud(200, 9, 4, 2);
+
+  RunSession session(engine);
+  session.Run(a);  // cold: plan miss
+  session.Run(a);  // warm: plan hit
+  session.Run(b);  // cold again for a new coordinate set
+  session.Run(a);  // warm: a's plan is still cached
+
+  SessionStats stats = session.stats();
+  EXPECT_EQ(stats.cold_runs, 2u);
+  EXPECT_EQ(stats.warm_runs, 2u);
+  EXPECT_EQ(stats.plan.misses, 2u);
+  EXPECT_EQ(stats.plan.hits, 2u);
+  EXPECT_EQ(stats.plan.evictions, 0u);
+  // The snapshot mirrors the live cache and pool counters.
+  EXPECT_EQ(stats.plan.hits, session.plan_cache().stats().hits);
+  EXPECT_EQ(stats.pool.allocations, session.workspace_pool().stats().allocations);
+  EXPECT_GT(stats.pool.reuses, 0u);
+  EXPECT_EQ(stats.pool.outstanding, 0);
+}
+
+TEST(RunSessionTest, StatsCountEvictions) {
+  Engine engine(ConfigFor(EngineKind::kMinuet), MakeRtx3090());
+  engine.Prepare(MakeTinyUNet(4), 11);
+  PointCloud a = SmallCloud(150, 8, 4, 1);
+  PointCloud b = SmallCloud(150, 8, 4, 2);
+
+  RunSession session(engine, /*plan_capacity=*/1);
+  session.Run(a);
+  session.Run(b);  // evicts a's plan
+  session.Run(a);  // miss again, evicts b's plan
+  SessionStats stats = session.stats();
+  EXPECT_EQ(stats.cold_runs, 3u);
+  EXPECT_EQ(stats.plan.misses, 3u);
+  EXPECT_EQ(stats.plan.evictions, 2u);
+}
+
 TEST(RunSessionTest, ClassificationHeadMatchesStatelessRun) {
   // Pooling instrs, global average pool, and the linear head all flow through
   // the cached plan too.

@@ -1,0 +1,112 @@
+#include "src/util/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace minuet {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "gather");
+  w.KV("cycles", 1234.5);
+  w.KV("launches", int64_t{7});
+  w.KV("warm", true);
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+  EXPECT_EQ(w.str(), "{\"name\":\"gather\",\"cycles\":1234.5,\"launches\":7,\"warm\":true}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.Value(1);
+  w.Value(2);
+  w.BeginObject();
+  w.KV("k", "v");
+  w.EndObject();
+  w.EndArray();
+  w.Key("meta");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+  EXPECT_EQ(w.str(), "{\"rows\":[1,2,{\"k\":\"v\"}],\"meta\":{}}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter arrays;
+  arrays.BeginArray();
+  arrays.EndArray();
+  EXPECT_EQ(arrays.str(), "[]");
+  JsonWriter objects;
+  objects.BeginObject();
+  objects.EndObject();
+  EXPECT_EQ(objects.str(), "{}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("quote\"key", "value\nwith newline");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"quote\\\"key\":\"value\\nwith newline\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(-std::numeric_limits<double>::infinity());
+  w.Value(0.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,0.5]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripPrecision) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(1.0 / 3.0);
+  w.EndArray();
+  // %.17g preserves the exact binary64 value through a parse.
+  std::string body = w.str().substr(1, w.str().size() - 2);
+  EXPECT_DOUBLE_EQ(std::stod(body), 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, CompleteTracksOpenContainers) {
+  JsonWriter w;
+  EXPECT_FALSE(w.Complete());  // nothing written yet
+  w.BeginObject();
+  EXPECT_FALSE(w.Complete());
+  w.Key("a");
+  w.BeginArray();
+  EXPECT_FALSE(w.Complete());
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+}
+
+TEST(JsonWriterTest, TakeStringMoves) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(1);
+  w.EndArray();
+  std::string json = w.TakeString();
+  EXPECT_EQ(json, "[1]");
+}
+
+}  // namespace
+}  // namespace minuet

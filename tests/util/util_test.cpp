@@ -128,6 +128,63 @@ TEST(SummaryTest, HumanCount) {
   EXPECT_EQ(HumanCount(2500000), "2.50M");
 }
 
+TEST(SummaryTest, PercentileMatchesOrderStatistics) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), MinValue(v));
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), MaxValue(v));
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), Median(v));
+  EXPECT_DOUBLE_EQ(Percentile({5.0, 1.0, 9.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(SummaryTest, PercentileInterpolatesLinearly) {
+  // numpy.percentile convention: rank = p/100 * (n-1), linear between
+  // neighbours. For {10,20,30,40}: p25 → rank 0.75 → 17.5.
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75.0), 32.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 37.0);
+}
+
+TEST(FixedHistogramTest, BucketPlacement) {
+  FixedHistogram hist(0.0, 10.0, 5);  // width 2
+  hist.Add(0.0);   // bucket 0 (inclusive lower edge)
+  hist.Add(1.99);  // bucket 0
+  hist.Add(2.0);   // bucket 1
+  hist.Add(9.99);  // bucket 4
+  EXPECT_EQ(hist.BucketCount(0), 2u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(4), 1u);
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  EXPECT_EQ(hist.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.BucketLower(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.BucketLower(4), 8.0);
+}
+
+TEST(FixedHistogramTest, UnderflowAndOverflow) {
+  FixedHistogram hist(0.0, 10.0, 5);
+  hist.Add(-0.001);  // below lower
+  hist.Add(10.0);    // upper edge is exclusive
+  hist.Add(1e9);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.total_count(), 3u);  // out-of-range values still counted
+  for (int i = 0; i < hist.num_buckets(); ++i) {
+    EXPECT_EQ(hist.BucketCount(i), 0u);
+  }
+}
+
+TEST(FixedHistogramTest, TracksSumMinMax) {
+  FixedHistogram hist(0.0, 100.0, 10);
+  hist.Add(5.0);
+  hist.Add(-3.0);  // underflow still feeds sum/min/max
+  hist.Add(42.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), 44.0);
+  EXPECT_DOUBLE_EQ(hist.min(), -3.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 42.0);
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   WallTimer timer;
   volatile double x = 0.0;

@@ -9,11 +9,14 @@
 // a per-conv-layer table.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/data/generators.h"
 #include "src/engine/engine.h"
 #include "src/gpusim/device_config.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
 
@@ -33,7 +36,9 @@ struct Options {
   bool fp16 = false;
   int repeat = 1;      // total inference runs per engine
   bool reuse = false;  // serve repeats through a RunSession (plan cache + pool)
-  std::string trace_csv;  // empty: no trace
+  std::string trace_csv;   // legacy per-launch CSV; empty: off
+  std::string trace_json;  // Chrome trace-event JSON; empty: off
+  std::string metrics;     // metrics snapshot JSON; empty: off
 };
 
 [[noreturn]] void Usage() {
@@ -43,9 +48,16 @@ struct Options {
                "                  [--dataset kitti|s3dis|sem3d|shapenet|random]\n"
                "                  [--gpu 2070s|2080ti|3090|a100] [--points N]\n"
                "                  [--seed N] [--functional 0|1] [--autotune 0|1] [--layers]\n"
-               "                  [--precision fp32|fp16] [--trace out.csv]\n"
-               "                  [--repeat N] [--reuse]\n"
+               "                  [--precision fp32|fp16] [--repeat N] [--reuse]\n"
+               "                  [--trace=out.json] [--trace-csv=out.csv]\n"
+               "                  [--metrics=out.json]\n"
                "\n"
+               "  --trace FILE     write a Chrome trace-event JSON (open in Perfetto /\n"
+               "                   chrome://tracing): nested run/layer/step/kernel spans\n"
+               "                   on a host-clock track and a simulated-device track\n"
+               "  --trace-csv FILE write the flat per-launch kernel CSV (legacy)\n"
+               "  --metrics FILE   write a metrics-registry snapshot (device kernel\n"
+               "                   aggregates, per-layer padding, session counters)\n"
                "  --repeat N   run each engine N times on the same cloud\n"
                "  --reuse      serve repeats through a persistent RunSession\n"
                "               (cached plans + pooled workspaces; warm runs skip\n"
@@ -57,7 +69,18 @@ Options Parse(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
     auto next = [&]() -> std::string {
+      if (has_inline_value) {
+        return inline_value;
+      }
       if (i + 1 >= argc) {
         Usage();
       }
@@ -89,7 +112,11 @@ Options Parse(int argc, char** argv) {
     } else if (arg == "--reuse") {
       opts.reuse = true;
     } else if (arg == "--trace") {
+      opts.trace_json = next();
+    } else if (arg == "--trace-csv") {
       opts.trace_csv = next();
+    } else if (arg == "--metrics") {
+      opts.metrics = next();
     } else if (arg == "--precision") {
       std::string p = next();
       if (p == "fp16") {
@@ -148,7 +175,16 @@ Network ParseNetwork(const std::string& name) {
   Usage();
 }
 
-void RunOne(EngineKind kind, const Options& opts, const Network& net, const PointCloud& cloud,
+// Suffixes `path` with the engine name when several engines share one flag
+// value (--engine all), so each writes its own file.
+std::string PerEnginePath(const std::string& path, const Options& opts, EngineKind kind) {
+  if (opts.engine != "all") {
+    return path;
+  }
+  return path + "." + EngineKindName(kind);
+}
+
+bool RunOne(EngineKind kind, const Options& opts, const Network& net, const PointCloud& cloud,
             const PointCloud& sample, const DeviceConfig& device) {
   EngineConfig config;
   config.kind = kind;
@@ -162,26 +198,33 @@ void RunOne(EngineKind kind, const Options& opts, const Network& net, const Poin
   if (!opts.trace_csv.empty()) {
     engine.device().EnableTrace(true);
   }
+  // The span tracer goes in only now, after Autotune, so the trace covers
+  // exactly the measured runs (the tuning scratch device stays silent).
+  trace::Tracer tracer;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(&tracer);
+  }
+  std::unique_ptr<RunSession> session;
   RunResult result;
   if (opts.reuse) {
     // Serving mode: first run is cold (records the execution plan, warms the
     // workspace pool), the rest replay it. Reported result is the last run.
-    RunSession session(engine);
+    session = std::make_unique<RunSession>(engine);
     WallTimer timer;
-    result = session.Run(cloud);
+    result = session->Run(cloud);
     const double cold_host_ms = timer.ElapsedMillis();
     const double cold_sim_ms = device.CyclesToMillis(result.total.TotalCycles());
-    const uint64_t cold_allocs = session.workspace_pool().stats().allocations;
+    const uint64_t cold_allocs = session->workspace_pool().stats().allocations;
     double warm_host_ms = 0.0;
     double warm_sim_ms = 0.0;
     uint64_t warm_allocs = 0;
     for (int r = 1; r < opts.repeat; ++r) {
-      session.workspace_pool().ResetStats();
+      session->workspace_pool().ResetStats();
       timer.Reset();
-      result = session.Run(cloud);
+      result = session->Run(cloud);
       warm_host_ms += timer.ElapsedMillis();
       warm_sim_ms += device.CyclesToMillis(result.total.TotalCycles());
-      warm_allocs += session.workspace_pool().stats().allocations;
+      warm_allocs += session->workspace_pool().stats().allocations;
     }
     const int warm_runs = opts.repeat - 1;
     if (warm_runs > 0) {
@@ -204,16 +247,42 @@ void RunOne(EngineKind kind, const Options& opts, const Network& net, const Poin
     }
     result = engine.Run(cloud);
   }
-  if (!opts.trace_csv.empty()) {
-    std::string path = opts.trace_csv;
-    if (opts.engine == "all") {
-      path += std::string(".") + EngineKindName(kind);
+  bool ok = true;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(nullptr);
+    std::string path = PerEnginePath(opts.trace_json, opts, kind);
+    if (WriteChromeTrace(tracer, path)) {
+      std::printf("  span trace (%lld spans, %lld kernels) written to %s\n",
+                  static_cast<long long>(tracer.spans().size()),
+                  static_cast<long long>(tracer.CountCategory("kernel")), path.c_str());
+    } else {
+      std::fprintf(stderr, "  could not write trace to %s\n", path.c_str());
+      ok = false;
     }
+  }
+  if (!opts.metrics.empty()) {
+    trace::MetricsRegistry registry;
+    engine.device().PublishMetrics(registry);
+    PublishRunMetrics(result, device, registry);
+    if (session != nullptr) {
+      session->PublishMetrics(registry);
+    }
+    std::string path = PerEnginePath(opts.metrics, opts, kind);
+    if (registry.WriteSnapshot(path)) {
+      std::printf("  metrics snapshot written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "  could not write metrics to %s\n", path.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.trace_csv.empty()) {
+    std::string path = PerEnginePath(opts.trace_csv, opts, kind);
     if (WriteTraceCsv(engine.device().trace(), device, path)) {
       std::printf("  kernel trace (%zu launches) written to %s\n", engine.device().trace().size(),
                   path.c_str());
     } else {
       std::fprintf(stderr, "  could not write trace to %s\n", path.c_str());
+      ok = false;
     }
   }
   std::printf("%-16s %9.3f ms   map %7.3f (build %6.3f, query %6.3f)"
@@ -242,6 +311,7 @@ void RunOne(EngineKind kind, const Options& opts, const Network& net, const Poin
                   layer.scatter_tile, device.CyclesToMillis(layer.cycles.TotalCycles()));
     }
   }
+  return ok;
 }
 
 int Main(int argc, char** argv) {
@@ -264,21 +334,22 @@ int Main(int argc, char** argv) {
               DatasetName(dataset), static_cast<long long>(cloud.num_points()),
               device.name.c_str(), opts.functional ? "functional" : "timing-only");
 
+  bool ok = true;
   if (opts.engine == "all") {
     for (EngineKind kind :
          {EngineKind::kMinkowski, EngineKind::kTorchSparse, EngineKind::kMinuet}) {
-      RunOne(kind, opts, net, cloud, sample, device);
+      ok = RunOne(kind, opts, net, cloud, sample, device) && ok;
     }
   } else if (opts.engine == "minuet") {
-    RunOne(EngineKind::kMinuet, opts, net, cloud, sample, device);
+    ok = RunOne(EngineKind::kMinuet, opts, net, cloud, sample, device);
   } else if (opts.engine == "torchsparse") {
-    RunOne(EngineKind::kTorchSparse, opts, net, cloud, sample, device);
+    ok = RunOne(EngineKind::kTorchSparse, opts, net, cloud, sample, device);
   } else if (opts.engine == "minkowski") {
-    RunOne(EngineKind::kMinkowski, opts, net, cloud, sample, device);
+    ok = RunOne(EngineKind::kMinkowski, opts, net, cloud, sample, device);
   } else {
     Usage();
   }
-  return 0;
+  return ok ? 0 : 1;
 }
 
 }  // namespace
