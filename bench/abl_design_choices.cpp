@@ -20,7 +20,7 @@
 namespace minuet {
 namespace {
 
-void ThresholdSweep() {
+void ThresholdSweep(bench::JsonReport& report) {
   std::printf("\n(a) grouping padding threshold (sorted order, C=64, kitti-like 60K):\n");
   bench::Row("%-10s %9s %8s %10s", "threshold", "padding", "kernels", "GEMM(ms)");
   bench::Rule();
@@ -37,13 +37,19 @@ void ThresholdSweep() {
                                     static_cast<int64_t>(group.offset_indices.size()))
                       .cycles);
     }
+    double gemm_ms = device.config().CyclesToMillis(pool.ElapsedCycles());
     bench::Row("%-10.2f %8.1f%% %8lld %10.3f", threshold, 100.0 * plan.PaddingOverhead(),
-               static_cast<long long>(plan.NumKernels()),
-               device.config().CyclesToMillis(pool.ElapsedCycles()));
+               static_cast<long long>(plan.NumKernels()), gemm_ms);
+    report.AddRow();
+    report.Set("sweep", std::string("threshold"));
+    report.Set("threshold", threshold);
+    report.Set("padding", plan.PaddingOverhead());
+    report.Set("kernels", plan.NumKernels());
+    report.Set("gemm_ms", gemm_ms);
   }
 }
 
-void StreamPoolSweep() {
+void StreamPoolSweep(bench::JsonReport& report) {
   std::printf("\n(b) stream pool size s (Section 5.2.2 fixes s = 4):\n");
   bench::Row("%-10s %12s", "streams", "GEMM(ms)");
   bench::Rule();
@@ -59,11 +65,16 @@ void StreamPoolSweep() {
                                     static_cast<int64_t>(group.offset_indices.size()))
                       .cycles);
     }
-    bench::Row("%-10d %12.3f", s, device.config().CyclesToMillis(pool.ElapsedCycles()));
+    double gemm_ms = device.config().CyclesToMillis(pool.ElapsedCycles());
+    bench::Row("%-10d %12.3f", s, gemm_ms);
+    report.AddRow();
+    report.Set("sweep", std::string("streams"));
+    report.Set("streams", int64_t{s});
+    report.Set("gemm_ms", gemm_ms);
   }
 }
 
-void LoadFactorSweep() {
+void LoadFactorSweep(bench::JsonReport& report) {
   std::printf("\n(c) baseline hash-table load factor (400K random keys, query time):\n");
   bench::Row("%-10s %-14s %12s %12s %10s", "load", "table", "build(ms)", "query(ms)", "L2 hit");
   bench::Rule();
@@ -84,11 +95,18 @@ void LoadFactorSweep() {
       bench::Row("%-10.2f %-14s %12.3f %12.3f %9.1f%%", load, table->name(),
                  device.config().CyclesToMillis(build.cycles),
                  device.config().CyclesToMillis(query.cycles), 100.0 * query.L2HitRatio());
+      report.AddRow();
+      report.Set("sweep", std::string("load_factor"));
+      report.Set("load", load);
+      report.Set("table", std::string(table->name()));
+      report.Set("build_ms", device.config().CyclesToMillis(build.cycles));
+      report.Set("query_ms", device.config().CyclesToMillis(query.cycles));
+      report.Set("l2_hit_ratio", query.L2HitRatio());
     }
   }
 }
 
-void PrecisionSweep() {
+void PrecisionSweep(bench::JsonReport& report) {
   std::printf("\n(d) fp16 vs fp32 inference (Minuet, MinkUNet42, kitti-like 40K):\n");
   bench::Row("%-10s %12s %10s %10s %10s", "precision", "total(ms)", "map", "gmas", "gemm");
   bench::Rule();
@@ -112,18 +130,27 @@ void PrecisionSweep() {
                device.CyclesToMillis(total.TotalCycles()),
                device.CyclesToMillis(total.MapCycles()),
                device.CyclesToMillis(total.GmasCycles()), device.CyclesToMillis(total.gemm));
+    report.AddRow();
+    report.Set("sweep", std::string("precision"));
+    report.Set("precision", std::string(precision == Precision::kFp16 ? "fp16" : "fp32"));
+    report.Set("total_ms", device.CyclesToMillis(total.TotalCycles()));
+    report.Set("map_ms", device.CyclesToMillis(total.MapCycles()));
+    report.Set("gmas_ms", device.CyclesToMillis(total.GmasCycles()));
+    report.Set("gemm_ms", device.CyclesToMillis(total.gemm));
   }
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("abl_design_choices", argc, argv);
   bench::PrintTitle("Ablations", "design-choice sweeps of this reproduction");
-  ThresholdSweep();
-  StreamPoolSweep();
-  LoadFactorSweep();
-  PrecisionSweep();
-  return 0;
+  report.Meta("device", std::string("RTX 3090"));
+  ThresholdSweep(report);
+  StreamPoolSweep(report);
+  LoadFactorSweep(report);
+  PrecisionSweep(report);
+  return report.Write() ? 0 : 1;
 }

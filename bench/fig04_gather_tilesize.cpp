@@ -28,7 +28,7 @@ MetadataTables TablesFor(Device& device, DatasetKind dataset, int64_t points) {
 }
 
 void SweepTiles(const DeviceConfig& config, const MetadataTables& tables, int64_t channels,
-                const char* label) {
+                const char* label, const char* section, bench::JsonReport& report) {
   FeatureMatrix features(tables.num_inputs, channels);
   FeatureMatrix buffer(tables.buffer_rows, channels);
   std::printf("%-28s", label);
@@ -49,6 +49,12 @@ void SweepTiles(const DeviceConfig& config, const MetadataTables& tables, int64_
   }
   for (auto& [tile, ms] : rows) {
     std::printf(" %8.3f%s", ms, tile == best_tile ? "*" : " ");
+    report.AddRow();
+    report.Set("section", std::string(section));
+    report.Set("config", std::string(label));
+    report.Set("tile", int64_t{tile});
+    report.Set("gather_ms", ms);
+    report.Set("best", int64_t{tile == best_tile ? 1 : 0});
   }
   std::printf("\n");
 }
@@ -65,10 +71,12 @@ void PrintTileHeader(int64_t channels) {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig04_gather_tilesize", argc, argv);
   bench::PrintTitle("Figure 4", "Gather latency (ms) vs tile size; '*' marks the best tile");
   bench::PrintNote("80K-point clouds, K=3; latencies are simulated device time");
+  report.Meta("points", int64_t{80000});
 
   std::printf("\n(a) varying input channel size — s3dis-like cloud, RTX 3090\n");
   {
@@ -78,7 +86,7 @@ int main() {
     for (int64_t c : {32, 64, 128, 256}) {
       char label[64];
       std::snprintf(label, sizeof(label), "C_in = %lld", static_cast<long long>(c));
-      SweepTiles(MakeRtx3090(), tables, c, label);
+      SweepTiles(MakeRtx3090(), tables, c, label, "channels", report);
     }
   }
 
@@ -87,7 +95,7 @@ int main() {
   for (DatasetKind dataset : AllRealDatasets()) {
     Device dev(MakeRtx3090());
     MetadataTables tables = TablesFor(dev, dataset, 80000);
-    SweepTiles(MakeRtx3090(), tables, 64, DatasetName(dataset));
+    SweepTiles(MakeRtx3090(), tables, 64, DatasetName(dataset), "dataset", report);
   }
 
   std::printf("\n(c) varying GPU — C_in = 64, kitti-like cloud\n");
@@ -96,8 +104,8 @@ int main() {
     Device dev(MakeRtx3090());
     MetadataTables tables = TablesFor(dev, DatasetKind::kKitti, 80000);
     for (const DeviceConfig& config : AllDeviceConfigs()) {
-      SweepTiles(config, tables, 64, config.name.c_str());
+      SweepTiles(config, tables, 64, config.name.c_str(), "gpu", report);
     }
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

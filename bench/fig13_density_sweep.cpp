@@ -13,7 +13,7 @@
 namespace minuet {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const Network net = MakeMinkUNet42(4);
   DeviceConfig device = MakeRtx3090();
   const std::vector<int64_t> sizes = {10000, 30000, 100000, 200000, 400000};
@@ -54,18 +54,33 @@ void Run() {
                static_cast<long long>(cloud.num_points()),
                100.0 * Sparsity(cloud.coords), results[0], results[1], results[2],
                results[0] / results[2], results[1] / results[2]);
+    report.AddRow();
+    report.Set("points", cloud.num_points());
+    report.Set("density", Sparsity(cloud.coords));
+    report.Set("minkowski_ms", results[0]);
+    report.Set("torchsparse_ms", results[1]);
+    report.Set("minuet_ms", results[2]);
+    report.Set("speedup_vs_minkowski", results[0] / results[2]);
+    report.Set("speedup_vs_torchsparse", results[1] / results[2]);
   }
   bench::Rule();
   bench::Row("%-21s %38s %9.2fx %9.2fx", "geomean", "", GeoMean(over_mink), GeoMean(over_ts));
+  report.AddRow();
+  report.Set("points", std::string("geomean"));
+  report.Set("speedup_vs_minkowski", GeoMean(over_mink));
+  report.Set("speedup_vs_torchsparse", GeoMean(over_ts));
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig13_density_sweep", argc, argv);
   bench::PrintTitle("Figure 13", "End-to-end speedup vs point-cloud density (400^3 volume)");
   bench::PrintNote("MinkUNet42, RTX 3090, timing-only; paper sweeps 1e4..1e6 points");
-  Run();
-  return 0;
+  report.Meta("device", std::string("RTX 3090"));
+  report.Meta("volume", int64_t{400});
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

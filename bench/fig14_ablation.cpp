@@ -20,7 +20,7 @@ struct Step {
   EngineFeatures features;
 };
 
-void Run(DatasetKind dataset) {
+void Run(DatasetKind dataset, bench::JsonReport& report) {
   const int64_t points = bench::PointsFromEnv(100000);
   const Network net = MakeMinkUNet42(4);
   DeviceConfig device = MakeRtx3090();
@@ -65,18 +65,27 @@ void Run(DatasetKind dataset) {
     }
     bench::Row("%-28s %12.2f %12.2f %9.2fx", step.label, ms,
                device.CyclesToMillis(result.total.MapCycles()), baseline_ms / ms);
+    report.AddRow();
+    report.Set("dataset", std::string(DatasetName(dataset)));
+    report.Set("configuration", std::string(step.label));
+    report.Set("total_ms", ms);
+    report.Set("map_ms", device.CyclesToMillis(result.total.MapCycles()));
+    report.Set("speedup", baseline_ms / ms);
   }
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig14_ablation", argc, argv);
   bench::PrintTitle("Figure 14", "Speedup breakdown of Minuet's four key ideas (cumulative)");
   bench::PrintNote("MinkUNet42, RTX 3090, timing-only; 100K points (MINUET_BENCH_POINTS "
                    "overrides)");
-  Run(DatasetKind::kKitti);
-  Run(DatasetKind::kSem3d);
-  return 0;
+  report.Meta("points", bench::PointsFromEnv(100000));
+  report.Meta("device", std::string("RTX 3090"));
+  Run(DatasetKind::kKitti, report);
+  Run(DatasetKind::kSem3d, report);
+  return report.Write() ? 0 : 1;
 }

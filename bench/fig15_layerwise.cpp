@@ -10,7 +10,7 @@
 namespace minuet {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const int64_t points = bench::PointsFromEnv(150000);
   DeviceConfig device = MakeRtx3090();
 
@@ -52,20 +52,34 @@ void Run() {
     std::snprintf(label, sizeof(label), "(%lld,%lld)", static_cast<long long>(layer.c_in),
                   static_cast<long long>(layer.c_out));
     bench::Row("%-12s %13.2fx %13.2fx %13.2fx", label, 1.0, ts_geo, mn_geo);
+    report.AddRow();
+    report.Set("layer", std::string(label));
+    report.Set("c_in", layer.c_in);
+    report.Set("c_out", layer.c_out);
+    report.Set("minkowski_ms_mean", Mean(mink_ms));
+    report.Set("torchsparse_speedup", ts_geo);
+    report.Set("minuet_speedup", mn_geo);
   }
   bench::Rule();
   bench::Row("%-12s %13.2fx %13.2fx %13.2fx", "geomean", 1.0, GeoMean(ts_speedups),
              GeoMean(mn_speedups));
+  report.AddRow();
+  report.Set("layer", std::string("geomean"));
+  report.Set("torchsparse_speedup", GeoMean(ts_speedups));
+  report.Set("minuet_speedup", GeoMean(mn_speedups));
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig15_layerwise", argc, argv);
   bench::PrintTitle("Figure 15",
                     "Layerwise speedup over MinkowskiEngine (geomean over datasets)");
   bench::PrintNote("150K-point clouds (MINUET_BENCH_POINTS overrides), K=3 stride 1, RTX 3090; Minuet autotuned per layer");
-  Run();
-  return 0;
+  report.Meta("points", bench::PointsFromEnv(150000));
+  report.Meta("device", std::string("RTX 3090"));
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

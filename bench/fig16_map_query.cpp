@@ -22,7 +22,8 @@ struct EngineRow {
   std::unique_ptr<MapBuilderBase> builder;
 };
 
-void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
+void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes,
+              bench::JsonReport& report) {
   std::printf("\ndataset: %s\n", DatasetName(dataset));
   bench::Row("%-10s %-22s %12s %12s %10s %12s", "points", "engine", "query(ms)", "speedup",
              "L2 hit", "comparisons");
@@ -58,6 +59,14 @@ void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
                  static_cast<long long>(coords.size()), row.label.c_str(), ms,
                  baseline_ms / ms, 100.0 * result.lookup_stats.L2HitRatio(),
                  static_cast<unsigned long long>(result.comparisons));
+      report.AddRow();
+      report.Set("dataset", std::string(DatasetName(dataset)));
+      report.Set("points", static_cast<int64_t>(coords.size()));
+      report.Set("engine", row.label);
+      report.Set("query_ms", ms);
+      report.Set("speedup", baseline_ms / ms);
+      report.Set("l2_hit_ratio", result.lookup_stats.L2HitRatio());
+      report.Set("comparisons", static_cast<int64_t>(result.comparisons));
     }
     bench::Rule();
   }
@@ -66,12 +75,14 @@ void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig16_map_query", argc, argv);
   bench::PrintTitle("Figure 16", "Map-step query: speedup and L2 hit ratio vs point count");
   bench::PrintNote("point counts scaled ~10x down from the paper (simulator on 1 CPU core);");
   bench::PrintNote("K=3, stride 1, RTX 3090 device model; speedup is vs MinkowskiEngine's hash");
-  RunSweep(DatasetKind::kSem3d, {100000, 200000, 400000, 800000});
-  RunSweep(DatasetKind::kRandom, {100000, 200000, 400000, 800000});
-  return 0;
+  report.Meta("device", std::string("RTX 3090"));
+  RunSweep(DatasetKind::kSem3d, {100000, 200000, 400000, 800000}, report);
+  RunSweep(DatasetKind::kRandom, {100000, 200000, 400000, 800000}, report);
+  return report.Write() ? 0 : 1;
 }

@@ -16,7 +16,8 @@
 namespace minuet {
 namespace {
 
-void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
+void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes,
+              bench::JsonReport& report) {
   std::printf("\ndataset: %s\n", DatasetName(dataset));
   bench::Row("%-10s %-24s %12s %10s", "points", "engine", "build(ms)", "vs Minuet");
   bench::Rule();
@@ -48,9 +49,21 @@ void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
       double ms = device.config().CyclesToMillis(stats.cycles);
       bench::Row("%-10lld %-24s %12.3f %9.2fx", static_cast<long long>(keys.size()), t.label,
                  ms, ms / minuet_ms);
+      report.AddRow();
+      report.Set("dataset", std::string(DatasetName(dataset)));
+      report.Set("points", static_cast<int64_t>(keys.size()));
+      report.Set("engine", std::string(t.label));
+      report.Set("build_ms", ms);
+      report.Set("vs_minuet", ms / minuet_ms);
     }
     bench::Row("%-10lld %-24s %12.3f %9.2fx", static_cast<long long>(keys.size()),
                "Minuet(sort)", minuet_ms, 1.0);
+    report.AddRow();
+    report.Set("dataset", std::string(DatasetName(dataset)));
+    report.Set("points", static_cast<int64_t>(keys.size()));
+    report.Set("engine", std::string("Minuet(sort)"));
+    report.Set("build_ms", minuet_ms);
+    report.Set("vs_minuet", 1.0);
     bench::Rule();
   }
 }
@@ -58,11 +71,13 @@ void RunSweep(DatasetKind dataset, const std::vector<int64_t>& sizes) {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig17_map_build", argc, argv);
   bench::PrintTitle("Figure 17", "Map-step build: hash-table build vs Minuet's radix sort");
   bench::PrintNote("point counts scaled ~10x down from the paper; RTX 3090 device model");
-  RunSweep(DatasetKind::kSem3d, {100000, 200000, 400000, 800000});
-  RunSweep(DatasetKind::kRandom, {100000, 200000, 400000, 800000});
-  return 0;
+  report.Meta("device", std::string("RTX 3090"));
+  RunSweep(DatasetKind::kSem3d, {100000, 200000, 400000, 800000}, report);
+  RunSweep(DatasetKind::kRandom, {100000, 200000, 400000, 800000}, report);
+  return report.Write() ? 0 : 1;
 }

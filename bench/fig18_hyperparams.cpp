@@ -13,7 +13,7 @@
 namespace minuet {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const std::vector<int64_t> b_values = {64, 128, 256, 512, 1024, 2048};
   const std::vector<int64_t> c_values = {64, 128, 256, 512, 1024, 2048};
   auto coords = GenerateCoords(DatasetKind::kSem3d, 200000, /*seed=*/12);
@@ -49,6 +49,11 @@ void Run() {
         MapBuildResult result = builder.Build(device, input);
         double ms = config.CyclesToMillis(result.query_stats.cycles);
         grid.back().push_back(ms);
+        report.AddRow();
+        report.Set("gpu", config.name);
+        report.Set("b", b);
+        report.Set("c", c);
+        report.Set("query_ms", ms);
         if (best == 0.0 || ms < best) {
           best = ms;
           best_b = b;
@@ -72,10 +77,12 @@ void Run() {
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig18_hyperparams", argc, argv);
   bench::PrintTitle("Figure 18", "Query time vs hyper-parameters B and C on three GPUs");
   bench::PrintNote("sem3d-like cloud, 200K points, K=3");
-  Run();
-  return 0;
+  report.Meta("points", int64_t{200000});
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

@@ -11,7 +11,7 @@
 namespace minuet {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport& report) {
   const int64_t points = bench::PointsFromEnv(150000);
   DeviceConfig device = MakeRtx3090();
 
@@ -53,6 +53,12 @@ void Run() {
     std::snprintf(label, sizeof(label), "(%lld,%lld)", static_cast<long long>(layer.c_in),
                   static_cast<long long>(layer.c_out));
     bench::Row("%-12s %13.2fx %13.2fx %13.2fx", label, 1.0, ts_geo, mn_geo);
+    report.AddRow();
+    report.Set("layer", std::string(label));
+    report.Set("c_in", layer.c_in);
+    report.Set("c_out", layer.c_out);
+    report.Set("torchsparse_speedup", ts_geo);
+    report.Set("minuet_speedup", mn_geo);
   }
   bench::Rule();
   bench::Row("%-12s %13.2fx %13.2fx %13.2fx", "geomean", 1.0, GeoMean(ts_speedups),
@@ -63,15 +69,26 @@ void Run() {
       "  TorchSparse: %.1f%% padding, %.1f kernels\n"
       "  Minuet:      %.1f%% padding, %.1f kernels\n",
       100.0 * Mean(ts_padding), Mean(ts_kernels), 100.0 * Mean(mn_padding), Mean(mn_kernels));
+  report.AddRow();
+  report.Set("layer", std::string("geomean"));
+  report.Set("torchsparse_speedup", GeoMean(ts_speedups));
+  report.Set("minuet_speedup", GeoMean(mn_speedups));
+  report.Set("torchsparse_padding", Mean(ts_padding));
+  report.Set("minuet_padding", Mean(mn_padding));
+  report.Set("torchsparse_gemm_kernels", Mean(ts_kernels));
+  report.Set("minuet_gemm_kernels", Mean(mn_kernels));
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig19_gmas", argc, argv);
   bench::PrintTitle("Figure 19", "GMaS-step speedup over MinkowskiEngine (geomean over datasets)");
   bench::PrintNote("150K-point clouds (MINUET_BENCH_POINTS overrides), K=3 stride 1, RTX 3090; Minuet autotuned per layer");
-  Run();
-  return 0;
+  report.Meta("points", bench::PointsFromEnv(150000));
+  report.Meta("device", std::string("RTX 3090"));
+  Run(report);
+  return report.Write() ? 0 : 1;
 }

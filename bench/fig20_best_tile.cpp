@@ -28,7 +28,9 @@ std::vector<std::pair<int, int>> TunedTiles(const DeviceConfig& device, DatasetK
   return engine.layer_tiles();
 }
 
-void PrintTiles(const char* label, const std::vector<std::pair<int, int>>& tiles) {
+void PrintTiles(const char* label, const char* section,
+                const std::vector<std::pair<int, int>>& tiles, double tuning_ms,
+                bench::JsonReport& report) {
   std::printf("%-16s gather:", label);
   for (const auto& [g, s] : tiles) {
     std::printf(" %d", g);
@@ -38,17 +40,28 @@ void PrintTiles(const char* label, const std::vector<std::pair<int, int>>& tiles
     std::printf(" %d", s);
   }
   std::printf("\n");
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    report.AddRow();
+    report.Set("section", std::string(section));
+    report.Set("config", std::string(label));
+    report.Set("layer", static_cast<int64_t>(i));
+    report.Set("gather_tile", int64_t{tiles[i].first});
+    report.Set("scatter_tile", int64_t{tiles[i].second});
+    report.Set("tuning_wall_ms", tuning_ms);
+  }
 }
 
 }  // namespace
 }  // namespace minuet
 
-int main() {
+int main(int argc, char** argv) {
   using namespace minuet;
+  bench::JsonReport report("fig20_best_tile", argc, argv);
   bench::PrintTitle("Figure 20",
                     "Best-performing tile sizes per MinkUNet42 conv layer (42 layers)");
   const int64_t points = bench::PointsFromEnv(60000);
   bench::PrintNote("values are per conv layer in network order; 1x1 convs show the fixed tile");
+  report.Meta("points", points);
 
   std::printf("\n(a) across GPU architectures (kitti-like cloud):\n");
   double total_tuning_ms = 0.0;
@@ -56,7 +69,7 @@ int main() {
     double ms = 0.0;
     auto tiles = TunedTiles(device, DatasetKind::kKitti, points, &ms);
     total_tuning_ms += ms;
-    PrintTiles(device.name.c_str(), tiles);
+    PrintTiles(device.name.c_str(), "gpu", tiles, ms, report);
   }
 
   std::printf("\n(b) across datasets (RTX 3090):\n");
@@ -64,11 +77,11 @@ int main() {
     double ms = 0.0;
     auto tiles = TunedTiles(MakeRtx3090(), dataset, points, &ms);
     total_tuning_ms += ms;
-    PrintTiles(DatasetName(dataset), tiles);
+    PrintTiles(DatasetName(dataset), "dataset", tiles, ms, report);
   }
 
   std::printf("\ntotal autotuning wall time for all 8 configurations: %.1f s"
               " (paper: < 2 min per configuration on real GPUs)\n",
               total_tuning_ms / 1000.0);
-  return 0;
+  return report.Write() ? 0 : 1;
 }

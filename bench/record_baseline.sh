@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Record the committed performance baseline (BENCH_BASELINE.json).
+#
+# Runs each baseline bench RUNS times with --json output at a fixed workload
+# scale, then folds the runs into per-metric {mean, noise} envelopes with
+# `minuet_prof make-baseline`. CI re-runs the same benches at the same scale
+# and gates merges with `minuet_prof check-baseline BENCH_BASELINE.json ...`.
+#
+# The simulator is nearly deterministic: cache simulation keys off real heap
+# addresses, so ASLR / allocator layout adds ~0.1% run-to-run noise to L2 hit
+# ratios and anything downstream of them. The recorded noise envelope plus the
+# checker's relative tolerance absorbs this. Host wall-clock keys (anything
+# containing "host" or "wall") are machine-dependent and are excluded from the
+# envelope by make-baseline.
+#
+# Usage: bench/record_baseline.sh [BUILD_DIR [OUT_FILE]]
+#   RUNS=N                 rounds per bench (default 2)
+#   MINUET_BENCH_POINTS=N  workload scale (default 8000; must match CI)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_BASELINE.json}"
+RUNS="${RUNS:-2}"
+export MINUET_BENCH_POINTS="${MINUET_BENCH_POINTS:-8000}"
+
+# Keep this list in sync with the perf-regression job in .github/workflows/ci.yml.
+BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop)
+
+PROF="$BUILD_DIR/tools/minuet_prof"
+if [[ ! -x "$PROF" ]]; then
+  echo "error: $PROF not built (run: cmake --build $BUILD_DIR --target minuet_prof)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+reports=()
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 2
+  fi
+  for run in $(seq 1 "$RUNS"); do
+    out="$WORK/$bench.$run.json"
+    echo "== $bench (run $run/$RUNS, MINUET_BENCH_POINTS=$MINUET_BENCH_POINTS)"
+    "$bin" --json="$out" > /dev/null
+    reports+=("$out")
+  done
+done
+
+"$PROF" make-baseline "${reports[@]}" --out "$OUT"
+echo "baseline written to $OUT"

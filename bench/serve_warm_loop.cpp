@@ -121,6 +121,12 @@ bool BenchEngine(EngineKind kind, const Network& net, const PointCloud& cloud,
   report.Set("pool_reuses", static_cast<int64_t>(stats.pool.reuses));
   report.Set("cold_runs", static_cast<int64_t>(stats.cold_runs));
   report.Set("warm_runs", static_cast<int64_t>(stats.warm_runs));
+  // Device-level utilisation aggregates over the whole serving loop (cold +
+  // warm runs): how full the simulated GPU ran and what bound it.
+  const KernelStats& totals = engine.device().totals();
+  report.Set("occupancy", totals.Occupancy());
+  report.Set("dram_bw_util", totals.DramBandwidthUtilization(device));
+  report.Set("roofline", std::string(RooflineClassName(totals.Roofline())));
 
   bool ok = true;
   if (!opts.metrics.empty()) {

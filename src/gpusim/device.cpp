@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -14,8 +15,10 @@ namespace {
 // Leaf span for one simulated launch: the host range covers the simulation
 // of the kernel, the sim range is the kernel's modelled duration (this is
 // the only place the tracer's simulated clock advances). The KernelStats
-// payload rides along as span attributes.
-void EmitKernelSpan(trace::Tracer* tracer, int64_t span_id, const KernelStats& stats) {
+// payload — including the derived roofline attribution — rides along as span
+// attributes.
+void EmitKernelSpan(trace::Tracer* tracer, int64_t span_id, const KernelStats& stats,
+                    const DeviceConfig& config) {
   tracer->AdvanceSim(stats.millis * 1e3);
   tracer->SetAttr(span_id, "cycles", stats.cycles);
   tracer->SetAttr(span_id, "l2_hits", static_cast<int64_t>(stats.l2_hits));
@@ -26,10 +29,66 @@ void EmitKernelSpan(trace::Tracer* tracer, int64_t span_id, const KernelStats& s
   tracer->SetAttr(span_id, "shared_bytes", static_cast<int64_t>(stats.shared_bytes));
   tracer->SetAttr(span_id, "lane_ops", static_cast<int64_t>(stats.lane_ops));
   tracer->SetAttr(span_id, "blocks", stats.num_blocks);
+  tracer->SetAttr(span_id, "waves", stats.num_waves);
+  tracer->SetAttr(span_id, "dram_bytes", static_cast<int64_t>(stats.dram_bytes));
+  tracer->SetAttr(span_id, "occupancy", stats.Occupancy());
+  tracer->SetAttr(span_id, "dram_bw_util", stats.DramBandwidthUtilization(config));
+  tracer->SetAttr(span_id, "arith_intensity", stats.ArithmeticIntensity());
+  tracer->SetAttr(span_id, "roofline", std::string(RooflineClassName(stats.Roofline())));
   tracer->CloseSpan(span_id);
 }
 
 }  // namespace
+
+const char* RooflineClassName(RooflineClass cls) {
+  switch (cls) {
+    case RooflineClass::kLaunchBound:
+      return "launch_bound";
+    case RooflineClass::kComputeBound:
+      return "compute_bound";
+    case RooflineClass::kDramBound:
+      return "dram_bound";
+    case RooflineClass::kL2Bound:
+      return "l2_bound";
+  }
+  return "unknown";
+}
+
+double KernelStats::DramBandwidthUtilization(const DeviceConfig& config) const {
+  if (cycles <= 0.0) {
+    return 0.0;
+  }
+  const double peak_bytes_per_cycle = config.dram_gbps / config.clock_ghz;
+  const double achieved = static_cast<double>(dram_bytes) / cycles;
+  return std::min(1.0, achieved / peak_bytes_per_cycle);
+}
+
+double KernelStats::ArithmeticIntensity() const {
+  if (dram_bytes == 0) {
+    return lane_ops == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(lane_ops) / static_cast<double>(dram_bytes);
+}
+
+RooflineClass KernelStats::Roofline() const {
+  // Argmax over the attributed cycles; launch overhead wins ties, so an
+  // all-zero (or never-run) kernel reads launch-bound — every launch pays
+  // the fixed cost no matter what.
+  RooflineClass cls = RooflineClass::kLaunchBound;
+  double best = launch_cycles;
+  if (dram_cycles > best) {
+    cls = RooflineClass::kDramBound;
+    best = dram_cycles;
+  }
+  if (l2_cycles > best) {
+    cls = RooflineClass::kL2Bound;
+    best = l2_cycles;
+  }
+  if (compute_cycles > best) {
+    cls = RooflineClass::kComputeBound;
+  }
+  return cls;
+}
 
 KernelStats& KernelStats::operator+=(const KernelStats& other) {
   cycles += other.cycles;
@@ -42,6 +101,13 @@ KernelStats& KernelStats::operator+=(const KernelStats& other) {
   lane_ops += other.lane_ops;
   num_blocks += other.num_blocks;
   num_launches += other.num_launches;
+  dram_bytes += other.dram_bytes;
+  num_waves += other.num_waves;
+  block_slots += other.block_slots;
+  launch_cycles += other.launch_cycles;
+  compute_cycles += other.compute_cycles;
+  dram_cycles += other.dram_cycles;
+  l2_cycles += other.l2_cycles;
   return *this;
 }
 
@@ -116,7 +182,12 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
   const double l2_lines_per_cycle = 4.0 * dram_lines_per_cycle;
 
   double total_cycles = config_.launch_overhead_cycles;
+  stats.launch_cycles = config_.launch_overhead_cycles;
   double wave_max = 0.0;
+  // The critical (slowest) block's cost split into compute issue vs memory
+  // latency, for attributing latency-bound waves to a roofline class.
+  double wave_max_compute = 0.0;
+  double wave_max_memory = 0.0;
   uint64_t wave_hits = 0;
   uint64_t wave_misses = 0;
   int64_t in_wave = 0;
@@ -129,11 +200,26 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
     double wave_threads =
         static_cast<double>(in_wave) * static_cast<double>(dims.threads_per_block);
     double occupancy = std::min(1.0, wave_threads / saturation_threads);
-    double bandwidth_cycles =
-        std::max(static_cast<double>(wave_misses) / (dram_lines_per_cycle * occupancy),
-                 static_cast<double>(wave_hits) / (l2_lines_per_cycle * occupancy));
-    total_cycles += std::max(wave_max, bandwidth_cycles);
+    double dram_demand = static_cast<double>(wave_misses) / (dram_lines_per_cycle * occupancy);
+    double l2_demand = static_cast<double>(wave_hits) / (l2_lines_per_cycle * occupancy);
+    double bandwidth_cycles = std::max(dram_demand, l2_demand);
+    double wave_cycles = std::max(wave_max, bandwidth_cycles);
+    total_cycles += wave_cycles;
+    // Attribute the wave to whichever resource set its duration: aggregate
+    // bandwidth demand (DRAM or L2), or the critical block's own critical
+    // path (compute issue vs per-line memory latency).
+    if (bandwidth_cycles >= wave_max) {
+      (dram_demand >= l2_demand ? stats.dram_cycles : stats.l2_cycles) += wave_cycles;
+    } else if (wave_max_compute >= wave_max_memory) {
+      stats.compute_cycles += wave_cycles;
+    } else {
+      (wave_misses > 0 ? stats.dram_cycles : stats.l2_cycles) += wave_cycles;
+    }
+    ++stats.num_waves;
+    stats.block_slots += concurrent;
     wave_max = 0.0;
+    wave_max_compute = 0.0;
+    wave_max_memory = 0.0;
     wave_hits = 0;
     wave_misses = 0;
     in_wave = 0;
@@ -143,13 +229,19 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
     BlockCtx ctx(this, b, dims.num_blocks, dims.threads_per_block);
     body(ctx);
 
-    double block_cycles =
+    double block_compute =
         static_cast<double>(ctx.lane_ops_) / config_.lane_ops_per_cycle +
-        static_cast<double>(ctx.shared_bytes_) / config_.shared_bytes_per_cycle +
+        static_cast<double>(ctx.shared_bytes_) / config_.shared_bytes_per_cycle;
+    double block_memory =
         static_cast<double>(ctx.l1_hits_) * 1.0 +
         static_cast<double>(ctx.line_hits_) * config_.l2_hit_cycles_per_line +
         static_cast<double>(ctx.line_misses_) * config_.l2_miss_cycles_per_line;
-    wave_max = std::max(wave_max, block_cycles);
+    double block_cycles = block_compute + block_memory;
+    if (block_cycles > wave_max) {
+      wave_max = block_cycles;
+      wave_max_compute = block_compute;
+      wave_max_memory = block_memory;
+    }
     wave_hits += ctx.line_hits_;
     wave_misses += ctx.line_misses_;
     if (++in_wave == concurrent) {
@@ -162,6 +254,8 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
     stats.global_bytes_written += ctx.bytes_written_;
     stats.shared_bytes += ctx.shared_bytes_;
     stats.lane_ops += ctx.lane_ops_;
+    stats.dram_bytes +=
+        ctx.line_misses_ * static_cast<uint64_t>(config_.line_bytes);
   }
   if (in_wave > 0) {
     close_wave();
@@ -172,7 +266,7 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
   totals_ += stats;
   Record(stats);
   if (tracer != nullptr) {
-    EmitKernelSpan(tracer, span_id, stats);
+    EmitKernelSpan(tracer, span_id, stats, config_);
   }
   return stats;
 }
@@ -213,10 +307,26 @@ KernelStats Device::LaunchGemm(const std::string& name, int64_t m, int64_t n, in
   stats.millis = config_.CyclesToMillis(stats.cycles);
   stats.global_bytes_read = static_cast<uint64_t>(bytes / 2);
   stats.global_bytes_written = static_cast<uint64_t>(bytes / 2);
+  // Attribution: the analytic roofline already is a max(compute, memory), so
+  // the charged term names the bound. GEMMs bypass the L2 sim — operand
+  // traffic is DRAM traffic. The FLOPs count as lane ops so arithmetic
+  // intensity is meaningful, and the small-dimension utilisation stands in
+  // for occupancy (block_slots chosen so Occupancy() ~= util).
+  stats.launch_cycles = config_.launch_overhead_cycles;
+  if (flop_cycles >= mem_cycles) {
+    stats.compute_cycles = flop_cycles;
+  } else {
+    stats.dram_cycles = mem_cycles;
+  }
+  stats.dram_bytes = static_cast<uint64_t>(bytes);
+  stats.lane_ops = static_cast<uint64_t>(flops);
+  stats.num_waves = 1;
+  stats.block_slots =
+      std::max<int64_t>(batch, static_cast<int64_t>(static_cast<double>(batch) / util));
   totals_ += stats;
   Record(stats);
   if (tracer != nullptr) {
-    EmitKernelSpan(tracer, span_id, stats);
+    EmitKernelSpan(tracer, span_id, stats, config_);
   }
   return stats;
 }
@@ -227,7 +337,7 @@ void Device::ResetTotals() {
 }
 
 void Device::PublishMetrics(trace::MetricsRegistry& registry) const {
-  auto publish = [&registry](const std::string& prefix, const KernelStats& stats) {
+  auto publish = [&registry, this](const std::string& prefix, const KernelStats& stats) {
     registry.GetCounter(prefix + "/launches").Set(stats.num_launches);
     registry.GetCounter(prefix + "/blocks").Set(stats.num_blocks);
     registry.GetGauge(prefix + "/cycles").Set(stats.cycles);
@@ -239,11 +349,27 @@ void Device::PublishMetrics(trace::MetricsRegistry& registry) const {
         .Set(static_cast<int64_t>(stats.global_bytes_read));
     registry.GetCounter(prefix + "/bytes_written")
         .Set(static_cast<int64_t>(stats.global_bytes_written));
+    registry.GetCounter(prefix + "/dram_bytes").Set(static_cast<int64_t>(stats.dram_bytes));
+    registry.GetCounter(prefix + "/waves").Set(stats.num_waves);
+    registry.GetGauge(prefix + "/occupancy").Set(stats.Occupancy());
+    registry.GetGauge(prefix + "/dram_bw_util").Set(stats.DramBandwidthUtilization(config_));
+    registry.GetGauge(prefix + "/arith_intensity").Set(stats.ArithmeticIntensity());
+    registry.GetLabel(prefix + "/roofline").Set(RooflineClassName(stats.Roofline()));
   };
   publish("device/total", totals_);
   for (const auto& [name, stats] : kernel_aggregates_) {
     publish("device/kernel/" + name, stats);
   }
+  // The config peaks the derived ratios were computed against, so a consumer
+  // (minuet_prof, the regression gate) can sanity-check them and label the
+  // report without guessing the device.
+  registry.GetLabel("device/config/name").Set(config_.name);
+  registry.GetGauge("device/config/clock_ghz").Set(config_.clock_ghz);
+  registry.GetGauge("device/config/dram_gbps").Set(config_.dram_gbps);
+  registry.GetGauge("device/config/gemm_tflops").Set(config_.gemm_tflops);
+  registry.GetGauge("device/config/launch_overhead_cycles").Set(config_.launch_overhead_cycles);
+  registry.GetCounter("device/config/num_sms").Set(config_.num_sms);
+  registry.GetCounter("device/config/l2_bytes").Set(static_cast<int64_t>(config_.l2_bytes));
 }
 
 bool WriteTraceCsv(const std::vector<KernelStats>& trace, const DeviceConfig& config,

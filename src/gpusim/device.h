@@ -17,6 +17,7 @@
 #ifndef SRC_GPUSIM_DEVICE_H_
 #define SRC_GPUSIM_DEVICE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -33,6 +34,19 @@ namespace trace {
 class MetricsRegistry;
 }  // namespace trace
 
+// What a kernel's simulated time was spent on. The wave scheduler attributes
+// each wave's cost to the resource that determined it, so the four classes
+// partition a kernel's cycles: launch overhead, compute issue (lane ops +
+// shared traffic of the critical block), DRAM bandwidth (L2-miss lines), or
+// L2 bandwidth (L2-hit lines). Given the simulator's simplifications (no
+// warp divergence, additive per-block costs — see device.h's file comment
+// and DESIGN.md "Profiling & regression"), the class answers the roofline
+// question "which knob would make this kernel faster", not "what would
+// Nsight's SOL section print".
+enum class RooflineClass { kLaunchBound, kComputeBound, kDramBound, kL2Bound };
+
+const char* RooflineClassName(RooflineClass cls);
+
 struct KernelStats {
   std::string name;
   double cycles = 0.0;
@@ -46,10 +60,41 @@ struct KernelStats {
   int64_t num_blocks = 0;
   int64_t num_launches = 0;
 
+  // Attribution (all additive across launches, so aggregates stay exact).
+  // DRAM bytes actually moved: L2-miss lines for simulated kernels, operand
+  // traffic for analytic GEMMs (which bypass the L2 sim).
+  uint64_t dram_bytes = 0;
+  int64_t num_waves = 0;    // scheduler waves across all launches
+  int64_t block_slots = 0;  // co-residency capacity: num_waves x concurrent
+  double launch_cycles = 0.0;   // fixed per-launch overhead
+  double compute_cycles = 0.0;  // waves bound by the critical block's compute
+  double dram_cycles = 0.0;     // waves bound by DRAM bandwidth or miss latency
+  double l2_cycles = 0.0;       // waves bound by L2 bandwidth or hit latency
+
   double L2HitRatio() const {
     uint64_t total = l2_hits + l2_misses;
     return total == 0 ? 0.0 : static_cast<double>(l2_hits) / static_cast<double>(total);
   }
+
+  // Achieved occupancy: blocks actually run over the block slots the waves
+  // provided (1.0 = every wave full). GEMM launches report the analytic
+  // utilisation factor instead. 0 when nothing ran.
+  double Occupancy() const {
+    return block_slots == 0 ? 0.0
+                            : std::min(1.0, static_cast<double>(num_blocks) /
+                                                static_cast<double>(block_slots));
+  }
+
+  // Achieved DRAM bandwidth over the config's peak, in [0, 1]. 0 when the
+  // kernel spent no cycles (nothing launched).
+  double DramBandwidthUtilization(const DeviceConfig& config) const;
+
+  // Arithmetic intensity in lane-ops per DRAM byte. A kernel that moved no
+  // DRAM bytes but did compute returns +infinity (serialized as null by
+  // JsonWriter); one that did neither returns 0.
+  double ArithmeticIntensity() const;
+
+  RooflineClass Roofline() const;
 
   KernelStats& operator+=(const KernelStats& other);
 };

@@ -1,0 +1,777 @@
+#include "src/prof/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "src/util/json_writer.h"
+
+namespace minuet {
+namespace prof {
+namespace {
+
+constexpr std::string_view kKernelPrefix = "device/kernel/";
+constexpr std::string_view kMillisSuffix = "/millis";
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Wall-clock metrics measure the machine the bench ran on, not the simulator;
+// they never belong in a regression envelope.
+bool IsHostTimeKey(std::string_view key) {
+  return key.find("host") != std::string_view::npos ||
+         key.find("wall") != std::string_view::npos;
+}
+
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string FormatIntensity(double v) {
+  if (std::isnan(v)) {
+    return "-";
+  }
+  if (std::isinf(v)) {
+    return "inf";
+  }
+  return Format(v >= 100 ? "%.0f" : "%.2f", v);
+}
+
+void AppendRow(std::string* out, const std::vector<std::string>& cells,
+               const std::vector<int>& widths, const std::vector<bool>& right) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string cell = cells[i];
+    int pad = widths[i] - static_cast<int>(cell.size());
+    if (pad < 0) {
+      pad = 0;
+    }
+    if (i != 0) {
+      *out += "  ";
+    }
+    if (right[i]) {
+      out->append(pad, ' ');
+      *out += cell;
+    } else {
+      *out += cell;
+      out->append(pad, ' ');
+    }
+  }
+  while (!out->empty() && out->back() == ' ') {
+    out->pop_back();
+  }
+  *out += '\n';
+}
+
+void AppendTable(std::string* out, const std::vector<std::vector<std::string>>& rows,
+                 const std::vector<bool>& right) {
+  if (rows.empty()) {
+    return;
+  }
+  std::vector<int> widths(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], static_cast<int>(row[i].size()));
+    }
+  }
+  for (const auto& row : rows) {
+    AppendRow(out, row, widths, right);
+  }
+}
+
+// --- metrics-snapshot loader ---------------------------------------------
+
+bool LoadFromMetrics(const JsonValue& doc, RunProfile* out, std::string* error) {
+  const JsonValue* gauges = doc.Find("gauges");
+  const JsonValue* counters = doc.Find("counters");
+  const JsonValue* labels = doc.Find("labels");
+  if (gauges == nullptr || !gauges->is_object()) {
+    *error = "metrics snapshot has no gauges object";
+    return false;
+  }
+  auto gauge = [&](const std::string& name, double fallback) {
+    const JsonValue* v = gauges->Find(name);
+    return v == nullptr ? fallback : v->DoubleOr(fallback);
+  };
+  auto counter = [&](const std::string& name) {
+    if (counters == nullptr) {
+      return int64_t{0};
+    }
+    const JsonValue* v = counters->Find(name);
+    return v == nullptr ? int64_t{0} : static_cast<int64_t>(v->DoubleOr(0.0));
+  };
+  auto label = [&](const std::string& name) {
+    if (labels == nullptr) {
+      return std::string();
+    }
+    const JsonValue* v = labels->Find(name);
+    return v == nullptr ? std::string() : v->StringOr("");
+  };
+
+  out->source = "metrics";
+  out->device = label("device/config/name");
+  out->total_ms = gauge("device/total/millis", 0.0);
+  out->total_occupancy = gauge("device/total/occupancy", 0.0);
+  out->total_dram_bw_util = gauge("device/total/dram_bw_util", 0.0);
+  out->total_roofline = label("device/total/roofline");
+
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& [key, value] : gauges->AsObject()) {
+    if (!StartsWith(key, kKernelPrefix) || !EndsWith(key, kMillisSuffix)) {
+      continue;
+    }
+    std::string name = key.substr(kKernelPrefix.size(),
+                                  key.size() - kKernelPrefix.size() - kMillisSuffix.size());
+    std::string prefix = std::string(kKernelPrefix) + name;
+    KernelProfile k;
+    k.name = std::move(name);
+    k.millis = value.DoubleOr(0.0);
+    k.cycles = gauge(prefix + "/cycles", 0.0);
+    k.launches = counter(prefix + "/launches");
+    k.blocks = counter(prefix + "/blocks");
+    k.waves = counter(prefix + "/waves");
+    k.occupancy = gauge(prefix + "/occupancy", 0.0);
+    k.dram_bw_util = gauge(prefix + "/dram_bw_util", 0.0);
+    k.arith_intensity = gauge(prefix + "/arith_intensity", kNan);
+    k.l2_hit_ratio = gauge(prefix + "/l2_hit_ratio", 0.0);
+    k.roofline = label(prefix + "/roofline");
+    out->kernels.push_back(std::move(k));
+  }
+
+  constexpr std::string_view kLayerPrefix = "engine/layer";
+  constexpr std::string_view kSimMsSuffix = "/sim_ms";
+  for (const auto& [key, value] : gauges->AsObject()) {
+    if (!StartsWith(key, kLayerPrefix) || !EndsWith(key, kSimMsSuffix)) {
+      continue;
+    }
+    std::string index_str = key.substr(
+        kLayerPrefix.size(), key.size() - kLayerPrefix.size() - kSimMsSuffix.size());
+    if (index_str.empty() ||
+        index_str.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    std::string prefix = std::string(kLayerPrefix) + index_str;
+    LayerProfile layer;
+    layer.conv_index = std::stoll(index_str);
+    layer.sim_ms = value.DoubleOr(0.0);
+    layer.padding_ratio = gauge(prefix + "/padding_ratio", 0.0);
+    layer.launches = gauge(prefix + "/launches", 0.0);
+    layer.gemm_kernels = gauge(prefix + "/gemm_kernels", 0.0);
+    out->layers.push_back(layer);
+  }
+  return true;
+}
+
+// --- Chrome-trace loader --------------------------------------------------
+
+struct TraceKernelAccum {
+  double dur_us = 0.0;
+  double cycles = 0.0;
+  int64_t launches = 0;
+  int64_t blocks = 0;
+  int64_t waves = 0;
+  double lane_ops = 0.0;
+  double dram_bytes = 0.0;
+  double l2_hits = 0.0;
+  double l2_misses = 0.0;
+  double occupancy_weighted = 0.0;     // sum(occupancy * dur)
+  double bw_util_weighted = 0.0;       // sum(dram_bw_util * dur)
+  std::map<std::string, double> roofline_dur;
+};
+
+bool LoadFromTrace(const JsonValue& doc, RunProfile* out, std::string* error) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "trace has no traceEvents array";
+    return false;
+  }
+  out->source = "trace";
+
+  std::map<std::string, TraceKernelAccum> kernels;
+  for (const JsonValue& event : events->AsArray()) {
+    if (!event.is_object()) {
+      continue;
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* tid = event.Find("tid");
+    // Only complete spans on the simulated-time track (tid 1); the host track
+    // duplicates every span with wall-clock timing.
+    if (ph == nullptr || ph->StringOr("") != "X" || tid == nullptr ||
+        tid->DoubleOr(-1.0) != 1.0) {
+      continue;
+    }
+    const JsonValue* cat_v = event.Find("cat");
+    const JsonValue* name_v = event.Find("name");
+    const JsonValue* args = event.Find("args");
+    if (cat_v == nullptr || name_v == nullptr) {
+      continue;
+    }
+    const std::string cat = cat_v->StringOr("");
+    const std::string name = name_v->StringOr("");
+    const double dur = event.Find("dur") != nullptr ? event.Find("dur")->DoubleOr(0.0) : 0.0;
+    auto arg_num = [&](const char* key, double fallback) {
+      if (args == nullptr) {
+        return fallback;
+      }
+      const JsonValue* v = args->Find(key);
+      return v == nullptr ? fallback : v->DoubleOr(fallback);
+    };
+    auto arg_str = [&](const char* key) {
+      if (args == nullptr) {
+        return std::string();
+      }
+      const JsonValue* v = args->Find(key);
+      return v == nullptr ? std::string() : v->StringOr("");
+    };
+    if (cat == "kernel") {
+      TraceKernelAccum& acc = kernels[name];
+      acc.dur_us += dur;
+      acc.launches += 1;
+      acc.cycles += arg_num("cycles", 0.0);
+      acc.blocks += static_cast<int64_t>(arg_num("blocks", 0.0));
+      acc.waves += static_cast<int64_t>(arg_num("waves", 0.0));
+      acc.lane_ops += arg_num("lane_ops", 0.0);
+      acc.dram_bytes += arg_num("dram_bytes", 0.0);
+      acc.l2_hits += arg_num("l2_hits", 0.0);
+      acc.l2_misses += arg_num("l2_misses", 0.0);
+      acc.occupancy_weighted += arg_num("occupancy", 0.0) * dur;
+      acc.bw_util_weighted += arg_num("dram_bw_util", 0.0) * dur;
+      std::string roofline = arg_str("roofline");
+      if (!roofline.empty()) {
+        acc.roofline_dur[roofline] += dur;
+      }
+    } else if (cat == "layer") {
+      LayerProfile layer;
+      layer.conv_index = static_cast<int64_t>(arg_num("conv_index", 0.0));
+      layer.sim_ms = dur / 1e3;
+      layer.padding_ratio = arg_num("padding_ratio", 0.0);
+      layer.launches = arg_num("launches", 0.0);
+      layer.gemm_kernels = arg_num("gemm_kernels", 0.0);
+      out->layers.push_back(layer);
+    } else if (cat == "run") {
+      out->total_ms += dur / 1e3;
+    }
+  }
+
+  double kernel_ms_sum = 0.0;
+  for (auto& [name, acc] : kernels) {
+    KernelProfile k;
+    k.name = name;
+    k.millis = acc.dur_us / 1e3;
+    k.cycles = acc.cycles;
+    k.launches = acc.launches;
+    k.blocks = acc.blocks;
+    k.waves = acc.waves;
+    k.l2_hit_ratio = (acc.l2_hits + acc.l2_misses) > 0
+                         ? acc.l2_hits / (acc.l2_hits + acc.l2_misses)
+                         : 0.0;
+    k.occupancy = acc.dur_us > 0 ? acc.occupancy_weighted / acc.dur_us : 0.0;
+    k.dram_bw_util = acc.dur_us > 0 ? acc.bw_util_weighted / acc.dur_us : 0.0;
+    if (acc.dram_bytes > 0) {
+      k.arith_intensity = acc.lane_ops / acc.dram_bytes;
+    } else {
+      k.arith_intensity = acc.lane_ops > 0
+                              ? std::numeric_limits<double>::infinity()
+                              : 0.0;
+    }
+    double best = -1.0;
+    for (const auto& [cls, cls_dur] : acc.roofline_dur) {
+      if (cls_dur > best) {
+        best = cls_dur;
+        k.roofline = cls;
+      }
+    }
+    kernel_ms_sum += k.millis;
+    out->kernels.push_back(std::move(k));
+  }
+  if (out->total_ms == 0.0) {
+    out->total_ms = kernel_ms_sum;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LoadRunProfile(const JsonValue& doc, RunProfile* out, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  *out = RunProfile();
+  bool ok = false;
+  if (doc.Find("traceEvents") != nullptr) {
+    ok = LoadFromTrace(doc, out, error);
+  } else if (doc.Find("gauges") != nullptr || doc.Find("counters") != nullptr) {
+    ok = LoadFromMetrics(doc, out, error);
+  } else {
+    *error = "unrecognised artifact: expected a metrics snapshot (counters/gauges) "
+             "or a Chrome trace (traceEvents)";
+  }
+  if (!ok) {
+    return false;
+  }
+  std::sort(out->kernels.begin(), out->kernels.end(),
+            [](const KernelProfile& a, const KernelProfile& b) {
+              if (a.millis != b.millis) {
+                return a.millis > b.millis;
+              }
+              return a.name < b.name;
+            });
+  std::sort(out->layers.begin(), out->layers.end(),
+            [](const LayerProfile& a, const LayerProfile& b) {
+              return a.conv_index < b.conv_index;
+            });
+  return true;
+}
+
+bool LoadRunProfileFile(const std::string& path, RunProfile* out, std::string* error) {
+  JsonValue doc;
+  if (!ReadJsonFile(path, &doc, error)) {
+    return false;
+  }
+  if (!LoadRunProfile(doc, out, error)) {
+    if (error != nullptr) {
+      *error = path + ": " + *error;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string FormatReport(const RunProfile& profile, int top_n) {
+  std::string out;
+  out += "run profile (" + profile.source + ")";
+  if (!profile.device.empty()) {
+    out += " on " + profile.device;
+  }
+  out += ": " + Format("%.4f", profile.total_ms) + " simulated ms, " +
+         std::to_string(profile.kernels.size()) + " kernels";
+  if (!profile.total_roofline.empty()) {
+    out += ", overall " + profile.total_roofline;
+  }
+  out += "\n\n";
+
+  size_t limit = top_n <= 0 ? profile.kernels.size()
+                            : std::min(profile.kernels.size(), static_cast<size_t>(top_n));
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"#", "kernel", "sim_ms", "%run", "launches", "occ", "bw_util",
+                  "arith_int", "l2_hit", "roofline"});
+  for (size_t i = 0; i < limit; ++i) {
+    const KernelProfile& k = profile.kernels[i];
+    double pct = profile.total_ms > 0 ? 100.0 * k.millis / profile.total_ms : 0.0;
+    rows.push_back({std::to_string(i + 1), k.name, Format("%.4f", k.millis),
+                    Format("%.1f", pct), std::to_string(k.launches),
+                    Format("%.2f", k.occupancy), Format("%.2f", k.dram_bw_util),
+                    FormatIntensity(k.arith_intensity), Format("%.2f", k.l2_hit_ratio),
+                    k.roofline});
+  }
+  AppendTable(&out, rows,
+              {true, false, true, true, true, true, true, true, true, false});
+  if (limit < profile.kernels.size()) {
+    out += "... " + std::to_string(profile.kernels.size() - limit) + " more kernels\n";
+  }
+
+  if (!profile.layers.empty()) {
+    out += "\nper-layer hot path:\n";
+    std::vector<const LayerProfile*> by_cost;
+    for (const LayerProfile& layer : profile.layers) {
+      by_cost.push_back(&layer);
+    }
+    std::sort(by_cost.begin(), by_cost.end(), [](const LayerProfile* a, const LayerProfile* b) {
+      return a->sim_ms > b->sim_ms;
+    });
+    std::vector<std::vector<std::string>> layer_rows;
+    layer_rows.push_back({"layer", "sim_ms", "%run", "padding", "launches", "gemms"});
+    for (const LayerProfile* layer : by_cost) {
+      double pct = profile.total_ms > 0 ? 100.0 * layer->sim_ms / profile.total_ms : 0.0;
+      layer_rows.push_back({"conv" + std::to_string(layer->conv_index),
+                            Format("%.4f", layer->sim_ms), Format("%.1f", pct),
+                            Format("%.3f", layer->padding_ratio),
+                            Format("%.0f", layer->launches),
+                            Format("%.0f", layer->gemm_kernels)});
+    }
+    AppendTable(&out, layer_rows, {false, true, true, true, true, true});
+  }
+  return out;
+}
+
+DiffResult DiffProfiles(const RunProfile& before, const RunProfile& after) {
+  DiffResult result;
+  result.before_total_ms = before.total_ms;
+  result.after_total_ms = after.total_ms;
+  std::map<std::string, KernelDelta> by_name;
+  for (const KernelProfile& k : before.kernels) {
+    KernelDelta& d = by_name[k.name];
+    d.name = k.name;
+    d.in_before = true;
+    d.before_ms = k.millis;
+    d.before_roofline = k.roofline;
+  }
+  for (const KernelProfile& k : after.kernels) {
+    KernelDelta& d = by_name[k.name];
+    d.name = k.name;
+    d.in_after = true;
+    d.after_ms = k.millis;
+    d.after_roofline = k.roofline;
+  }
+  for (auto& [name, d] : by_name) {
+    d.delta_ms = d.after_ms - d.before_ms;
+    result.deltas.push_back(d);
+  }
+  std::sort(result.deltas.begin(), result.deltas.end(),
+            [](const KernelDelta& a, const KernelDelta& b) {
+              if (std::fabs(a.delta_ms) != std::fabs(b.delta_ms)) {
+                return std::fabs(a.delta_ms) > std::fabs(b.delta_ms);
+              }
+              return a.name < b.name;
+            });
+  return result;
+}
+
+std::vector<const KernelDelta*> Regressions(const DiffResult& diff, double threshold,
+                                            double min_ms) {
+  std::vector<const KernelDelta*> out;
+  for (const KernelDelta& d : diff.deltas) {
+    if (d.delta_ms < min_ms) {
+      continue;
+    }
+    if (!d.in_before) {
+      out.push_back(&d);  // new kernel costing at least min_ms
+      continue;
+    }
+    if (d.delta_ms > threshold * d.before_ms) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+std::string FormatDiff(const DiffResult& diff, double threshold, double min_ms) {
+  std::string out;
+  double total_delta = diff.after_total_ms - diff.before_total_ms;
+  out += "total simulated ms: " + Format("%.4f", diff.before_total_ms) + " -> " +
+         Format("%.4f", diff.after_total_ms) + " (" + Format("%+.4f", total_delta);
+  if (diff.before_total_ms > 0) {
+    out += ", " + Format("%+.2f", 100.0 * total_delta / diff.before_total_ms) + "%";
+  }
+  out += ")\n\n";
+
+  std::vector<const KernelDelta*> regressed = Regressions(diff, threshold, min_ms);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"kernel", "before_ms", "after_ms", "delta_ms", "delta%", "note"});
+  for (const KernelDelta& d : diff.deltas) {
+    std::string note;
+    if (!d.in_before) {
+      note = "added";
+    } else if (!d.in_after) {
+      note = "removed";
+    } else if (d.before_roofline != d.after_roofline && !d.before_roofline.empty()) {
+      note = d.before_roofline + "->" + d.after_roofline;
+    }
+    for (const KernelDelta* r : regressed) {
+      if (r->name == d.name) {
+        note = note.empty() ? "REGRESSED" : "REGRESSED " + note;
+        break;
+      }
+    }
+    std::string pct = d.before_ms > 0
+                          ? Format("%+.2f", 100.0 * d.delta_ms / d.before_ms)
+                          : std::string("-");
+    rows.push_back({d.name, Format("%.4f", d.before_ms), Format("%.4f", d.after_ms),
+                    Format("%+.4f", d.delta_ms), pct, note});
+  }
+  AppendTable(&out, rows, {false, true, true, true, true, false});
+
+  out += "\n";
+  if (regressed.empty()) {
+    out += "no kernel regressed beyond " + Format("%.1f", threshold * 100.0) +
+           "% (+" + Format("%.4f", min_ms) + " ms floor)\n";
+  } else {
+    out += std::to_string(regressed.size()) + " kernel(s) regressed beyond " +
+           Format("%.1f", threshold * 100.0) + "%:\n";
+    for (const KernelDelta* d : regressed) {
+      out += "  REGRESSION: " + d->name + " " + Format("%.4f", d->before_ms) +
+             " -> " + Format("%.4f", d->after_ms) + " ms (" +
+             Format("%+.4f", d->delta_ms) + " ms)\n";
+    }
+  }
+  return out;
+}
+
+// --- bench baseline -------------------------------------------------------
+
+namespace {
+
+void WriteJsonValue(JsonWriter* w, const JsonValue& v) {
+  if (v.is_null()) {
+    w->Value(std::numeric_limits<double>::quiet_NaN());  // writer spells NaN as null
+  } else if (v.is_bool()) {
+    w->Value(v.AsBool());
+  } else if (v.is_number()) {
+    w->Value(v.AsDouble());
+  } else if (v.is_string()) {
+    w->Value(v.AsString());
+  } else if (v.is_array()) {
+    w->BeginArray();
+    for (const JsonValue& item : v.AsArray()) {
+      WriteJsonValue(w, item);
+    }
+    w->EndArray();
+  } else {
+    w->BeginObject();
+    for (const auto& [key, item] : v.AsObject()) {
+      w->Key(key);
+      WriteJsonValue(w, item);
+    }
+    w->EndObject();
+  }
+}
+
+struct MetricEnvelope {
+  bool is_string = false;
+  std::string string_value;
+  std::vector<double> samples;
+};
+
+struct BenchAccum {
+  int runs = 0;
+  const JsonValue* meta = nullptr;
+  // rows[i][key] -> envelope
+  std::vector<std::map<std::string, MetricEnvelope>> rows;
+};
+
+}  // namespace
+
+std::string MakeBaselineJson(const std::vector<JsonValue>& reports, std::string* error) {
+  std::map<std::string, BenchAccum> benches;
+  for (const JsonValue& report : reports) {
+    const JsonValue* bench_name = report.Find("bench");
+    const JsonValue* rows = report.Find("rows");
+    if (bench_name == nullptr || !bench_name->is_string() || rows == nullptr ||
+        !rows->is_array()) {
+      *error = "report is not a bench report (missing \"bench\" or \"rows\")";
+      return "";
+    }
+    BenchAccum& acc = benches[bench_name->AsString()];
+    if (acc.runs == 0) {
+      acc.meta = report.Find("meta");
+      acc.rows.resize(rows->size());
+    } else if (acc.rows.size() != rows->size()) {
+      *error = "bench " + bench_name->AsString() + ": row count differs between runs (" +
+               std::to_string(acc.rows.size()) + " vs " + std::to_string(rows->size()) + ")";
+      return "";
+    }
+    acc.runs += 1;
+    for (size_t i = 0; i < rows->size(); ++i) {
+      const JsonValue& row = rows->at(i);
+      if (!row.is_object()) {
+        *error = "bench " + bench_name->AsString() + ": row " + std::to_string(i) +
+                 " is not an object";
+        return "";
+      }
+      for (const auto& [key, value] : row.AsObject()) {
+        if (IsHostTimeKey(key)) {
+          continue;
+        }
+        MetricEnvelope& env = acc.rows[i][key];
+        if (value.is_string()) {
+          if (!env.samples.empty() ||
+              (env.is_string && env.string_value != value.AsString())) {
+            *error = "bench " + bench_name->AsString() + " row " + std::to_string(i) +
+                     " key " + key + ": inconsistent values across runs";
+            return "";
+          }
+          env.is_string = true;
+          env.string_value = value.AsString();
+        } else if (value.is_number()) {
+          if (env.is_string) {
+            *error = "bench " + bench_name->AsString() + " row " + std::to_string(i) +
+                     " key " + key + ": inconsistent types across runs";
+            return "";
+          }
+          env.samples.push_back(value.AsDouble());
+        }
+        // null (non-finite) metrics are skipped: no stable envelope exists.
+      }
+    }
+  }
+  if (benches.empty()) {
+    *error = "no bench reports given";
+    return "";
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("baseline_version", int64_t{1});
+  w.Key("benches");
+  w.BeginObject();
+  for (const auto& [name, acc] : benches) {
+    w.Key(name);
+    w.BeginObject();
+    w.KV("runs", int64_t{acc.runs});
+    if (acc.meta != nullptr && acc.meta->is_object()) {
+      w.Key("meta");
+      w.BeginObject();
+      for (const auto& [key, value] : acc.meta->AsObject()) {
+        if (IsHostTimeKey(key)) {
+          continue;
+        }
+        w.Key(key);
+        WriteJsonValue(&w, value);
+      }
+      w.EndObject();
+    }
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& row : acc.rows) {
+      w.BeginObject();
+      for (const auto& [key, env] : row) {
+        w.Key(key);
+        if (env.is_string) {
+          w.Value(env.string_value);
+        } else {
+          double sum = 0.0;
+          for (double s : env.samples) {
+            sum += s;
+          }
+          double mean = env.samples.empty() ? 0.0 : sum / env.samples.size();
+          double noise = 0.0;
+          for (double s : env.samples) {
+            noise = std::max(noise, std::fabs(s - mean));
+          }
+          w.BeginObject();
+          w.KV("mean", mean);
+          w.KV("noise", noise);
+          w.EndObject();
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool CheckBaseline(const JsonValue& baseline, const JsonValue& report,
+                   const BaselineCheckOptions& options,
+                   std::vector<BaselineViolation>* violations, std::string* error) {
+  const JsonValue* bench_name_v = report.Find("bench");
+  const JsonValue* rows = report.Find("rows");
+  if (bench_name_v == nullptr || !bench_name_v->is_string() || rows == nullptr ||
+      !rows->is_array()) {
+    *error = "report is not a bench report (missing \"bench\" or \"rows\")";
+    return false;
+  }
+  const std::string bench = bench_name_v->AsString();
+  const JsonValue* entry = baseline.FindPath("benches/" + bench);
+  if (entry == nullptr) {
+    *error = "baseline has no entry for bench \"" + bench + "\"";
+    return false;
+  }
+  const JsonValue* base_rows = entry->Find("rows");
+  if (base_rows == nullptr || !base_rows->is_array()) {
+    *error = "baseline entry for \"" + bench + "\" has no rows";
+    return false;
+  }
+
+  // Meta drift (different point counts, different config) makes every numeric
+  // comparison meaningless — report it as a violation rather than an error so
+  // the gate prints all problems in one pass.
+  const JsonValue* base_meta = entry->Find("meta");
+  const JsonValue* report_meta = report.Find("meta");
+  if (base_meta != nullptr && base_meta->is_object()) {
+    for (const auto& [key, value] : base_meta->AsObject()) {
+      const JsonValue* actual =
+          report_meta != nullptr ? report_meta->Find(key) : nullptr;
+      if (value.is_number()) {
+        if (actual == nullptr || !actual->is_number() ||
+            actual->AsDouble() != value.AsDouble()) {
+          violations->push_back(
+              {bench, -1, "meta/" + key,
+               "meta mismatch: baseline " + Format("%g", value.AsDouble()) + ", report " +
+                   (actual != nullptr && actual->is_number()
+                        ? Format("%g", actual->AsDouble())
+                        : std::string("<missing>"))});
+        }
+      } else if (value.is_string()) {
+        if (actual == nullptr || !actual->is_string() ||
+            actual->AsString() != value.AsString()) {
+          violations->push_back({bench, -1, "meta/" + key,
+                                 "meta mismatch: baseline \"" + value.AsString() +
+                                     "\", report \"" +
+                                     (actual != nullptr ? actual->StringOr("<missing>")
+                                                        : std::string("<missing>")) +
+                                     "\""});
+        }
+      }
+    }
+  }
+
+  if (base_rows->size() != rows->size()) {
+    violations->push_back({bench, -1, "rows",
+                           "row count mismatch: baseline " +
+                               std::to_string(base_rows->size()) + ", report " +
+                               std::to_string(rows->size())});
+    return true;
+  }
+
+  for (size_t i = 0; i < base_rows->size(); ++i) {
+    const JsonValue& base_row = base_rows->at(i);
+    const JsonValue& row = rows->at(i);
+    if (!base_row.is_object() || !row.is_object()) {
+      continue;
+    }
+    for (const auto& [key, env] : base_row.AsObject()) {
+      const JsonValue* actual = row.Find(key);
+      if (env.is_string()) {
+        if (actual == nullptr || !actual->is_string() ||
+            actual->AsString() != env.AsString()) {
+          violations->push_back(
+              {bench, static_cast<int>(i), key,
+               "expected \"" + env.AsString() + "\", got \"" +
+                   (actual != nullptr ? actual->StringOr("<missing>")
+                                      : std::string("<missing>")) +
+                   "\""});
+        }
+        continue;
+      }
+      const JsonValue* mean_v = env.Find("mean");
+      const JsonValue* noise_v = env.Find("noise");
+      if (mean_v == nullptr || !mean_v->is_number()) {
+        continue;
+      }
+      double mean = mean_v->AsDouble();
+      double noise = noise_v != nullptr ? noise_v->DoubleOr(0.0) : 0.0;
+      double tol = noise * options.noise_mult +
+                   std::max(std::fabs(mean) * options.rel_tol, options.abs_tol);
+      if (actual == nullptr || !actual->is_number()) {
+        violations->push_back({bench, static_cast<int>(i), key,
+                               "metric missing from report (baseline mean " +
+                                   Format("%g", mean) + ")"});
+        continue;
+      }
+      double value = actual->AsDouble();
+      if (std::fabs(value - mean) > tol) {
+        violations->push_back(
+            {bench, static_cast<int>(i), key,
+             "value " + Format("%g", value) + " outside baseline " + Format("%g", mean) +
+                 " +/- " + Format("%g", tol) + " (noise " + Format("%g", noise) + ")"});
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace prof
+}  // namespace minuet

@@ -1,0 +1,141 @@
+// Profile model for minuet_prof and the bench regression gate.
+//
+// A RunProfile is a device-centric view of one engine run, reconstructed from
+// either observability artifact the CLI writes:
+//   - a metrics snapshot (minuet_run --metrics=...)  — "metrics" source
+//   - a Chrome trace     (minuet_run --trace=...)    — "trace" source
+// Both carry the per-kernel aggregates the simulator attributes (simulated
+// time, occupancy, DRAM bandwidth utilisation, arithmetic intensity, roofline
+// class), so reports and diffs are identical regardless of which artifact the
+// user kept around.
+//
+// The baseline half of this header implements the bench regression gate:
+// MakeBaselineJson folds repeated `--json` bench reports into per-metric
+// {mean, noise} envelopes, and CheckBaseline replays a fresh report against a
+// committed baseline, reporting every metric that escapes its envelope.
+#ifndef SRC_PROF_PROFILE_H_
+#define SRC_PROF_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace prof {
+
+struct KernelProfile {
+  std::string name;
+  double millis = 0.0;
+  double cycles = 0.0;
+  int64_t launches = 0;
+  int64_t blocks = 0;
+  int64_t waves = 0;
+  double occupancy = 0.0;
+  double dram_bw_util = 0.0;
+  // NaN when the artifact recorded JSON null (compute-only kernel: +inf
+  // intensity, serialised as null by the writer).
+  double arith_intensity = 0.0;
+  double l2_hit_ratio = 0.0;
+  std::string roofline;  // launch_bound | compute_bound | dram_bound | l2_bound
+};
+
+struct LayerProfile {
+  int64_t conv_index = 0;
+  double sim_ms = 0.0;
+  double padding_ratio = 0.0;
+  double launches = 0.0;
+  double gemm_kernels = 0.0;
+};
+
+struct RunProfile {
+  std::string source;  // "metrics" or "trace"
+  std::string device;  // DeviceConfig name when the artifact carries it
+  double total_ms = 0.0;
+  double total_occupancy = 0.0;
+  double total_dram_bw_util = 0.0;
+  std::string total_roofline;
+  std::vector<KernelProfile> kernels;  // sorted by millis, descending
+  std::vector<LayerProfile> layers;    // sorted by conv_index
+};
+
+// Loads a profile from a parsed artifact. Auto-detects the artifact kind
+// (metrics snapshot vs Chrome trace). False + *error on unrecognised input.
+bool LoadRunProfile(const JsonValue& doc, RunProfile* out, std::string* error);
+bool LoadRunProfileFile(const std::string& path, RunProfile* out, std::string* error);
+
+// Human-readable report: top-kernels table (sorted by simulated time, with
+// % of run, occupancy, BW utilisation, roofline class) and a per-layer
+// hot-path summary. `top_n <= 0` means all kernels.
+std::string FormatReport(const RunProfile& profile, int top_n);
+
+struct KernelDelta {
+  std::string name;
+  bool in_before = false;
+  bool in_after = false;
+  double before_ms = 0.0;
+  double after_ms = 0.0;
+  double delta_ms = 0.0;  // after - before
+  std::string before_roofline;
+  std::string after_roofline;
+};
+
+struct DiffResult {
+  double before_total_ms = 0.0;
+  double after_total_ms = 0.0;
+  std::vector<KernelDelta> deltas;  // sorted by |delta_ms|, descending
+};
+
+DiffResult DiffProfiles(const RunProfile& before, const RunProfile& after);
+
+// A kernel regresses when it slows down by more than `threshold` (relative,
+// e.g. 0.05 = 5%) AND by at least `min_ms` of simulated time (absolute floor
+// so sub-microsecond jitter on tiny kernels cannot fail a gate). Kernels that
+// only exist in `after` count when they cost at least `min_ms`.
+std::vector<const KernelDelta*> Regressions(const DiffResult& diff, double threshold,
+                                            double min_ms);
+
+std::string FormatDiff(const DiffResult& diff, double threshold, double min_ms);
+
+// --- bench baseline -------------------------------------------------------
+//
+// Baseline schema (versioned, committed as BENCH_BASELINE.json):
+//   {"baseline_version": 1,
+//    "benches": {
+//      "<bench>": {"runs": N,
+//                  "meta": {...verbatim from the first run, host keys dropped},
+//                  "rows": [ {"<metric>": {"mean": m, "noise": d} | "<string>"} ]}}}
+// Rows are matched by index; string-valued fields (labels) must match
+// exactly. Metrics whose key mentions host/wall time are excluded — they
+// measure the machine, not the simulator.
+
+struct BaselineCheckOptions {
+  // Allowed deviation: noise * noise_mult + max(|mean| * rel_tol, abs_tol).
+  double noise_mult = 3.0;
+  double rel_tol = 0.02;
+  double abs_tol = 1e-9;
+};
+
+struct BaselineViolation {
+  std::string bench;
+  int row = -1;          // -1 for bench-level problems (row count, meta)
+  std::string key;
+  std::string message;   // human-readable, includes expected vs actual
+};
+
+// Folds repeated bench reports (each the parsed output of `<bench> --json`)
+// into a baseline document. Reports for the same bench must agree on row
+// count and string fields. Returns empty string + *error on failure.
+std::string MakeBaselineJson(const std::vector<JsonValue>& reports, std::string* error);
+
+// Checks one fresh bench report against the baseline. Appends a violation for
+// every metric outside its envelope; returns false only on structural errors
+// (unknown bench, malformed documents) with *error set.
+bool CheckBaseline(const JsonValue& baseline, const JsonValue& report,
+                   const BaselineCheckOptions& options,
+                   std::vector<BaselineViolation>* violations, std::string* error);
+
+}  // namespace prof
+}  // namespace minuet
+
+#endif  // SRC_PROF_PROFILE_H_

@@ -12,6 +12,8 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) { return counters_
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) { return gauges_[name]; }
 
+Label& MetricsRegistry::GetLabel(const std::string& name) { return labels_[name]; }
+
 FixedHistogram& MetricsRegistry::GetHistogram(const std::string& name, double lower,
                                               double upper, int num_buckets) {
   auto it = histograms_.find(name);
@@ -30,6 +32,7 @@ FixedHistogram& MetricsRegistry::GetHistogram(const std::string& name, double lo
 void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
+  labels_.clear();
   histograms_.clear();
 }
 
@@ -48,6 +51,13 @@ std::string MetricsRegistry::SnapshotJson() const {
   w.BeginObject();
   for (const auto& [name, gauge] : gauges_) {
     w.KV(name, gauge.value());
+  }
+  w.EndObject();
+
+  w.Key("labels");
+  w.BeginObject();
+  for (const auto& [name, label] : labels_) {
+    w.KV(name, label.value());
   }
   w.EndObject();
 

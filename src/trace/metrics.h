@@ -19,6 +19,7 @@
 // Snapshot JSON schema (see DESIGN.md "Observability"):
 //   {"counters": {name: int, ...},
 //    "gauges":   {name: double, ...},
+//    "labels":   {name: string, ...},
 //    "histograms": {name: {"lower":L,"upper":U,"bucket_width":W,
 //                          "counts":[...],"underflow":n,"overflow":n,
 //                          "count":n,"sum":s,"min":m,"max":M}, ...}}
@@ -58,6 +59,17 @@ class Gauge {
   double value_ = 0.0;
 };
 
+// String-valued metric for categorical facts a dashboard or diff tool needs
+// alongside the numbers: a kernel's roofline class, the DeviceConfig name.
+class Label {
+ public:
+  void Set(std::string value) { value_ = std::move(value); }
+  const std::string& value() const { return value_; }
+
+ private:
+  std::string value_;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -67,6 +79,7 @@ class MetricsRegistry {
   // Fetch-or-create. References stay valid until Clear().
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
+  Label& GetLabel(const std::string& name);
   // A histogram name must keep its original bucket layout; the layout
   // arguments are ignored (checked) on re-fetch.
   FixedHistogram& GetHistogram(const std::string& name, double lower, double upper,
@@ -74,10 +87,12 @@ class MetricsRegistry {
 
   bool HasCounter(const std::string& name) const { return counters_.count(name) != 0; }
   bool HasGauge(const std::string& name) const { return gauges_.count(name) != 0; }
+  bool HasLabel(const std::string& name) const { return labels_.count(name) != 0; }
   bool HasHistogram(const std::string& name) const { return histograms_.count(name) != 0; }
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Label>& labels() const { return labels_; }
   const std::map<std::string, std::unique_ptr<FixedHistogram>>& histograms() const {
     return histograms_;
   }
@@ -92,6 +107,7 @@ class MetricsRegistry {
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Label> labels_;
   // unique_ptr: FixedHistogram has no default constructor and must not move
   // once handed out.
   std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;

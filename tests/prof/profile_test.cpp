@@ -1,0 +1,269 @@
+#include "src/prof/profile.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gpusim/device.h"
+#include "src/gpusim/device_config.h"
+#include "src/trace/metrics.h"
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace prof {
+namespace {
+
+DeviceConfig TinyConfig() {
+  DeviceConfig c = MakeRtx3090();
+  c.num_sms = 2;
+  c.max_threads_per_sm = 256;
+  c.max_blocks_per_sm = 4;
+  c.launch_overhead_cycles = 1000.0;
+  return c;
+}
+
+JsonValue Parse(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &doc, &error)) << error;
+  return doc;
+}
+
+TEST(ProfileLoadTest, RejectsUnknownDocument) {
+  RunProfile profile;
+  std::string error;
+  EXPECT_FALSE(LoadRunProfile(Parse(R"({"foo": 1})"), &profile, &error));
+  EXPECT_NE(error.find("unrecognised"), std::string::npos);
+}
+
+TEST(ProfileLoadTest, LoadsMetricsSnapshot) {
+  Device dev(TinyConfig());
+  dev.Launch("map/query", LaunchDims{32, 128, 0},
+             [](BlockCtx& ctx) { ctx.Compute(5000); });
+  dev.LaunchGemm("engine/gemm", 256, 64, 64, /*batch=*/2);
+
+  trace::MetricsRegistry registry;
+  dev.PublishMetrics(registry);
+  registry.GetGauge("engine/layer0/sim_ms").Set(0.25);
+  registry.GetGauge("engine/layer0/padding_ratio").Set(0.1);
+  registry.GetGauge("engine/layer0/launches").Set(7.0);
+  registry.GetGauge("engine/layer0/gemm_kernels").Set(2.0);
+
+  RunProfile profile;
+  std::string error;
+  ASSERT_TRUE(LoadRunProfile(Parse(registry.SnapshotJson()), &profile, &error)) << error;
+  EXPECT_EQ(profile.source, "metrics");
+  EXPECT_EQ(profile.device, dev.config().name);
+  EXPECT_DOUBLE_EQ(profile.total_ms,
+                   dev.config().CyclesToMillis(dev.totals().cycles));
+  ASSERT_EQ(profile.kernels.size(), 2u);
+  // Sorted by simulated time, descending.
+  EXPECT_GE(profile.kernels[0].millis, profile.kernels[1].millis);
+  for (const KernelProfile& k : profile.kernels) {
+    EXPECT_TRUE(k.name == "map/query" || k.name == "engine/gemm") << k.name;
+    EXPECT_GT(k.millis, 0.0);
+    EXPECT_GT(k.launches, 0);
+    EXPECT_GE(k.occupancy, 0.0);
+    EXPECT_LE(k.occupancy, 1.0);
+    EXPECT_FALSE(k.roofline.empty());
+  }
+  ASSERT_EQ(profile.layers.size(), 1u);
+  EXPECT_EQ(profile.layers[0].conv_index, 0);
+  EXPECT_DOUBLE_EQ(profile.layers[0].sim_ms, 0.25);
+  EXPECT_DOUBLE_EQ(profile.layers[0].padding_ratio, 0.1);
+}
+
+TEST(ProfileLoadTest, ComputeOnlyKernelIntensityReadsBackAsNaN) {
+  Device dev(TinyConfig());
+  dev.Launch("pure_compute", LaunchDims{8, 128, 0},
+             [](BlockCtx& ctx) { ctx.Compute(1000); });
+  trace::MetricsRegistry registry;
+  dev.PublishMetrics(registry);
+
+  RunProfile profile;
+  ASSERT_TRUE(LoadRunProfile(Parse(registry.SnapshotJson()), &profile, nullptr));
+  ASSERT_EQ(profile.kernels.size(), 1u);
+  // +inf intensity is serialised as JSON null and must not crash the loader.
+  EXPECT_TRUE(std::isnan(profile.kernels[0].arith_intensity));
+}
+
+TEST(ProfileLoadTest, LoadsChromeTraceAndAggregatesLaunches) {
+  const std::string trace = R"({"traceEvents": [
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "sim"}},
+    {"name": "run", "cat": "run", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1000,
+     "args": {}},
+    {"name": "run", "cat": "run", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 99999,
+     "args": {}},
+    {"name": "conv0", "cat": "layer", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 600,
+     "args": {"conv_index": 0, "padding_ratio": 0.2, "launches": 5, "gemm_kernels": 2}},
+    {"name": "k/a", "cat": "kernel", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 300,
+     "args": {"cycles": 510000, "blocks": 10, "waves": 2, "lane_ops": 100,
+              "dram_bytes": 400, "l2_hits": 30, "l2_misses": 10,
+              "occupancy": 0.5, "dram_bw_util": 0.25, "roofline": "dram_bound"}},
+    {"name": "k/a", "cat": "kernel", "ph": "X", "pid": 1, "tid": 1, "ts": 300, "dur": 100,
+     "args": {"cycles": 170000, "blocks": 6, "waves": 1, "lane_ops": 100,
+              "dram_bytes": 100, "l2_hits": 10, "l2_misses": 50,
+              "occupancy": 0.1, "dram_bw_util": 0.05, "roofline": "l2_bound"}},
+    {"name": "k/b", "cat": "kernel", "ph": "X", "pid": 1, "tid": 1, "ts": 400, "dur": 50,
+     "args": {"cycles": 85000, "blocks": 1, "waves": 1, "lane_ops": 10, "dram_bytes": 0,
+              "l2_hits": 0, "l2_misses": 0, "occupancy": 0.01, "dram_bw_util": 0.0,
+              "roofline": "launch_bound"}},
+    {"name": "k/a", "cat": "kernel", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 7777,
+     "args": {"cycles": 1, "blocks": 1}}
+  ]})";
+
+  RunProfile profile;
+  std::string error;
+  ASSERT_TRUE(LoadRunProfile(Parse(trace), &profile, &error)) << error;
+  EXPECT_EQ(profile.source, "trace");
+  EXPECT_DOUBLE_EQ(profile.total_ms, 1.0);  // run span: 1000 us
+  ASSERT_EQ(profile.kernels.size(), 2u);
+
+  const KernelProfile& a = profile.kernels[0];  // 400 us beats 50 us
+  EXPECT_EQ(a.name, "k/a");
+  EXPECT_DOUBLE_EQ(a.millis, 0.4);  // host-track (tid 0) duplicate ignored
+  EXPECT_EQ(a.launches, 2);
+  EXPECT_EQ(a.blocks, 16);
+  EXPECT_EQ(a.waves, 3);
+  EXPECT_DOUBLE_EQ(a.l2_hit_ratio, 40.0 / 100.0);
+  // Duration-weighted averages: (0.5*300 + 0.1*100) / 400.
+  EXPECT_NEAR(a.occupancy, 0.4, 1e-12);
+  EXPECT_NEAR(a.dram_bw_util, 0.2, 1e-12);
+  // Recomputed from summed traffic: 200 lane ops / 500 DRAM bytes.
+  EXPECT_NEAR(a.arith_intensity, 0.4, 1e-12);
+  EXPECT_EQ(a.roofline, "dram_bound");  // 300 us dram vs 100 us l2
+
+  const KernelProfile& b = profile.kernels[1];
+  EXPECT_EQ(b.name, "k/b");
+  EXPECT_TRUE(std::isinf(b.arith_intensity));  // lane ops, zero DRAM traffic
+
+  ASSERT_EQ(profile.layers.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.layers[0].sim_ms, 0.6);
+  EXPECT_DOUBLE_EQ(profile.layers[0].padding_ratio, 0.2);
+}
+
+RunProfile MakeProfile(std::vector<KernelProfile> kernels) {
+  RunProfile p;
+  p.total_ms = 0.0;
+  for (const KernelProfile& k : kernels) {
+    p.total_ms += k.millis;
+  }
+  p.kernels = std::move(kernels);
+  return p;
+}
+
+TEST(DiffTest, FlagsRegressionsBeyondThresholdAndFloor) {
+  RunProfile before = MakeProfile({{.name = "a", .millis = 1.0},
+                                   {.name = "b", .millis = 0.5},
+                                   {.name = "tiny", .millis = 0.0001},
+                                   {.name = "gone", .millis = 0.2}});
+  RunProfile after = MakeProfile({{.name = "a", .millis = 1.2},     // +20%: regressed
+                                  {.name = "b", .millis = 0.505},   // +1%: fine
+                                  {.name = "tiny", .millis = 0.0002},  // under floor
+                                  {.name = "new", .millis = 0.3}});    // added
+
+  DiffResult diff = DiffProfiles(before, after);
+  EXPECT_EQ(diff.deltas.size(), 5u);
+  // Sorted by |delta|: "new" (+0.3) leads; "a" and "gone" tie at 0.2.
+  EXPECT_EQ(diff.deltas[0].name, "new");
+
+  std::vector<const KernelDelta*> regressed = Regressions(diff, 0.05, 0.001);
+  std::vector<std::string> names;
+  for (const KernelDelta* d : regressed) {
+    names.push_back(d->name);
+  }
+  // "a" regressed, "new" appeared with real cost; "tiny" is under the
+  // absolute floor and "gone" improved (removed).
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "new");  // +0.3 beats +0.2
+  EXPECT_EQ(names[1], "a");
+
+  std::string text = FormatDiff(diff, 0.05, 0.001);
+  EXPECT_NE(text.find("REGRESSION: a"), std::string::npos);
+  EXPECT_NE(text.find("added"), std::string::npos);
+  EXPECT_NE(text.find("removed"), std::string::npos);
+
+  // With no changes there is nothing to flag.
+  EXPECT_TRUE(Regressions(DiffProfiles(before, before), 0.05, 0.001).empty());
+}
+
+TEST(BaselineTest, RoundTripAndEnvelopeCheck) {
+  auto report = [](double ms, double ratio) {
+    return Parse(std::string(R"({"bench": "fig_x", "meta": {"points": 1000, "device": "RTX"},
+      "rows": [{"engine": "minuet", "total_ms": )") +
+                 std::to_string(ms) + R"(, "l2_hit_ratio": )" + std::to_string(ratio) +
+                 R"(, "host_ms": 123.0}]})");
+  };
+  std::vector<JsonValue> runs;
+  runs.push_back(report(10.0, 0.90));
+  runs.push_back(report(10.2, 0.90));
+  runs.push_back(report(9.8, 0.90));
+
+  std::string error;
+  std::string baseline_json = MakeBaselineJson(runs, &error);
+  ASSERT_FALSE(baseline_json.empty()) << error;
+  JsonValue baseline = Parse(baseline_json);
+
+  // Envelope recorded: mean 10.0, noise 0.2; host_ms excluded entirely.
+  const JsonValue* row = baseline.FindPath("benches/fig_x/rows");
+  ASSERT_NE(row, nullptr);
+  EXPECT_NEAR(row->at(0).FindPath("total_ms/mean")->AsDouble(), 10.0, 1e-9);
+  EXPECT_NEAR(row->at(0).FindPath("total_ms/noise")->AsDouble(), 0.2, 1e-9);
+  EXPECT_EQ(row->at(0).Find("host_ms"), nullptr);
+  EXPECT_EQ(row->at(0).Find("engine")->AsString(), "minuet");
+
+  BaselineCheckOptions options;
+  options.noise_mult = 2.0;
+  options.rel_tol = 0.0;
+  options.abs_tol = 1e-9;
+
+  // In-envelope report passes (host_ms may drift freely).
+  std::vector<BaselineViolation> violations;
+  ASSERT_TRUE(CheckBaseline(baseline, report(10.3, 0.90), options, &violations, &error))
+      << error;
+  EXPECT_TRUE(violations.empty());
+
+  // A slow run escapes the envelope and names bench, row and metric.
+  violations.clear();
+  ASSERT_TRUE(CheckBaseline(baseline, report(11.5, 0.90), options, &violations, &error));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].bench, "fig_x");
+  EXPECT_EQ(violations[0].row, 0);
+  EXPECT_EQ(violations[0].key, "total_ms");
+
+  // A changed string field is always a violation.
+  violations.clear();
+  JsonValue renamed = Parse(R"({"bench": "fig_x", "meta": {"points": 1000, "device": "RTX"},
+    "rows": [{"engine": "other", "total_ms": 10.0, "l2_hit_ratio": 0.90}]})");
+  ASSERT_TRUE(CheckBaseline(baseline, renamed, options, &violations, &error));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].key, "engine");
+
+  // Meta drift (different scale) is reported, not silently compared.
+  violations.clear();
+  JsonValue rescaled = Parse(R"({"bench": "fig_x", "meta": {"points": 2000, "device": "RTX"},
+    "rows": [{"engine": "minuet", "total_ms": 10.0, "l2_hit_ratio": 0.90}]})");
+  ASSERT_TRUE(CheckBaseline(baseline, rescaled, options, &violations, &error));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].key, "meta/points");
+
+  // Unknown bench is a structural error.
+  violations.clear();
+  JsonValue other = Parse(R"({"bench": "nope", "rows": []})");
+  EXPECT_FALSE(CheckBaseline(baseline, other, options, &violations, &error));
+}
+
+TEST(BaselineTest, RowCountMismatchAcrossRunsIsAnError) {
+  std::vector<JsonValue> runs;
+  runs.push_back(Parse(R"({"bench": "b", "rows": [{"x": 1.0}]})"));
+  runs.push_back(Parse(R"({"bench": "b", "rows": [{"x": 1.0}, {"x": 2.0}]})"));
+  std::string error;
+  EXPECT_TRUE(MakeBaselineJson(runs, &error).empty());
+  EXPECT_NE(error.find("row count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace minuet

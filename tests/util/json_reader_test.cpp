@@ -1,0 +1,115 @@
+#include "src/util/json_reader.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_writer.h"
+
+namespace minuet {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("42", &v, nullptr));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.0);
+  ASSERT_TRUE(ParseJson("-1.5e3", &v, nullptr));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -1500.0);
+  ASSERT_TRUE(ParseJson("true", &v, nullptr));
+  EXPECT_TRUE(v.AsBool());
+  ASSERT_TRUE(ParseJson("false", &v, nullptr));
+  EXPECT_FALSE(v.AsBool());
+  ASSERT_TRUE(ParseJson("null", &v, nullptr));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(ParseJson("\"hi\"", &v, nullptr));
+  EXPECT_EQ(v.AsString(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesNestedStructure) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})", &v, nullptr));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(0).AsDouble(), 1.0);
+  EXPECT_EQ(a->at(2).Find("b")->AsString(), "c");
+  const JsonValue* e = v.FindPath("d/e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_null());
+  EXPECT_EQ(v.FindPath("d/missing"), nullptr);
+  EXPECT_EQ(v.FindPath("a/b"), nullptr);  // arrays are not path-traversable
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"("a\"b\\c\nA\tBA")", &v, nullptr));
+  EXPECT_EQ(v.AsString(), "a\"b\\c\nA\tBA");
+}
+
+TEST(JsonReaderTest, DoubleOrAndStringOrFallBackOnNull) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"ratio": null})", &v, nullptr));
+  const JsonValue* ratio = v.Find("ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->DoubleOr(-1.0), -1.0);
+  EXPECT_EQ(ratio->StringOr("none"), "none");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+  EXPECT_FALSE(ParseJson("[1, 2", &v, &error));
+  EXPECT_FALSE(ParseJson("12 34", &v, &error));  // trailing content
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}", &v, &error));  // trailing comma
+  EXPECT_FALSE(ParseJson("nul", &v, &error));
+}
+
+// Writer -> reader round trip, including the writer's non-finite-double
+// convention: NaN and +/-Inf are serialised as null, which must read back as
+// null (and DoubleOr must supply the caller's fallback).
+TEST(JsonReaderTest, RoundTripsWriterOutputWithNonFiniteDoubles) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("finite", 2.5);
+  w.KV("nan", std::numeric_limits<double>::quiet_NaN());
+  w.KV("inf", std::numeric_limits<double>::infinity());
+  w.KV("count", int64_t{7});
+  w.KV("name", "gather");
+  w.EndObject();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.TakeString(), &v, &error)) << error;
+  EXPECT_DOUBLE_EQ(v.Find("finite")->AsDouble(), 2.5);
+  EXPECT_TRUE(v.Find("nan")->is_null());
+  EXPECT_TRUE(v.Find("inf")->is_null());
+  EXPECT_DOUBLE_EQ(v.Find("count")->AsDouble(), 7.0);
+  EXPECT_EQ(v.Find("name")->AsString(), "gather");
+}
+
+TEST(JsonReaderTest, RoundTripsLargeCounters) {
+  // int64 counters survive up to 2^53 exactly through the double
+  // representation.
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bytes", int64_t{1} << 53);
+  w.EndObject();
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(w.TakeString(), &v, nullptr));
+  EXPECT_EQ(static_cast<int64_t>(v.Find("bytes")->AsDouble()), int64_t{1} << 53);
+}
+
+TEST(JsonReaderTest, ReadJsonFileReportsMissingFile) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ReadJsonFile("/nonexistent/path/x.json", &v, &error));
+  EXPECT_NE(error.find("could not open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,275 @@
+// minuet_prof: offline profiler over the observability artifacts minuet_run
+// and the benches emit.
+//
+//   minuet_prof report RUN.json [--top N]
+//       Top-kernels table (simulated ms, % of run, occupancy, DRAM BW
+//       utilisation, roofline class) and a per-layer hot-path summary.
+//       RUN.json is either a metrics snapshot (--metrics) or a Chrome trace
+//       (--trace); the artifact kind is auto-detected.
+//
+//   minuet_prof diff BEFORE.json AFTER.json [--threshold F] [--min-ms M]
+//       Per-kernel deltas between two runs. Exits 1 when any kernel slows
+//       down by more than threshold (default 5%) and at least min-ms
+//       (default 0.0005 simulated ms).
+//
+//   minuet_prof make-baseline [--out FILE] REPORT.json...
+//       Folds repeated bench --json reports into a baseline document with a
+//       per-metric mean and noise bound (host wall-clock metrics excluded).
+//
+//   minuet_prof check-baseline BASELINE.json REPORT.json...
+//   minuet_prof --check-baseline BASELINE.json REPORT.json...
+//       Checks fresh bench reports against a committed baseline. Exits 1
+//       when any metric escapes its envelope
+//       (noise * --noise-mult + max(|mean| * --rel-tol, --abs-tol)).
+//
+// Bare forms: `minuet_prof RUN.json` = report, `minuet_prof A.json B.json`
+// = diff. Exit codes: 0 ok, 1 regression/violation, 2 usage or input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/prof/profile.h"
+#include "src/util/json_reader.h"
+
+namespace {
+
+using minuet::JsonValue;
+using minuet::ReadJsonFile;
+namespace prof = minuet::prof;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: minuet_prof report RUN.json [--top N]\n"
+               "       minuet_prof diff BEFORE.json AFTER.json [--threshold F] [--min-ms M]\n"
+               "       minuet_prof make-baseline [--out FILE] REPORT.json...\n"
+               "       minuet_prof check-baseline BASELINE.json REPORT.json...\n"
+               "                   [--noise-mult K] [--rel-tol F] [--abs-tol A]\n"
+               "       minuet_prof RUN.json            (report)\n"
+               "       minuet_prof BEFORE.json AFTER.json   (diff)\n");
+  return 2;
+}
+
+bool ParseDoubleFlag(const std::string& arg, const char* name, double* out) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = std::atof(arg.c_str() + prefix.size());
+  return true;
+}
+
+struct Args {
+  std::string command;
+  std::vector<std::string> files;
+  int top = 15;
+  double threshold = 0.05;
+  double min_ms = 0.0005;
+  std::string out_path;
+  prof::BaselineCheckOptions check;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    std::string arg = raw[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= raw.size()) {
+        return false;
+      }
+      *out = std::atof(raw[++i].c_str());
+      return true;
+    };
+    if (arg == "--check-baseline") {
+      args->command = "check-baseline";
+    } else if (arg == "--top") {
+      double v;
+      if (!next(&v)) {
+        return false;
+      }
+      args->top = static_cast<int>(v);
+    } else if (double scratch; ParseDoubleFlag(arg, "--top", &scratch)) {
+      args->top = static_cast<int>(scratch);
+    } else if (arg == "--threshold") {
+      if (!next(&args->threshold)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--threshold", &args->threshold)) {
+    } else if (arg == "--min-ms") {
+      if (!next(&args->min_ms)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--min-ms", &args->min_ms)) {
+    } else if (arg == "--noise-mult") {
+      if (!next(&args->check.noise_mult)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--noise-mult", &args->check.noise_mult)) {
+    } else if (arg == "--rel-tol") {
+      if (!next(&args->check.rel_tol)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--rel-tol", &args->check.rel_tol)) {
+    } else if (arg == "--abs-tol") {
+      if (!next(&args->check.abs_tol)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--abs-tol", &args->check.abs_tol)) {
+    } else if (arg == "--out") {
+      if (i + 1 >= raw.size()) {
+        return false;
+      }
+      args->out_path = raw[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args->out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "minuet_prof: unknown flag %s\n", arg.c_str());
+      return false;
+    } else if (args->command.empty() &&
+               (arg == "report" || arg == "diff" || arg == "make-baseline" ||
+                arg == "check-baseline")) {
+      args->command = arg;
+    } else {
+      args->files.push_back(arg);
+    }
+  }
+  if (args->command.empty()) {
+    // Bare form: one file = report, two files = diff.
+    if (args->files.size() == 1) {
+      args->command = "report";
+    } else if (args->files.size() == 2) {
+      args->command = "diff";
+    } else {
+      return false;
+    }
+  }
+  return !args->files.empty();
+}
+
+int RunReport(const Args& args) {
+  prof::RunProfile profile;
+  std::string error;
+  if (!prof::LoadRunProfileFile(args.files[0], &profile, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  std::string report = prof::FormatReport(profile, args.top);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}
+
+int RunDiff(const Args& args) {
+  if (args.files.size() != 2) {
+    return Usage();
+  }
+  prof::RunProfile before, after;
+  std::string error;
+  if (!prof::LoadRunProfileFile(args.files[0], &before, &error) ||
+      !prof::LoadRunProfileFile(args.files[1], &after, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  prof::DiffResult diff = prof::DiffProfiles(before, after);
+  std::string text = prof::FormatDiff(diff, args.threshold, args.min_ms);
+  std::fputs(text.c_str(), stdout);
+  return prof::Regressions(diff, args.threshold, args.min_ms).empty() ? 0 : 1;
+}
+
+int RunMakeBaseline(const Args& args) {
+  std::vector<JsonValue> reports(args.files.size());
+  std::string error;
+  for (size_t i = 0; i < args.files.size(); ++i) {
+    if (!ReadJsonFile(args.files[i], &reports[i], &error)) {
+      std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  std::string baseline = prof::MakeBaselineJson(reports, &error);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  if (args.out_path.empty()) {
+    std::fputs(baseline.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(args.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "minuet_prof: could not write %s\n", args.out_path.c_str());
+    return 2;
+  }
+  std::fputs(baseline.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stdout, "wrote baseline for %zu report(s) to %s\n", args.files.size(),
+               args.out_path.c_str());
+  return 0;
+}
+
+int RunCheckBaseline(const Args& args) {
+  if (args.files.size() < 2) {
+    return Usage();
+  }
+  JsonValue baseline;
+  std::string error;
+  if (!ReadJsonFile(args.files[0], &baseline, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<prof::BaselineViolation> violations;
+  int checked = 0;
+  for (size_t i = 1; i < args.files.size(); ++i) {
+    JsonValue report;
+    if (!ReadJsonFile(args.files[i], &report, &error)) {
+      std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+      return 2;
+    }
+    size_t before = violations.size();
+    if (!prof::CheckBaseline(baseline, report, args.check, &violations, &error)) {
+      std::fprintf(stderr, "minuet_prof: %s: %s\n", args.files[i].c_str(), error.c_str());
+      return 2;
+    }
+    ++checked;
+    const JsonValue* name = report.Find("bench");
+    std::fprintf(stdout, "%s: %s (%zu violation(s))\n",
+                 name != nullptr ? name->StringOr("?").c_str() : args.files[i].c_str(),
+                 violations.size() == before ? "OK" : "FAIL",
+                 violations.size() - before);
+  }
+  for (const prof::BaselineViolation& v : violations) {
+    if (v.row >= 0) {
+      std::fprintf(stdout, "  VIOLATION %s row %d %s: %s\n", v.bench.c_str(), v.row,
+                   v.key.c_str(), v.message.c_str());
+    } else {
+      std::fprintf(stdout, "  VIOLATION %s %s: %s\n", v.bench.c_str(), v.key.c_str(),
+                   v.message.c_str());
+    }
+  }
+  std::fprintf(stdout, "checked %d report(s) against %s: %zu violation(s)\n", checked,
+               args.files[0].c_str(), violations.size());
+  return violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (args.command == "report") {
+    return RunReport(args);
+  }
+  if (args.command == "diff") {
+    return RunDiff(args);
+  }
+  if (args.command == "make-baseline") {
+    return RunMakeBaseline(args);
+  }
+  if (args.command == "check-baseline") {
+    return RunCheckBaseline(args);
+  }
+  return Usage();
+}
