@@ -7,11 +7,19 @@
 # and gates merges with `minuet_prof check-baseline BENCH_BASELINE.json ...`.
 #
 # The simulator is nearly deterministic: cache simulation keys off real heap
-# addresses, so ASLR / allocator layout adds ~0.1% run-to-run noise to L2 hit
-# ratios and anything downstream of them. The recorded noise envelope plus the
-# checker's relative tolerance absorbs this. Host wall-clock keys (anything
-# containing "host" or "wall") are machine-dependent and are excluded from the
-# envelope by make-baseline.
+# addresses, so allocator layout adds run-to-run noise to L2 hit ratios and
+# anything downstream of them — and the layout depends on process context
+# (argv/environ length shifts every later heap chunk). Two runs from the same
+# shell with same-length arguments therefore under-measure the noise CI will
+# see. Each round below pads the output filename differently so the recorded
+# envelope samples distinct heap layouts, not one layout twice. (This applies
+# to serve_scheduler too: deterministic_addressing renumbers granules by first
+# touch, which makes *identical heap replays* exact — the CLI byte-determinism
+# guarantee — but a long-lived bench process recycles heap addresses across
+# its many engines, and which buffer inherits which granule ids drifts with
+# process context.) Host wall-clock keys (anything containing "host" or
+# "wall") are machine-dependent and are excluded from the envelope by
+# make-baseline.
 #
 # Usage: bench/record_baseline.sh [BUILD_DIR [OUT_FILE]]
 #   RUNS=N                 rounds per bench (default 2)
@@ -20,11 +28,11 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_BASELINE.json}"
-RUNS="${RUNS:-2}"
+RUNS="${RUNS:-3}"
 export MINUET_BENCH_POINTS="${MINUET_BENCH_POINTS:-8000}"
 
 # Keep this list in sync with the perf-regression job in .github/workflows/ci.yml.
-BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop)
+BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop serve_scheduler)
 
 PROF="$BUILD_DIR/tools/minuet_prof"
 if [[ ! -x "$PROF" ]]; then
@@ -43,9 +51,14 @@ for bench in "${BENCHES[@]}"; do
     exit 2
   fi
   for run in $(seq 1 "$RUNS"); do
-    out="$WORK/$bench.$run.json"
+    # Run-dependent padding: a different argv + environ length per round gives
+    # each run its own heap layout (see header comment). Small shifts often
+    # land in the same layout state, so the environ pad grows in large steps.
+    pad="$(printf 'x%.0s' $(seq 1 $((run * 7))))"
+    envpad="$(printf 'y%.0s' $(seq 1 $((run * 173))))"
+    out="$WORK/$bench.$run.$pad.json"
     echo "== $bench (run $run/$RUNS, MINUET_BENCH_POINTS=$MINUET_BENCH_POINTS)"
-    "$bin" --json="$out" > /dev/null
+    MINUET_BASELINE_LAYOUT_PAD="$envpad" "$bin" --json="$out" > /dev/null
     reports+=("$out")
   done
 done

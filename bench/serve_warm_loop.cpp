@@ -12,8 +12,11 @@
 // Machine-readable output: --json=FILE mirrors the table (plus the session
 // counters) as a bench report; --metrics=FILE.<engine> dumps each engine's
 // metrics-registry snapshot; --trace=FILE.<engine> records the serving loop
-// as a Chrome trace (open in Perfetto / chrome://tracing).
+// as a Chrome trace (open in Perfetto / chrome://tracing). --warmup=N
+// (default 2) inserts N unmeasured warm runs before the measured loop so the
+// host percentiles exclude first-iteration effects.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -37,6 +40,10 @@ constexpr int kWarmRuns = 20;
 struct Options {
   std::string metrics;  // per-engine metrics snapshots; empty: off
   std::string trace;    // per-engine Chrome traces; empty: off
+  // Unmeasured warm runs between the cold run and the measured loop, so the
+  // host-time percentiles sample a steady state (first warm runs still pay
+  // cold branch predictors, lazy page faults and allocator growth).
+  int warmup = 2;
 };
 
 bool BenchEngine(EngineKind kind, const Network& net, const PointCloud& cloud,
@@ -62,6 +69,11 @@ bool BenchEngine(EngineKind kind, const Network& net, const PointCloud& cloud,
   RunResult cold = session.Run(cloud);
   const double cold_host = timer.ElapsedMillis();
   const uint64_t cold_allocs = session.workspace_pool().stats().allocations;
+
+  // Warmup: excluded from every reported warm statistic below.
+  for (int r = 0; r < opts.warmup; ++r) {
+    session.Run(cloud);
+  }
 
   double warm_sim = 0.0;
   double warm_map = 0.0;
@@ -168,6 +180,10 @@ int Main(int argc, char** argv) {
       opts.metrics = arg.substr(10);
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts.trace = arg.substr(8);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      opts.warmup = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      opts.warmup = std::atoi(argv[++i]);
     }
     // --json is consumed by JsonReport below; unknown flags are ignored so
     // the bench stays runnable from the plain CI loop.
@@ -177,8 +193,9 @@ int Main(int argc, char** argv) {
   bench::PrintTitle("serve_warm_loop",
                     "repeated inference through RunSession (plan cache + workspace pool)");
   bench::PrintNote("cold = first sight of the coordinate set (records the plan); "
-                   "warm = replay (20 runs). sim = simulated GPU ms, host p50/p95/p99 = "
-                   "wall-clock orchestration ms percentiles, allocs = workspace "
+                   "warm = replay (20 runs, after --warmup unmeasured runs). sim = "
+                   "simulated GPU ms, host p50/p95/p99 = wall-clock orchestration ms "
+                   "percentiles over the measured runs only, allocs = workspace "
                    "allocations per run.");
 
   DeviceConfig device = MakeRtx3090();
@@ -196,6 +213,7 @@ int Main(int argc, char** argv) {
   report.Meta("points", cloud.num_points());
   report.Meta("device", device.name);
   report.Meta("warm_runs", static_cast<int64_t>(kWarmRuns));
+  report.Meta("warmup_runs", static_cast<int64_t>(opts.warmup));
 
   bench::Rule();
   bench::Row("%-16s %9s %9s %9s %9s %9s %8s %8s %8s %7s %7s", "engine", "cold-sim", "warm-sim",

@@ -118,14 +118,12 @@ void BlockCtx::AccessLines(const void* addr, size_t bytes, bool is_read) {
   uint64_t start = reinterpret_cast<uint64_t>(addr);
   uint64_t end = start + bytes - 1;
   int line_bytes = device_->config_.line_bytes;
-  uint64_t first_line = start / static_cast<uint64_t>(line_bytes);
-  uint64_t last_line = end / static_cast<uint64_t>(line_bytes);
-  for (uint64_t line = first_line; line <= last_line; ++line) {
+  auto touch_line = [&](uint64_t line) {
     if (is_read) {
       size_t slot = static_cast<size_t>(line % kL1Lines);
       if (l1_tags_[slot] == line) {
         ++l1_hits_;
-        continue;
+        return;
       }
       l1_tags_[slot] = line;
     }
@@ -134,6 +132,26 @@ void BlockCtx::AccessLines(const void* addr, size_t bytes, bool is_read) {
     } else {
       ++line_misses_;
     }
+  };
+  if (device_->config_.deterministic_addressing) {
+    // Walk the access in 16-byte malloc granules, renumber each by first
+    // touch, and form lines over the renumbered space (see RemapGranule).
+    // Contiguously-touched data stays contiguous, so spatial locality
+    // survives, but no line id ever depends on a real address.
+    const uint64_t granules_per_line = static_cast<uint64_t>(line_bytes) / 16;
+    uint64_t prev_line = ~uint64_t{0};
+    for (uint64_t granule = start >> 4; granule <= (end >> 4); ++granule) {
+      uint64_t line = device_->RemapGranule(granule) / granules_per_line;
+      if (line != prev_line) {
+        touch_line(line);
+        prev_line = line;
+      }
+    }
+    return;
+  }
+  for (uint64_t line = start / static_cast<uint64_t>(line_bytes);
+       line <= end / static_cast<uint64_t>(line_bytes); ++line) {
+    touch_line(line);
   }
 }
 

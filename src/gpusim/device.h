@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/gpusim/cache_sim.h"
@@ -205,8 +206,26 @@ class Device {
   const std::vector<KernelStats>& trace() const { return trace_; }
   void ClearTrace() { trace_.clear(); }
 
+  // Distinct 16-byte granules the remap table has seen. A warm serving loop
+  // that touches only stable (pooled/cached) buffers stops growing this —
+  // the observable test for "no fresh device-visible allocation per run".
+  size_t granule_count() const { return granule_ids_.size(); }
+
  private:
   friend class BlockCtx;
+
+  // First-touch renumbering for deterministic_addressing, at malloc-granule
+  // (16-byte) granularity: the n-th distinct granule ever touched becomes
+  // granule n, and cache lines are formed over the renumbered space. Line
+  // identity therefore derives purely from touch order — neither ASLR's
+  // page-granular shifts nor the allocator's 16-byte-granular layout changes
+  // (argv/environ length moves every later heap chunk) reach the cache model.
+  // Persists across ResetTotals() — it is an address-space identity, not a
+  // statistic.
+  uint64_t RemapGranule(uint64_t granule) {
+    auto [it, inserted] = granule_ids_.try_emplace(granule, granule_ids_.size());
+    return it->second;
+  }
 
   void Record(const KernelStats& stats) {
     kernel_aggregates_[stats.name] += stats;
@@ -217,6 +236,7 @@ class Device {
 
   DeviceConfig config_;
   CacheSim l2_;
+  std::unordered_map<uint64_t, uint64_t> granule_ids_;
   KernelStats totals_;
   std::map<std::string, KernelStats> kernel_aggregates_;
   bool trace_enabled_ = false;

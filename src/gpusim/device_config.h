@@ -50,6 +50,20 @@ struct DeviceConfig {
   // Fixed cost charged once per kernel launch (CUDA launch + driver).
   double launch_overhead_cycles = 4000.0;
 
+  // Remap global-memory addresses (at 16-byte malloc-granule granularity) to
+  // dense first-touch ids before the L1/L2 lookups. By default the cache
+  // simulators key off real host pointers (as arbitrary as an allocator's
+  // placement — see cache_sim.h), which makes hit ratios drift ~0.1% across
+  // process invocations: ASLR shifts the heap and even the command line's
+  // length moves later chunks by 16-byte steps, changing which accesses
+  // straddle line boundaries. The serving scheduler needs bit-identical
+  // reports across runs, so it turns this on: line identity then derives
+  // purely from the (deterministic) first-touch order, hence so does every
+  // cache decision. Hit ratios differ slightly from the default mode
+  // (line composition and conflict misses follow touch order, not allocator
+  // layout); the two modes must not be compared against each other.
+  bool deterministic_addressing = false;
+
   // Derived.
   double flops_per_cycle() const { return gemm_tflops * 1e12 / (clock_ghz * 1e9); }
   double CyclesToMillis(double cycles) const { return cycles / (clock_ghz * 1e9) * 1e3; }

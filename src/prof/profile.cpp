@@ -506,6 +506,135 @@ std::string FormatDiff(const DiffResult& diff, double threshold, double min_ms) 
   return out;
 }
 
+// --- serve report ---------------------------------------------------------
+
+namespace {
+
+double NumField(const JsonValue* obj, const char* key, double fallback) {
+  if (obj == nullptr) {
+    return fallback;
+  }
+  const JsonValue* v = obj->Find(key);
+  return v == nullptr ? fallback : v->DoubleOr(fallback);
+}
+
+std::string StrField(const JsonValue* obj, const char* key) {
+  if (obj == nullptr) {
+    return std::string();
+  }
+  const JsonValue* v = obj->Find(key);
+  return v == nullptr ? std::string() : v->StringOr("");
+}
+
+}  // namespace
+
+bool IsServeReport(const JsonValue& doc) { return doc.Find("serve_report") != nullptr; }
+
+bool LoadServeProfile(const JsonValue& doc, ServeProfile* out, std::string* error) {
+  *out = ServeProfile();
+  const JsonValue* summary = doc.Find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    *error = "serve report has no summary object";
+    return false;
+  }
+  const JsonValue* context = doc.Find("context");
+  const JsonValue* arrival = doc.Find("arrival");
+  const JsonValue* config = doc.Find("config");
+
+  out->device = StrField(context, "device");
+  out->network = StrField(context, "network");
+  out->engine = StrField(context, "engine");
+  out->process = StrField(arrival, "process");
+  out->rate_rps = NumField(arrival, "rate_rps", 0.0);
+  out->policy = StrField(config, "policy");
+  out->queue_capacity = static_cast<int64_t>(NumField(config, "queue_capacity", 0.0));
+  out->max_batch_size = static_cast<int64_t>(NumField(config, "max_batch_size", 0.0));
+  out->max_queue_delay_us = NumField(config, "max_queue_delay_us", 0.0);
+  out->slo_us = NumField(config, "slo_us", 0.0);
+
+  out->offered = static_cast<int64_t>(NumField(summary, "offered", 0.0));
+  out->admitted = static_cast<int64_t>(NumField(summary, "admitted", 0.0));
+  out->shed = static_cast<int64_t>(NumField(summary, "shed", 0.0));
+  out->completed = static_cast<int64_t>(NumField(summary, "completed", 0.0));
+  out->num_batches = static_cast<int64_t>(NumField(summary, "num_batches", 0.0));
+  out->warm_requests = static_cast<int64_t>(NumField(summary, "warm_requests", 0.0));
+  out->duration_us = NumField(summary, "duration_us", 0.0);
+  out->utilization = NumField(summary, "utilization", 0.0);
+  out->throughput_rps = NumField(summary, "throughput_rps", 0.0);
+  out->goodput_rps = NumField(summary, "goodput_rps", 0.0);
+  out->shed_rate = NumField(summary, "shed_rate", 0.0);
+  out->slo_attainment = NumField(summary, "slo_attainment", 0.0);
+  out->mean_batch_size = NumField(summary, "mean_batch_size", 0.0);
+  out->queue_p50_us = NumField(summary, "queue_p50_us", 0.0);
+  out->queue_p95_us = NumField(summary, "queue_p95_us", 0.0);
+  out->queue_p99_us = NumField(summary, "queue_p99_us", 0.0);
+  out->service_p50_us = NumField(summary, "service_p50_us", 0.0);
+  out->service_p95_us = NumField(summary, "service_p95_us", 0.0);
+  out->service_p99_us = NumField(summary, "service_p99_us", 0.0);
+  out->latency_p50_us = NumField(summary, "latency_p50_us", 0.0);
+  out->latency_p95_us = NumField(summary, "latency_p95_us", 0.0);
+  out->latency_p99_us = NumField(summary, "latency_p99_us", 0.0);
+
+  const JsonValue* metrics = doc.Find("device_metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    std::string metrics_error;
+    out->has_device_profile =
+        LoadRunProfile(*metrics, &out->device_profile, &metrics_error);
+  }
+  return true;
+}
+
+std::string FormatServeReport(const ServeProfile& profile, int top_n) {
+  std::string out = "serve report";
+  if (!profile.engine.empty()) {
+    out += ": " + profile.engine;
+  }
+  if (!profile.device.empty()) {
+    out += " on " + profile.device;
+  }
+  if (!profile.network.empty()) {
+    out += " (" + profile.network + ")";
+  }
+  out += "\narrival " + (profile.process.empty() ? "?" : profile.process) + " @ " +
+         Format("%.0f", profile.rate_rps) + " rps | policy " +
+         (profile.policy.empty() ? "?" : profile.policy) + ", queue " +
+         std::to_string(profile.queue_capacity) + ", max batch " +
+         std::to_string(profile.max_batch_size) + ", max delay " +
+         Format("%.0f", profile.max_queue_delay_us) + " us, SLO " +
+         Format("%.0f", profile.slo_us) + " us\n\n";
+
+  std::vector<std::vector<std::string>> lat;
+  lat.push_back({"latency", "p50(us)", "p95(us)", "p99(us)"});
+  lat.push_back({"queue", Format("%.1f", profile.queue_p50_us),
+                 Format("%.1f", profile.queue_p95_us), Format("%.1f", profile.queue_p99_us)});
+  lat.push_back({"service", Format("%.1f", profile.service_p50_us),
+                 Format("%.1f", profile.service_p95_us),
+                 Format("%.1f", profile.service_p99_us)});
+  lat.push_back({"end-to-end", Format("%.1f", profile.latency_p50_us),
+                 Format("%.1f", profile.latency_p95_us),
+                 Format("%.1f", profile.latency_p99_us)});
+  AppendTable(&out, lat, {false, true, true, true});
+
+  out += "\nrequests: offered " + std::to_string(profile.offered) + " | admitted " +
+         std::to_string(profile.admitted) + " | shed " + std::to_string(profile.shed) +
+         " (" + Format("%.1f", 100.0 * profile.shed_rate) + "%) | completed " +
+         std::to_string(profile.completed) + " | warm " +
+         std::to_string(profile.warm_requests) + "\n";
+  out += "rates: throughput " + Format("%.1f", profile.throughput_rps) + " rps | goodput " +
+         Format("%.1f", profile.goodput_rps) + " rps | SLO attainment " +
+         Format("%.1f", 100.0 * profile.slo_attainment) + "%\n";
+  out += "server: " + Format("%.1f", profile.duration_us / 1e3) + " ms serving clock | " +
+         Format("%.1f", 100.0 * profile.utilization) + "% busy | " +
+         std::to_string(profile.num_batches) + " batches, mean size " +
+         Format("%.2f", profile.mean_batch_size) + "\n";
+
+  if (profile.has_device_profile) {
+    out += "\n";
+    out += FormatReport(profile.device_profile, top_n);
+  }
+  return out;
+}
+
 // --- bench baseline -------------------------------------------------------
 
 namespace {

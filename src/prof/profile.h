@@ -97,6 +97,60 @@ std::vector<const KernelDelta*> Regressions(const DiffResult& diff, double thres
 
 std::string FormatDiff(const DiffResult& diff, double threshold, double min_ms);
 
+// --- serve report ---------------------------------------------------------
+//
+// minuet_serve --json writes a serving-run artifact ({"serve_report": 1,...}):
+// SLO summary plus per-request/per-batch records, with the device's metrics
+// snapshot embedded under "device_metrics". `minuet_prof report` detects it
+// and prints the latency-percentile/shed-rate view in front of the usual
+// top-kernels table (reconstructed from the embedded snapshot).
+
+struct ServeProfile {
+  // Deployment context + scheduler configuration.
+  std::string device;
+  std::string network;
+  std::string engine;
+  std::string process;  // arrival process name
+  std::string policy;   // admission policy name
+  double rate_rps = 0.0;
+  int64_t queue_capacity = 0;
+  int64_t max_batch_size = 0;
+  double max_queue_delay_us = 0.0;
+  double slo_us = 0.0;
+
+  // SLO summary (mirrors serve::ServeSummary).
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  int64_t completed = 0;
+  int64_t num_batches = 0;
+  int64_t warm_requests = 0;
+  double duration_us = 0.0;
+  double utilization = 0.0;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double shed_rate = 0.0;
+  double slo_attainment = 0.0;
+  double mean_batch_size = 0.0;
+  double queue_p50_us = 0.0, queue_p95_us = 0.0, queue_p99_us = 0.0;
+  double service_p50_us = 0.0, service_p95_us = 0.0, service_p99_us = 0.0;
+  double latency_p50_us = 0.0, latency_p95_us = 0.0, latency_p99_us = 0.0;
+
+  // Kernel view rebuilt from the embedded "device_metrics" snapshot; absent
+  // when the report was written without one.
+  bool has_device_profile = false;
+  RunProfile device_profile;
+};
+
+// True when the parsed document is a minuet_serve report artifact.
+bool IsServeReport(const JsonValue& doc);
+
+bool LoadServeProfile(const JsonValue& doc, ServeProfile* out, std::string* error);
+
+// Latency-percentile + shed-rate tables, followed by the top-kernels table
+// when the report embeds a device snapshot. `top_n` as in FormatReport.
+std::string FormatServeReport(const ServeProfile& profile, int top_n);
+
 // --- bench baseline -------------------------------------------------------
 //
 // Baseline schema (versioned, committed as BENCH_BASELINE.json):

@@ -1,0 +1,139 @@
+#include "src/serve/report.h"
+
+#include <cstdio>
+
+#include "src/trace/metrics.h"
+#include "src/util/json_writer.h"
+
+namespace minuet {
+namespace serve {
+
+std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
+                            const ServeReportContext& context,
+                            const trace::MetricsRegistry* registry) {
+  const ServeSummary& s = result.summary;
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("serve_report", 1);
+
+  w.Key("context");
+  w.BeginObject();
+  w.KV("device", context.device);
+  w.KV("network", context.network);
+  w.KV("engine", context.engine);
+  w.KV("precision", context.precision);
+  w.EndObject();
+
+  w.Key("arrival");
+  w.BeginObject();
+  w.KV("process", ArrivalProcessName(arrival.process));
+  w.KV("rate_rps", arrival.rate_rps);
+  w.KV("num_requests", arrival.num_requests);
+  w.KV("seed", arrival.seed);
+  if (arrival.process == ArrivalProcess::kMmpp) {
+    w.KV("burst_multiplier", arrival.burst_multiplier);
+    w.KV("base_dwell_us", arrival.base_dwell_us);
+    w.KV("burst_dwell_us", arrival.burst_dwell_us);
+  }
+  if (arrival.process == ArrivalProcess::kClosedLoop) {
+    w.KV("num_clients", static_cast<int64_t>(arrival.num_clients));
+    w.KV("think_time_us", arrival.think_time_us);
+  }
+  w.EndObject();
+
+  w.Key("config");
+  w.BeginObject();
+  w.KV("policy", AdmissionPolicyName(result.config.policy));
+  w.KV("queue_capacity", result.config.queue_capacity);
+  w.KV("max_batch_size", result.config.max_batch_size);
+  w.KV("max_queue_delay_us", result.config.max_queue_delay_us);
+  w.KV("slo_us", result.config.slo_us);
+  w.EndObject();
+
+  w.Key("summary");
+  w.BeginObject();
+  w.KV("offered", s.offered);
+  w.KV("admitted", s.admitted);
+  w.KV("shed", s.shed);
+  w.KV("completed", s.completed);
+  w.KV("num_batches", s.num_batches);
+  w.KV("warm_requests", s.warm_requests);
+  w.KV("duration_us", s.duration_us);
+  w.KV("server_busy_us", s.server_busy_us);
+  w.KV("utilization", s.utilization);
+  w.KV("offered_rps", s.offered_rps);
+  w.KV("throughput_rps", s.throughput_rps);
+  w.KV("goodput_rps", s.goodput_rps);
+  w.KV("shed_rate", s.shed_rate);
+  w.KV("slo_attainment", s.slo_attainment);
+  w.KV("mean_batch_size", s.mean_batch_size);
+  w.KV("queue_p50_us", s.queue_p50_us);
+  w.KV("queue_p95_us", s.queue_p95_us);
+  w.KV("queue_p99_us", s.queue_p99_us);
+  w.KV("service_p50_us", s.service_p50_us);
+  w.KV("service_p95_us", s.service_p95_us);
+  w.KV("service_p99_us", s.service_p99_us);
+  w.KV("latency_p50_us", s.latency_p50_us);
+  w.KV("latency_p95_us", s.latency_p95_us);
+  w.KV("latency_p99_us", s.latency_p99_us);
+  w.EndObject();
+
+  w.Key("requests");
+  w.BeginArray();
+  for (const RequestRecord& record : result.requests) {
+    w.BeginObject();
+    w.KV("id", record.request.id);
+    w.KV("arrival_us", record.request.arrival_us);
+    w.KV("points", record.request.points);
+    w.KV("priority", record.request.priority);
+    w.KV("batch_class", record.request.batch_class);
+    w.KV("shed", record.shed);
+    if (!record.shed) {
+      w.KV("warm", record.warm);
+      w.KV("batch", record.batch_id);
+      w.KV("queue_us", record.QueueUs());
+      w.KV("service_us", record.ServiceUs());
+      w.KV("latency_us", record.LatencyUs());
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("batches");
+  w.BeginArray();
+  for (const BatchRecord& batch : result.batches) {
+    w.BeginObject();
+    w.KV("id", batch.id);
+    w.KV("class", batch.batch_class);
+    w.KV("size", batch.size);
+    w.KV("dispatch_us", batch.dispatch_us);
+    w.KV("service_us", batch.completion_us - batch.dispatch_us);
+    w.KV("service_cycles", batch.service_cycles);
+    w.KV("serial_cycles", batch.serial_cycles);
+    w.KV("overlap", batch.Overlap());
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (registry != nullptr) {
+    w.Key("device_metrics");
+    w.RawValue(registry->SnapshotJson());
+  }
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool WriteServeReport(const std::string& json, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace serve
+}  // namespace minuet

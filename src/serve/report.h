@@ -1,0 +1,56 @@
+// JSON serving report — the artifact minuet_serve writes and minuet_prof
+// reads. Schema (version key "serve_report"):
+//
+//   {"serve_report": 1,
+//    "context":  {"device":.., "network":.., "engine":.., "precision":..},
+//    "arrival":  {"process":.., "rate_rps":.., "num_requests":.., "seed":..},
+//    "config":   {"policy":.., "queue_capacity":.., "max_batch_size":..,
+//                 "max_queue_delay_us":.., "slo_us":..},
+//    "summary":  {<every ServeSummary field>},
+//    "requests": [{"id":..,"arrival_us":..,"shed":..,"warm":..,"batch":..,
+//                  "queue_us":..,"service_us":..,"latency_us":..,
+//                  "points":..}, ...],
+//    "batches":  [{"id":..,"class":..,"size":..,"dispatch_us":..,
+//                  "service_us":..,"overlap":..}, ...],
+//    "device_metrics": {<MetricsRegistry snapshot>}}        (optional)
+//
+// Everything is simulated/serving-clock time — no host wall-clock leaks in,
+// so two runs of the same config produce byte-identical reports (given
+// DeviceConfig::deterministic_addressing).
+#ifndef SRC_SERVE_REPORT_H_
+#define SRC_SERVE_REPORT_H_
+
+#include <string>
+
+#include "src/serve/arrival.h"
+#include "src/serve/scheduler.h"
+
+namespace minuet {
+
+namespace trace {
+class MetricsRegistry;
+}  // namespace trace
+
+namespace serve {
+
+// Identity of the deployment the report describes.
+struct ServeReportContext {
+  std::string device;     // DeviceConfig name
+  std::string network;    // Network name
+  std::string engine;     // EngineKindName
+  std::string precision;  // "fp32" | "fp16"
+};
+
+// `registry` may be null (no device_metrics section). When present, its
+// snapshot is embedded verbatim so one file carries both the serving view and
+// the per-kernel device view.
+std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
+                            const ServeReportContext& context,
+                            const trace::MetricsRegistry* registry);
+
+bool WriteServeReport(const std::string& json, const std::string& path);
+
+}  // namespace serve
+}  // namespace minuet
+
+#endif  // SRC_SERVE_REPORT_H_

@@ -1,0 +1,79 @@
+// Request model for the serving scheduler (src/serve).
+//
+// A Request names one inference call: when it arrives on the serving clock,
+// which synthetic point cloud it carries (dataset + target size + seed fully
+// determine the coordinates and features — see src/data/generators.h), what
+// priority class it belongs to, and which batching-compatibility class it is
+// in. Everything is a value; the scheduler materialises clouds lazily and
+// memoises them, so traces stay cheap to generate, serialise and replay.
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/generators.h"
+
+namespace minuet {
+namespace serve {
+
+// How the admission queue orders dispatch candidates.
+//   kFifo     — admission order.
+//   kSjf      — shortest job first by target point count (ties: admission).
+//   kPriority — priority class ascending (0 = most urgent), FIFO within.
+enum class AdmissionPolicy { kFifo, kSjf, kPriority };
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+bool ParseAdmissionPolicy(const std::string& name, AdmissionPolicy* out);
+
+struct Request {
+  int64_t id = 0;
+  double arrival_us = 0.0;  // serving clock (virtual), never wall time
+  int priority = 0;         // 0 = most urgent class
+  // Batching-compatibility key: requests may share a batch only when equal.
+  // Stands for "same network + precision" — one serving deployment per class.
+  int batch_class = 0;
+  DatasetKind dataset = DatasetKind::kRandom;
+  int64_t points = 1000;    // target cloud size; the SJF key
+  uint64_t cloud_seed = 1;  // with dataset+points, names the exact cloud
+  int client = -1;          // closed-loop issuer; -1 in open-loop traces
+};
+
+// Outcome of one request after a scheduler run. Times are serving-clock
+// microseconds; shed requests have no dispatch/completion.
+struct RequestRecord {
+  Request request;
+  bool shed = false;
+  bool warm = false;         // served from a cached ExecutionPlan
+  int64_t batch_id = -1;
+  double dispatch_us = 0.0;
+  double completion_us = 0.0;
+  double service_cycles = 0.0;  // this request's own simulated device cycles
+
+  double QueueUs() const { return dispatch_us - request.arrival_us; }
+  double ServiceUs() const { return completion_us - dispatch_us; }
+  double LatencyUs() const { return completion_us - request.arrival_us; }
+};
+
+// One dispatched batch: which compatibility class, how many requests, and
+// what it cost on the device with the stream-pool overlap applied.
+struct BatchRecord {
+  int64_t id = 0;
+  int batch_class = 0;
+  int64_t size = 0;
+  double dispatch_us = 0.0;
+  double completion_us = 0.0;
+  double service_cycles = 0.0;  // overlapped cost, what the server is busy for
+  double serial_cycles = 0.0;   // sum of per-request cycles (no overlap)
+
+  // How much the stream pool compressed the batch: 1.0 for singletons,
+  // approaching min(size, streams) for balanced batches.
+  double Overlap() const {
+    return service_cycles <= 0.0 ? 1.0 : serial_cycles / service_cycles;
+  }
+};
+
+}  // namespace serve
+}  // namespace minuet
+
+#endif  // SRC_SERVE_REQUEST_H_

@@ -1,0 +1,157 @@
+// Deterministic event-driven request scheduler with dynamic batching,
+// admission control and SLO accounting.
+//
+// The scheduler advances a virtual serving clock (microseconds) over three
+// event kinds, processed in a fixed order at equal timestamps so every run of
+// the same (trace, config, engine) is bit-identical:
+//
+//   1. batch completion  — the server frees up,
+//   2. request arrival   — admit into the bounded queue or shed on overflow,
+//   3. batch dispatch    — when the server is idle, coalesce compatible
+//                          queued requests and execute them.
+//
+// Dynamic batching: the batcher picks the head-of-queue request under the
+// admission policy, then fills the batch with queued requests of the same
+// batch class (same network + precision) in policy order. It dispatches when
+// the batch is full (max_batch_size), when the earliest candidate has waited
+// max_queue_delay_us, or when no further arrival can ever top the batch up —
+// the classic max-size / max-delay policy of batched inference servers
+// (TorchSparse++-style deployments, TF-Serving's batching layer).
+//
+// Execution: every request runs through the engine's RunSession, so repeated
+// shapes are served warm from the plan cache exactly as the serving path
+// (PR 1) intends. Requests batched together overlap on the device the way
+// the engine's GEMM stream pool overlaps independent work:
+//
+//   service_cycles = max(max_i cycles_i, (sum_i cycles_i) / min(B, S))
+//
+// with S = EngineConfig::stream_pool_size — the batch can never finish before
+// its critical request, and B-way concurrency is capped by the stream pool.
+// All requests of a batch complete together at dispatch + service.
+//
+// Determinism: the serving clock is virtual, all randomness flows through
+// seeded Pcg32 streams, and the engine should run on a device with
+// DeviceConfig::deterministic_addressing so service times do not inherit the
+// allocator's ASLR noise (see device_config.h).
+#ifndef SRC_SERVE_SCHEDULER_H_
+#define SRC_SERVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/arrival.h"
+#include "src/serve/request.h"
+
+namespace minuet {
+
+namespace trace {
+class MetricsRegistry;
+}  // namespace trace
+
+namespace serve {
+
+struct SchedulerConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  // Pending requests the admission queue holds; arrivals beyond it are shed.
+  // 0 sheds every arrival (drain/brown-out configuration).
+  int64_t queue_capacity = 64;
+  int64_t max_batch_size = 4;        // >= 1
+  double max_queue_delay_us = 2000.0;  // partial-batch dispatch timer
+  double slo_us = 50000.0;           // end-to-end target for goodput
+  uint64_t seed = 1;                 // closed-loop client randomness
+};
+
+// Aggregate accounting over one scheduler run. All times are serving-clock
+// microseconds; percentiles cover completed requests only.
+struct ServeSummary {
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  int64_t completed = 0;
+  int64_t num_batches = 0;
+  int64_t warm_requests = 0;  // served from a cached plan
+  double duration_us = 0.0;   // clock zero -> last completion (or last shed)
+  double server_busy_us = 0.0;
+  double utilization = 0.0;   // busy / duration
+  double offered_rps = 0.0;
+  double throughput_rps = 0.0;  // completions per second of duration
+  double goodput_rps = 0.0;     // completions within slo_us per second
+  double shed_rate = 0.0;       // shed / offered
+  double slo_attainment = 0.0;  // fraction of completed within slo_us
+  double mean_batch_size = 0.0;
+  double queue_p50_us = 0.0, queue_p95_us = 0.0, queue_p99_us = 0.0;
+  double service_p50_us = 0.0, service_p95_us = 0.0, service_p99_us = 0.0;
+  double latency_p50_us = 0.0, latency_p95_us = 0.0, latency_p99_us = 0.0;
+};
+
+struct ServeResult {
+  SchedulerConfig config;
+  std::vector<RequestRecord> requests;  // ordered by request id
+  std::vector<BatchRecord> batches;     // in dispatch order
+  ServeSummary summary;
+};
+
+ServeSummary Summarize(const std::vector<RequestRecord>& requests,
+                       const std::vector<BatchRecord>& batches,
+                       const SchedulerConfig& config);
+
+// The batcher, exposed for unit tests: orders `queue` (admission order) under
+// `policy`, takes the head, and returns indices into `queue` of up to
+// max_batch_size requests sharing the head's batch class, in dispatch order.
+struct QueueEntry {
+  const Request* request = nullptr;
+  int64_t admit_order = 0;
+};
+std::vector<size_t> PickBatch(const std::vector<QueueEntry>& queue, AdmissionPolicy policy,
+                              int64_t max_batch_size);
+
+// The stream-pool overlap model (see file comment).
+double BatchServiceCycles(const std::vector<double>& request_cycles, int stream_pool_size);
+
+// One scheduler bound to one engine. The engine must be Prepare()d; the
+// scheduler owns a RunSession over it, so consecutive Run() calls keep their
+// warm plans (a long-lived deployment), and stats accumulate in the session.
+class ServeScheduler {
+ public:
+  ServeScheduler(Engine& engine, const SchedulerConfig& config);
+
+  // Serves a pre-generated open-loop trace (sorted by arrival; see
+  // GenerateArrivalTrace / ReadArrivalTraceFile).
+  ServeResult Run(std::vector<Request> trace);
+
+  // Generates arrivals from `trace` and serves them. Open-loop processes
+  // delegate to GenerateArrivalTrace; kClosedLoop simulates the client pool
+  // (each client re-issues an exponential think time after its request
+  // completes or is shed, until num_requests have been issued).
+  ServeResult Run(const TraceConfig& trace);
+
+  RunSession& session() { return session_; }
+
+ private:
+  struct Pending {
+    Request request;
+    int64_t admit_order = 0;
+  };
+
+  ServeResult RunLoop(std::vector<Request> arrivals, const TraceConfig* closed);
+  const PointCloud& CloudFor(const Request& request);
+
+  Engine* engine_;
+  SchedulerConfig config_;
+  RunSession session_;
+  // Clouds are pure functions of (dataset, points, seed); memoised so a
+  // thousand-request trace over a dozen shapes generates a dozen clouds.
+  std::map<std::tuple<int, int64_t, uint64_t>, PointCloud> clouds_;
+};
+
+// Copies a run's serve counters and latency aggregates into `registry` under
+// "serve/..." (counters, gauges, and queue/latency histograms).
+void PublishServeMetrics(const ServeResult& result, trace::MetricsRegistry& registry);
+
+}  // namespace serve
+}  // namespace minuet
+
+#endif  // SRC_SERVE_SCHEDULER_H_

@@ -25,6 +25,7 @@ int64_t Tracer::OpenSpan(std::string name, std::string category) {
   record.depth = static_cast<int>(stack_.size());
   record.host_begin_us = HostNowUs();
   record.sim_begin_us = sim_now_us_;
+  record.serve_begin_us = serve_now_us_;
   int64_t id = static_cast<int64_t>(spans_.size());
   spans_.push_back(std::move(record));
   stack_.push_back(id);
@@ -37,6 +38,7 @@ void Tracer::CloseSpan(int64_t id) {
   SpanRecord& record = spans_[static_cast<size_t>(id)];
   record.host_end_us = HostNowUs();
   record.sim_end_us = sim_now_us_;
+  record.serve_end_us = serve_now_us_;
   record.closed = true;
   stack_.pop_back();
 }
@@ -68,8 +70,14 @@ void WriteAttr(JsonWriter& w, const std::string& key, const AttrValue& value) {
   }
 }
 
+// True for spans that live on the serving clock (the request scheduler's
+// virtual time): the "serve" category and its sub-categories.
+bool IsServeSpan(const SpanRecord& span) {
+  return span.category.rfind("serve", 0) == 0;
+}
+
 // One "X" (complete) event on the given track. Chrome trace ts/dur are in
-// microseconds, which both clock domains already use.
+// microseconds, which all clock domains already use.
 void WriteEvent(JsonWriter& w, const SpanRecord& span, int tid, double ts, double dur) {
   w.BeginObject();
   w.KV("name", span.name);
@@ -81,12 +89,29 @@ void WriteEvent(JsonWriter& w, const SpanRecord& span, int tid, double ts, doubl
   w.KV("dur", dur);
   w.Key("args");
   w.BeginObject();
-  // Both clock domains on every event, so either track tells the full story.
+  // Both core clock domains on every event, so either track tells the full
+  // story; serve spans carry their serving-clock duration as well.
   w.KV("host_us", span.HostDurationUs());
   w.KV("sim_us", span.SimDurationUs());
+  if (IsServeSpan(span)) {
+    w.KV("serve_us", span.ServeDurationUs());
+  }
   for (const auto& [key, value] : span.attrs) {
     WriteAttr(w, key, value);
   }
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteThreadName(JsonWriter& w, int tid, const char* name) {
+  w.BeginObject();
+  w.KV("name", "thread_name");
+  w.KV("ph", "M");
+  w.KV("pid", 0);
+  w.KV("tid", tid);
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", name);
   w.EndObject();
   w.EndObject();
 }
@@ -101,30 +126,33 @@ std::string ChromeTraceJson(const Tracer& tracer) {
   w.Key("traceEvents");
   w.BeginArray();
 
-  // Track names: tid 0 = host wall-clock, tid 1 = simulated device time.
-  for (int tid = 0; tid < 2; ++tid) {
-    w.BeginObject();
-    w.KV("name", "thread_name");
-    w.KV("ph", "M");
-    w.KV("pid", 0);
-    w.KV("tid", tid);
-    w.Key("args");
-    w.BeginObject();
-    w.KV("name", tid == 0 ? "host wall-clock" : "simulated device");
-    w.EndObject();
-    w.EndObject();
+  // Track names: tid 0 = host wall-clock, tid 1 = simulated device time,
+  // tid 2 = serving clock (only when a serve span was traced).
+  WriteThreadName(w, 0, "host wall-clock");
+  WriteThreadName(w, 1, "simulated device");
+  bool any_serve = false;
+  for (const SpanRecord& span : tracer.spans()) {
+    any_serve = any_serve || IsServeSpan(span);
+  }
+  if (any_serve) {
+    WriteThreadName(w, 2, "serving clock");
   }
 
   const double host_now = tracer.HostNowUs();
   const double sim_now = tracer.sim_now_us();
+  const double serve_now = tracer.serve_now_us();
   for (SpanRecord span : tracer.spans()) {
     if (!span.closed) {
       // Export still-open spans as closed at "now" so partial traces load.
       span.host_end_us = host_now;
       span.sim_end_us = sim_now;
+      span.serve_end_us = serve_now;
     }
     WriteEvent(w, span, /*tid=*/0, span.host_begin_us, span.HostDurationUs());
     WriteEvent(w, span, /*tid=*/1, span.sim_begin_us, span.SimDurationUs());
+    if (IsServeSpan(span)) {
+      WriteEvent(w, span, /*tid=*/2, span.serve_begin_us, span.ServeDurationUs());
+    }
   }
   w.EndArray();
   w.EndObject();

@@ -39,18 +39,25 @@ using AttrValue = std::variant<int64_t, double, std::string>;
 
 struct SpanRecord {
   std::string name;
-  std::string category;  // "run" | "layer" | "step" | "kernel" | free-form
+  std::string category;  // "run" | "layer" | "step" | "kernel" | "serve" | free-form
   int64_t parent = -1;   // index into Tracer::spans(), -1 for roots
   int depth = 0;
   double host_begin_us = 0.0;
   double host_end_us = 0.0;
   double sim_begin_us = 0.0;
   double sim_end_us = 0.0;
+  // Third clock domain: the serving clock a request scheduler advances (the
+  // virtual time requests arrive, queue and complete in). Recorded for every
+  // span but only exported for "serve"-category spans — all others open and
+  // close while the serving clock stands still.
+  double serve_begin_us = 0.0;
+  double serve_end_us = 0.0;
   bool closed = false;
   std::vector<std::pair<std::string, AttrValue>> attrs;
 
   double HostDurationUs() const { return host_end_us - host_begin_us; }
   double SimDurationUs() const { return sim_end_us - sim_begin_us; }
+  double ServeDurationUs() const { return serve_end_us - serve_begin_us; }
 };
 
 class Tracer {
@@ -76,8 +83,15 @@ class Tracer {
   // while the kernel's span is open.
   void AdvanceSim(double sim_us) { sim_now_us_ += sim_us; }
 
+  // Sets the serving clock (src/serve's event-driven virtual time). The
+  // scheduler positions it before opening/closing serve-category spans; it is
+  // a set, not an advance, because the serving clock jumps over idle gaps the
+  // device timeline never sees.
+  void SetServeNow(double serve_us) { serve_now_us_ = serve_us; }
+
   double HostNowUs() const;
   double sim_now_us() const { return sim_now_us_; }
+  double serve_now_us() const { return serve_now_us_; }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   // Number of spans opened but not yet closed. 0 == balanced.
@@ -92,6 +106,7 @@ class Tracer {
 
   std::chrono::steady_clock::time_point epoch_;
   double sim_now_us_ = 0.0;
+  double serve_now_us_ = 0.0;
   std::vector<SpanRecord> spans_;
   std::vector<int64_t> stack_;  // open span ids, innermost last
 };
@@ -143,7 +158,9 @@ class Span {
 
 // Chrome trace-event JSON for the recorded spans (see file comment). Open
 // spans are exported as-if closed at the current clocks, so a crashed run's
-// partial trace still loads.
+// partial trace still loads. Spans in the "serve" category additionally
+// appear on a third track (tid 2, "serving clock") at their serving-clock
+// coordinates; the track is omitted entirely when no serve span was traced.
 std::string ChromeTraceJson(const Tracer& tracer);
 
 // Writes ChromeTraceJson to `path`. Returns false if the file cannot be

@@ -111,6 +111,12 @@ void JsonWriter::Value(uint64_t value) {
   out_ += buf;
 }
 
+void JsonWriter::RawValue(std::string_view json) {
+  Separate();
+  out_ += json;
+  started_ = true;
+}
+
 void JsonWriter::Value(double value) {
   Separate();
   if (!std::isfinite(value)) {

@@ -52,6 +52,11 @@ class JsonWriter {
     Value(value);
   }
 
+  // Splices an already-serialized JSON document in value position (e.g. a
+  // MetricsRegistry snapshot embedded inside a larger report). The caller
+  // vouches that `json` is one complete JSON value.
+  void RawValue(std::string_view json);
+
   // True once every opened container has been closed.
   bool Complete() const { return stack_.empty() && started_; }
 

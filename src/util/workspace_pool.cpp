@@ -23,8 +23,15 @@ std::vector<float> WorkspacePool::Acquire(size_t count, bool zero) {
   const int cls = SizeClass(count);
   auto& list = free_lists_[cls];
   std::vector<float> slab;
+  uint64_t seq = 0;
   if (!list.empty()) {
-    slab = std::move(list.back());
+    // Oldest slab first (see CachedSlab in the header for why not LIFO).
+    auto it = std::min_element(
+        list.begin(), list.end(),
+        [](const CachedSlab& a, const CachedSlab& b) { return a.seq < b.seq; });
+    seq = it->seq;
+    slab = std::move(it->storage);
+    *it = std::move(list.back());
     list.pop_back();
     cached_bytes_ -= slab.capacity() * sizeof(float);
     ++stats_.reuses;
@@ -39,10 +46,22 @@ std::vector<float> WorkspacePool::Acquire(size_t count, bool zero) {
     const size_t cap = size_t{1} << cls;
     slab.reserve(cap);
     slab.resize(count);  // vectors zero-initialize; `zero` is free here
+    seq = next_seq_++;
     ++stats_.allocations;
     stats_.bytes_allocated += cap * sizeof(float);
     live_bytes_ += cap * sizeof(float);
     stats_.high_water_bytes = std::max<uint64_t>(stats_.high_water_bytes, live_bytes_);
+  }
+  // Remember the slab's birth order while it is out of our custody. A stale
+  // entry at the same address (a detached slab whose storage the heap has
+  // recycled into this new one) is superseded.
+  const float* addr = slab.data();
+  auto tag = std::find_if(outstanding_seqs_.begin(), outstanding_seqs_.end(),
+                          [addr](const auto& e) { return e.first == addr; });
+  if (tag != outstanding_seqs_.end()) {
+    tag->second = seq;
+  } else {
+    outstanding_seqs_.emplace_back(addr, seq);
   }
   ++stats_.outstanding;
   return slab;
@@ -66,13 +85,27 @@ void WorkspacePool::Release(std::vector<float> slab) {
     }
   }
   cached_bytes_ += slab.capacity() * sizeof(float);
-  free_lists_[cls].push_back(std::move(slab));
+  // Restore the birth tag assigned at Acquire. A slab the caller grew
+  // (reallocated) comes back at a new address with no tag; it reads as a
+  // fresh arrival in birth order, which is still pure program history.
+  const float* addr = slab.data();
+  uint64_t seq = next_seq_;
+  auto tag = std::find_if(outstanding_seqs_.begin(), outstanding_seqs_.end(),
+                          [addr](const auto& e) { return e.first == addr; });
+  if (tag != outstanding_seqs_.end()) {
+    seq = tag->second;
+    *tag = outstanding_seqs_.back();
+    outstanding_seqs_.pop_back();
+  } else {
+    ++next_seq_;
+  }
+  free_lists_[cls].push_back(CachedSlab{seq, std::move(slab)});
 }
 
 void WorkspacePool::Trim() {
   for (auto& list : free_lists_) {
-    for (auto& slab : list) {
-      live_bytes_ -= std::min(live_bytes_, slab.capacity() * sizeof(float));
+    for (auto& cached : list) {
+      live_bytes_ -= std::min(live_bytes_, cached.storage.capacity() * sizeof(float));
     }
     list.clear();
   }

@@ -66,7 +66,28 @@ class WorkspacePool {
   static constexpr int kNumClasses = 48;  // 2^47 floats is far past any cloud
   static int SizeClass(size_t count);
 
-  std::vector<std::vector<float>> free_lists_[kNumClasses];
+  // A cached slab plus the birth order of its storage. Acquire hands out the
+  // oldest free slab of a class rather than the most recently released one: a
+  // LIFO would make the slab a request receives depend on the *order* of the
+  // previous run's releases, so replaying the same acquire/release sequence
+  // permutes the slab<->kernel assignment every pass and, under the gpusim's
+  // deterministic_addressing, changes the cache access stream run over run.
+  // The birth sequence is pure program history (never a heap address), so the
+  // choice is identical across replays in one process *and* across processes
+  // — exactly the two determinism claims the serving tests and the CI
+  // serve-smoke byte-comparison assert.
+  struct CachedSlab {
+    uint64_t seq = 0;
+    std::vector<float> storage;
+  };
+
+  std::vector<CachedSlab> free_lists_[kNumClasses];
+  // Birth order of outstanding slabs, keyed by their storage address so
+  // Release can restore the tag (the caller sees a plain vector<float>). An
+  // address is a stable identity while the slab is alive; entries are erased
+  // when Trim destroys the storage, so recycled heap addresses never collide.
+  std::vector<std::pair<const float*, uint64_t>> outstanding_seqs_;
+  uint64_t next_seq_ = 0;
   size_t live_bytes_ = 0;    // outstanding + cached capacity bytes
   size_t cached_bytes_ = 0;  // capacity bytes sitting in free lists
   Stats stats_;

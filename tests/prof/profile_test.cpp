@@ -264,6 +264,74 @@ TEST(BaselineTest, RowCountMismatchAcrossRunsIsAnError) {
   EXPECT_NE(error.find("row count"), std::string::npos);
 }
 
+TEST(ServeProfileTest, DetectsLoadsAndFormatsServeReports) {
+  // A metrics snapshot from a real (tiny) device run becomes the embedded
+  // "device_metrics" payload, exactly as minuet_serve writes it.
+  Device dev(TinyConfig());
+  dev.Launch("gmas/gather/tile_copy", LaunchDims{16, 128, 0},
+             [](BlockCtx& ctx) { ctx.Compute(4000); });
+  trace::MetricsRegistry registry;
+  dev.PublishMetrics(registry);
+
+  std::string report_json = std::string(R"({
+    "serve_report": 1,
+    "context": {"device": "RTX 3090", "network": "TinyUNet", "engine": "Minuet",
+                "precision": "fp32"},
+    "arrival": {"process": "poisson", "rate_rps": 8000.0, "num_requests": 60, "seed": 7},
+    "config": {"policy": "fifo", "queue_capacity": 32, "max_batch_size": 4,
+               "max_queue_delay_us": 500.0, "slo_us": 20000.0},
+    "summary": {"offered": 60, "admitted": 55, "shed": 5, "completed": 55,
+                "num_batches": 14, "warm_requests": 52, "duration_us": 9000.0,
+                "server_busy_us": 7200.0, "utilization": 0.8,
+                "offered_rps": 6666.6, "throughput_rps": 6111.1,
+                "goodput_rps": 6000.0, "shed_rate": 0.0833,
+                "slo_attainment": 0.98, "mean_batch_size": 3.9,
+                "queue_p50_us": 200.0, "queue_p95_us": 900.0, "queue_p99_us": 1200.0,
+                "service_p50_us": 400.0, "service_p95_us": 800.0, "service_p99_us": 900.0,
+                "latency_p50_us": 650.0, "latency_p95_us": 1500.0, "latency_p99_us": 1900.0},
+    "requests": [], "batches": [],
+    "device_metrics": )") +
+                            registry.SnapshotJson() + "}";
+
+  JsonValue doc = Parse(report_json);
+  EXPECT_TRUE(IsServeReport(doc));
+  EXPECT_FALSE(IsServeReport(Parse(R"({"gauges": {}})")));
+
+  // LoadRunProfile must not claim it (the embedded snapshot is nested).
+  ServeProfile serve;
+  std::string error;
+  ASSERT_TRUE(LoadServeProfile(doc, &serve, &error)) << error;
+  EXPECT_EQ(serve.device, "RTX 3090");
+  EXPECT_EQ(serve.engine, "Minuet");
+  EXPECT_EQ(serve.policy, "fifo");
+  EXPECT_EQ(serve.process, "poisson");
+  EXPECT_EQ(serve.queue_capacity, 32);
+  EXPECT_EQ(serve.max_batch_size, 4);
+  EXPECT_EQ(serve.offered, 60);
+  EXPECT_EQ(serve.shed, 5);
+  EXPECT_EQ(serve.warm_requests, 52);
+  EXPECT_DOUBLE_EQ(serve.shed_rate, 0.0833);
+  EXPECT_DOUBLE_EQ(serve.latency_p99_us, 1900.0);
+  EXPECT_DOUBLE_EQ(serve.slo_attainment, 0.98);
+  ASSERT_TRUE(serve.has_device_profile);
+  ASSERT_EQ(serve.device_profile.kernels.size(), 1u);
+  EXPECT_EQ(serve.device_profile.kernels[0].name, "gmas/gather/tile_copy");
+
+  std::string text = FormatServeReport(serve, 5);
+  EXPECT_NE(text.find("serve report: Minuet on RTX 3090"), std::string::npos) << text;
+  EXPECT_NE(text.find("end-to-end"), std::string::npos);
+  EXPECT_NE(text.find("1900.0"), std::string::npos);  // latency p99
+  EXPECT_NE(text.find("shed 5 (8.3%)"), std::string::npos);
+  EXPECT_NE(text.find("gmas/gather/tile_copy"), std::string::npos);  // kernel table
+}
+
+TEST(ServeProfileTest, MissingSummaryIsAnError) {
+  ServeProfile serve;
+  std::string error;
+  EXPECT_FALSE(LoadServeProfile(Parse(R"({"serve_report": 1})"), &serve, &error));
+  EXPECT_NE(error.find("summary"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace prof
 }  // namespace minuet

@@ -1,0 +1,181 @@
+// Arrival-trace generation: determinism, ordering, rate scaling, MMPP
+// burstiness, shape-population sampling, and the JSON round trip.
+#include "src/serve/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace serve {
+namespace {
+
+TraceConfig PoissonConfig(double rate_rps, int64_t n, uint64_t seed) {
+  TraceConfig config;
+  config.process = ArrivalProcess::kPoisson;
+  config.rate_rps = rate_rps;
+  config.num_requests = n;
+  config.seed = seed;
+  return config;
+}
+
+double MeanGapUs(const std::vector<Request>& trace) {
+  if (trace.size() < 2) {
+    return 0.0;
+  }
+  return (trace.back().arrival_us - trace.front().arrival_us) /
+         static_cast<double>(trace.size() - 1);
+}
+
+// Coefficient of variation of inter-arrival gaps: ~1 for Poisson, >1 for a
+// bursty (MMPP) process.
+double GapCv(const std::vector<Request>& trace) {
+  std::vector<double> gaps;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    gaps.push_back(trace[i].arrival_us - trace[i - 1].arrival_us);
+  }
+  double mean = 0.0;
+  for (double g : gaps) {
+    mean += g;
+  }
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) {
+    var += (g - mean) * (g - mean);
+  }
+  var /= static_cast<double>(gaps.size());
+  return std::sqrt(var) / mean;
+}
+
+TEST(ArrivalTest, SameConfigSameTrace) {
+  TraceConfig config = PoissonConfig(5000.0, 200, 42);
+  std::vector<Request> a = GenerateArrivalTrace(config);
+  std::vector<Request> b = GenerateArrivalTrace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].points, b[i].points);
+    EXPECT_EQ(a[i].cloud_seed, b[i].cloud_seed);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    EXPECT_EQ(a[i].batch_class, b[i].batch_class);
+  }
+}
+
+TEST(ArrivalTest, DifferentSeedsDiffer) {
+  std::vector<Request> a = GenerateArrivalTrace(PoissonConfig(5000.0, 50, 1));
+  std::vector<Request> b = GenerateArrivalTrace(PoissonConfig(5000.0, 50, 2));
+  bool any_differ = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_differ = any_differ || a[i].arrival_us != b[i].arrival_us;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(ArrivalTest, SortedNonNegativeAndDenselyNumbered) {
+  std::vector<Request> trace = GenerateArrivalTrace(PoissonConfig(2000.0, 100, 3));
+  ASSERT_EQ(trace.size(), 100u);
+  double prev = -1.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<int64_t>(i));
+    EXPECT_GE(trace[i].arrival_us, 0.0);
+    EXPECT_GE(trace[i].arrival_us, prev);
+    EXPECT_EQ(trace[i].client, -1);  // open loop: no issuing client
+    prev = trace[i].arrival_us;
+  }
+}
+
+TEST(ArrivalTest, RateScalesMeanGap) {
+  std::vector<Request> slow = GenerateArrivalTrace(PoissonConfig(1000.0, 400, 9));
+  std::vector<Request> fast = GenerateArrivalTrace(PoissonConfig(10000.0, 400, 9));
+  const double slow_gap = MeanGapUs(slow);
+  const double fast_gap = MeanGapUs(fast);
+  // Mean inter-arrival should track 1/rate: 1000 us vs 100 us, within the
+  // sampling noise of 400 draws (the trace is deterministic; the bounds just
+  // avoid baking in the exact RNG stream).
+  EXPECT_GT(slow_gap, 700.0);
+  EXPECT_LT(slow_gap, 1300.0);
+  EXPECT_GT(fast_gap, 70.0);
+  EXPECT_LT(fast_gap, 130.0);
+}
+
+TEST(ArrivalTest, MmppIsBurstierThanPoisson) {
+  TraceConfig mmpp = PoissonConfig(2000.0, 600, 5);
+  mmpp.process = ArrivalProcess::kMmpp;
+  mmpp.burst_multiplier = 8.0;
+  std::vector<Request> bursty = GenerateArrivalTrace(mmpp);
+  std::vector<Request> smooth = GenerateArrivalTrace(PoissonConfig(2000.0, 600, 5));
+  EXPECT_GT(GapCv(bursty), GapCv(smooth));
+}
+
+TEST(ArrivalTest, SamplesTheWholeShapePopulation) {
+  std::vector<Request> trace = GenerateArrivalTrace(PoissonConfig(2000.0, 300, 11));
+  std::set<int64_t> allowed;
+  for (const RequestShape& shape : DefaultShapes()) {
+    allowed.insert(shape.points);
+  }
+  std::set<int64_t> seen;
+  for (const Request& r : trace) {
+    EXPECT_TRUE(allowed.count(r.points)) << r.points;
+    seen.insert(r.points);
+  }
+  // 300 draws over three shapes with weights >= 0.2 hit every shape.
+  EXPECT_EQ(seen, allowed);
+}
+
+TEST(ArrivalTest, JsonRoundTrip) {
+  std::vector<Request> trace = GenerateArrivalTrace(PoissonConfig(3000.0, 40, 21));
+  std::string json = ArrivalTraceJson(trace);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  std::vector<Request> parsed;
+  ASSERT_TRUE(ParseArrivalTrace(doc, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, trace[i].id);
+    EXPECT_DOUBLE_EQ(parsed[i].arrival_us, trace[i].arrival_us);
+    EXPECT_EQ(parsed[i].priority, trace[i].priority);
+    EXPECT_EQ(parsed[i].batch_class, trace[i].batch_class);
+    EXPECT_EQ(parsed[i].dataset, trace[i].dataset);
+    EXPECT_EQ(parsed[i].points, trace[i].points);
+    EXPECT_EQ(parsed[i].cloud_seed, trace[i].cloud_seed);
+  }
+}
+
+TEST(ArrivalTest, ParserSortsUnsortedFiles) {
+  std::vector<Request> trace = GenerateArrivalTrace(PoissonConfig(3000.0, 10, 23));
+  std::reverse(trace.begin(), trace.end());
+  std::string json = ArrivalTraceJson(trace);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  std::vector<Request> parsed;
+  ASSERT_TRUE(ParseArrivalTrace(doc, &parsed, &error)) << error;
+  for (size_t i = 1; i < parsed.size(); ++i) {
+    EXPECT_GE(parsed[i].arrival_us, parsed[i - 1].arrival_us);
+  }
+}
+
+TEST(ArrivalTest, ProcessNamesRoundTrip) {
+  for (ArrivalProcess p :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp, ArrivalProcess::kClosedLoop}) {
+    ArrivalProcess parsed;
+    ASSERT_TRUE(ParseArrivalProcess(ArrivalProcessName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  ArrivalProcess out;
+  EXPECT_FALSE(ParseArrivalProcess("bogus", &out));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace minuet

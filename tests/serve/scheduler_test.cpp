@@ -1,0 +1,375 @@
+// Serving scheduler: batcher and overlap-model units, admission edge cases
+// (empty trace, burst shedding, zero capacity), policy ordering, dynamic
+// batching, closed-loop clients, and two-run bit-determinism.
+#include "src/serve/scheduler.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/serve/arrival.h"
+#include "src/serve/request.h"
+
+namespace minuet {
+namespace serve {
+namespace {
+
+Request Req(int64_t id, double arrival_us, int64_t points = 300, int priority = 0,
+            int batch_class = 0) {
+  Request r;
+  r.id = id;
+  r.arrival_us = arrival_us;
+  r.points = points;
+  r.priority = priority;
+  r.batch_class = batch_class;
+  r.dataset = DatasetKind::kRandom;
+  r.cloud_seed = 5;
+  return r;
+}
+
+// --- batcher and overlap model (no engine) --------------------------------
+
+std::vector<QueueEntry> Entries(const std::vector<Request>& requests) {
+  std::vector<QueueEntry> entries;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    entries.push_back({&requests[i], static_cast<int64_t>(i)});
+  }
+  return entries;
+}
+
+TEST(PickBatchTest, FifoKeepsAdmissionOrder) {
+  std::vector<Request> reqs = {Req(0, 0.0, 900), Req(1, 0.0, 100), Req(2, 0.0, 500)};
+  std::vector<size_t> batch = PickBatch(Entries(reqs), AdmissionPolicy::kFifo, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 0u);
+  EXPECT_EQ(batch[1], 1u);
+}
+
+TEST(PickBatchTest, SjfPicksShortestFirst) {
+  std::vector<Request> reqs = {Req(0, 0.0, 900), Req(1, 0.0, 100), Req(2, 0.0, 500)};
+  std::vector<size_t> batch = PickBatch(Entries(reqs), AdmissionPolicy::kSjf, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 1u);
+  EXPECT_EQ(batch[1], 2u);
+  EXPECT_EQ(batch[2], 0u);
+}
+
+TEST(PickBatchTest, PriorityOrdersUrgentFirstFifoWithin) {
+  std::vector<Request> reqs = {Req(0, 0.0, 300, /*priority=*/1), Req(1, 0.0, 300, 0),
+                               Req(2, 0.0, 300, 1), Req(3, 0.0, 300, 0)};
+  std::vector<size_t> batch = PickBatch(Entries(reqs), AdmissionPolicy::kPriority, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], 1u);
+  EXPECT_EQ(batch[1], 3u);
+  EXPECT_EQ(batch[2], 0u);
+  EXPECT_EQ(batch[3], 2u);
+}
+
+TEST(PickBatchTest, OnlyHeadsBatchClassJoins) {
+  std::vector<Request> reqs = {Req(0, 0.0, 300, 0, /*batch_class=*/7),
+                               Req(1, 0.0, 300, 0, /*batch_class=*/8),
+                               Req(2, 0.0, 300, 0, /*batch_class=*/7)};
+  std::vector<size_t> batch = PickBatch(Entries(reqs), AdmissionPolicy::kFifo, 4);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 0u);
+  EXPECT_EQ(batch[1], 2u);
+}
+
+TEST(PickBatchTest, EmptyQueueEmptyBatch) {
+  EXPECT_TRUE(PickBatch({}, AdmissionPolicy::kFifo, 4).empty());
+}
+
+TEST(BatchServiceCyclesTest, OverlapModel) {
+  EXPECT_DOUBLE_EQ(BatchServiceCycles({42.0}, 4), 42.0);
+  // Balanced batch within the pool: critical path dominates.
+  EXPECT_DOUBLE_EQ(BatchServiceCycles({100.0, 100.0, 100.0, 100.0}, 4), 100.0);
+  // More members than streams: throughput term dominates.
+  EXPECT_DOUBLE_EQ(BatchServiceCycles({100.0, 100.0, 100.0}, 2), 150.0);
+  // One giant member: the batch can never beat its critical request.
+  EXPECT_DOUBLE_EQ(BatchServiceCycles({1000.0, 10.0, 10.0}, 4), 1000.0);
+  EXPECT_DOUBLE_EQ(BatchServiceCycles({}, 4), 0.0);
+}
+
+// --- scheduler integration -------------------------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Engine> NewEngine() {
+    DeviceConfig device = MakeRtx3090();
+    device.deterministic_addressing = true;
+    EngineConfig config;
+    config.functional = false;
+    auto engine = std::make_unique<Engine>(config, device);
+    engine->Prepare(MakeTinyUNet(4), 1);
+    return engine;
+  }
+};
+
+TEST_F(SchedulerTest, EmptyTrace) {
+  auto engine = NewEngine();
+  ServeScheduler scheduler(*engine, SchedulerConfig{});
+  ServeResult result = scheduler.Run(std::vector<Request>{});
+  EXPECT_EQ(result.summary.offered, 0);
+  EXPECT_EQ(result.summary.completed, 0);
+  EXPECT_EQ(result.summary.shed, 0);
+  EXPECT_TRUE(result.requests.empty());
+  EXPECT_TRUE(result.batches.empty());
+  EXPECT_DOUBLE_EQ(result.summary.duration_us, 0.0);
+}
+
+TEST_F(SchedulerTest, SingleRequestDispatchesImmediately) {
+  auto engine = NewEngine();
+  ServeScheduler scheduler(*engine, SchedulerConfig{});
+  ServeResult result = scheduler.Run({Req(0, 0.0)});
+  ASSERT_EQ(result.requests.size(), 1u);
+  const RequestRecord& record = result.requests[0];
+  EXPECT_FALSE(record.shed);
+  EXPECT_FALSE(record.warm);  // first sight of the cloud records the plan
+  // No other arrival can top the batch up, so dispatch is immediate.
+  EXPECT_DOUBLE_EQ(record.QueueUs(), 0.0);
+  EXPECT_GT(record.ServiceUs(), 0.0);
+  EXPECT_EQ(result.summary.completed, 1);
+  EXPECT_EQ(result.summary.num_batches, 1);
+  EXPECT_DOUBLE_EQ(result.summary.duration_us, record.completion_us);
+}
+
+TEST_F(SchedulerTest, BurstBeyondQueueShedsExactlyTheOverflow) {
+  const int64_t n = 12;
+  const int64_t capacity = 5;
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.queue_capacity = capacity;
+  ServeScheduler scheduler(*engine, config);
+  // All n arrive at the same instant; arrivals drain before any dispatch, so
+  // the queue holds exactly `capacity` and sheds the rest.
+  std::vector<Request> burst;
+  for (int64_t i = 0; i < n; ++i) {
+    burst.push_back(Req(i, 0.0));
+  }
+  ServeResult result = scheduler.Run(burst);
+  EXPECT_EQ(result.summary.offered, n);
+  EXPECT_EQ(result.summary.shed, n - capacity);
+  EXPECT_EQ(result.summary.admitted, capacity);
+  EXPECT_EQ(result.summary.completed, capacity);
+  EXPECT_DOUBLE_EQ(result.summary.shed_rate,
+                   static_cast<double>(n - capacity) / static_cast<double>(n));
+}
+
+TEST_F(SchedulerTest, ZeroCapacityShedsEverything) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.queue_capacity = 0;
+  ServeScheduler scheduler(*engine, config);
+  ServeResult result = scheduler.Run({Req(0, 0.0), Req(1, 10.0), Req(2, 20.0)});
+  EXPECT_EQ(result.summary.offered, 3);
+  EXPECT_EQ(result.summary.shed, 3);
+  EXPECT_EQ(result.summary.completed, 0);
+  EXPECT_EQ(result.summary.num_batches, 0);
+  EXPECT_DOUBLE_EQ(result.summary.shed_rate, 1.0);
+  for (const RequestRecord& record : result.requests) {
+    EXPECT_TRUE(record.shed);
+  }
+}
+
+TEST_F(SchedulerTest, PartialBatchWaitsOutMaxQueueDelay) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.max_batch_size = 4;
+  config.max_queue_delay_us = 2000.0;
+  ServeScheduler scheduler(*engine, config);
+  // A second arrival far in the future keeps the batch-fill hope alive, so
+  // the first request dispatches exactly when its delay timer expires.
+  ServeResult result = scheduler.Run({Req(0, 0.0), Req(1, 500000.0)});
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.requests[0].dispatch_us, 2000.0);
+  EXPECT_EQ(result.summary.num_batches, 2);
+}
+
+TEST_F(SchedulerTest, FullBatchOverlapsOnTheStreamPool) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.max_batch_size = 4;
+  ServeScheduler scheduler(*engine, config);
+  std::vector<Request> burst;
+  for (int64_t i = 0; i < 4; ++i) {
+    burst.push_back(Req(i, 0.0));
+  }
+  ServeResult result = scheduler.Run(burst);
+  ASSERT_EQ(result.batches.size(), 1u);
+  const BatchRecord& batch = result.batches[0];
+  EXPECT_EQ(batch.size, 4);
+  // Members overlap: the batch costs less than running them back-to-back,
+  // but never less than its critical member.
+  EXPECT_LT(batch.service_cycles, batch.serial_cycles);
+  EXPECT_GT(batch.Overlap(), 1.0);
+  double critical = 0.0;
+  for (const RequestRecord& record : result.requests) {
+    critical = std::max(critical, record.service_cycles);
+    EXPECT_EQ(record.batch_id, batch.id);
+    // The whole batch completes together.
+    EXPECT_DOUBLE_EQ(record.completion_us, batch.completion_us);
+  }
+  EXPECT_GE(batch.service_cycles, critical);
+}
+
+TEST_F(SchedulerTest, PriorityPolicyServesUrgentFirst) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.policy = AdmissionPolicy::kPriority;
+  config.max_batch_size = 1;
+  ServeScheduler scheduler(*engine, config);
+  ServeResult result = scheduler.Run({Req(0, 0.0, 300, /*priority=*/1), Req(1, 0.0, 300, 0),
+                                      Req(2, 0.0, 300, 1), Req(3, 0.0, 300, 0)});
+  ASSERT_EQ(result.requests.size(), 4u);
+  // Priority-0 requests (ids 1, 3) dispatch before every priority-1 request.
+  EXPECT_LT(result.requests[1].dispatch_us, result.requests[0].dispatch_us);
+  EXPECT_LT(result.requests[3].dispatch_us, result.requests[0].dispatch_us);
+  EXPECT_LT(result.requests[1].dispatch_us, result.requests[2].dispatch_us);
+  EXPECT_LT(result.requests[3].dispatch_us, result.requests[2].dispatch_us);
+}
+
+TEST_F(SchedulerTest, SjfPolicyServesSmallRequestsFirst) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.policy = AdmissionPolicy::kSjf;
+  config.max_batch_size = 1;
+  ServeScheduler scheduler(*engine, config);
+  ServeResult result = scheduler.Run({Req(0, 0.0, 900), Req(1, 0.0, 150)});
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_LT(result.requests[1].dispatch_us, result.requests[0].dispatch_us);
+}
+
+TEST_F(SchedulerTest, RepeatedShapeServedWarm) {
+  auto engine = NewEngine();
+  ServeScheduler scheduler(*engine, SchedulerConfig{});
+  // Far enough apart that the second request cannot batch with the first.
+  ServeResult result = scheduler.Run({Req(0, 0.0), Req(1, 1e6)});
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_FALSE(result.requests[0].warm);
+  EXPECT_TRUE(result.requests[1].warm);
+  EXPECT_EQ(result.summary.warm_requests, 1);
+  // Warm replay skips the Map step, so it is strictly cheaper.
+  EXPECT_LT(result.requests[1].service_cycles, result.requests[0].service_cycles);
+}
+
+TEST_F(SchedulerTest, WarmRunsAreBitIdentical) {
+  TraceConfig arrival;
+  arrival.process = ArrivalProcess::kPoisson;
+  arrival.rate_rps = 20000.0;  // well past saturation: queueing + batching
+  arrival.num_requests = 30;
+  arrival.seed = 13;
+
+  SchedulerConfig config;
+  config.queue_capacity = 8;
+  config.max_batch_size = 4;
+
+  // One long-lived deployment replaying the same trace: after the first pass
+  // absorbs the cold plan recordings (and populates the workspace pool),
+  // every replay is bit-identical — per-request latencies, shed decisions and
+  // batch compositions. Three properties conspire to make this exact rather
+  // than approximate: plans cache the metadata tables, the workspace pool
+  // hands the same request the same slab every replay (oldest-first slab
+  // selection by birth order), and deterministic addressing renumbers granules by
+  // first touch, so the cache simulator sees an identical access stream each
+  // pass. (Two runs on *fresh* engines in one process are still only
+  // approximately equal — the heap hands the second engine different reuse
+  // patterns; cross-process identity for fresh engines is covered by the CI
+  // serve-smoke byte-comparison of minuet_serve outputs.)
+  auto engine = NewEngine();
+  ServeScheduler scheduler(*engine, config);
+  scheduler.Run(arrival);  // warm-up pass: record plans, populate the pool
+  const size_t warm_granules = engine->device().granule_count();
+  ServeResult a = scheduler.Run(arrival);
+  ServeResult b = scheduler.Run(arrival);
+  // Warm replays touch no device-visible address the warm-up didn't: the
+  // remap table stops growing, which is exactly why the replays can be exact.
+  EXPECT_EQ(engine->device().granule_count(), warm_granules);
+
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].request.id, b.requests[i].request.id);
+    EXPECT_EQ(a.requests[i].shed, b.requests[i].shed);
+    EXPECT_EQ(a.requests[i].batch_id, b.requests[i].batch_id);
+    EXPECT_DOUBLE_EQ(a.requests[i].dispatch_us, b.requests[i].dispatch_us);
+    EXPECT_DOUBLE_EQ(a.requests[i].completion_us, b.requests[i].completion_us);
+    EXPECT_DOUBLE_EQ(a.requests[i].service_cycles, b.requests[i].service_cycles);
+  }
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].size, b.batches[i].size);
+    EXPECT_EQ(a.batches[i].batch_class, b.batches[i].batch_class);
+    EXPECT_DOUBLE_EQ(a.batches[i].dispatch_us, b.batches[i].dispatch_us);
+    EXPECT_DOUBLE_EQ(a.batches[i].service_cycles, b.batches[i].service_cycles);
+  }
+  EXPECT_DOUBLE_EQ(a.summary.latency_p99_us, b.summary.latency_p99_us);
+  EXPECT_DOUBLE_EQ(a.summary.goodput_rps, b.summary.goodput_rps);
+}
+
+TEST_F(SchedulerTest, ClosedLoopIssuesFromClients) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.seed = 3;
+  ServeScheduler scheduler(*engine, config);
+
+  TraceConfig closed;
+  closed.process = ArrivalProcess::kClosedLoop;
+  closed.num_requests = 12;
+  closed.num_clients = 3;
+  closed.think_time_us = 500.0;
+  ServeResult result = scheduler.Run(closed);
+
+  EXPECT_EQ(result.summary.offered, 12);
+  // Closed loops self-limit to num_clients outstanding: nothing sheds under
+  // the default queue capacity.
+  EXPECT_EQ(result.summary.shed, 0);
+  EXPECT_EQ(result.summary.completed, 12);
+  for (const RequestRecord& record : result.requests) {
+    EXPECT_GE(record.request.client, 0);
+    EXPECT_LT(record.request.client, 3);
+  }
+}
+
+// --- Summarize accounting (no engine) --------------------------------------
+
+TEST(SummarizeTest, CountsSloAndRates) {
+  SchedulerConfig config;
+  config.slo_us = 100.0;
+  std::vector<RequestRecord> records(3);
+  // Within SLO.
+  records[0].request = Req(0, 0.0);
+  records[0].dispatch_us = 10.0;
+  records[0].completion_us = 60.0;
+  // Misses SLO (latency 400 us).
+  records[1].request = Req(1, 100.0);
+  records[1].dispatch_us = 300.0;
+  records[1].completion_us = 500.0;
+  // Shed.
+  records[2].request = Req(2, 200.0);
+  records[2].shed = true;
+
+  BatchRecord batch;
+  batch.size = 2;
+  batch.dispatch_us = 10.0;
+  batch.completion_us = 60.0;
+
+  ServeSummary s = Summarize(records, {batch}, config);
+  EXPECT_EQ(s.offered, 3);
+  EXPECT_EQ(s.admitted, 2);
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_DOUBLE_EQ(s.duration_us, 500.0);
+  EXPECT_DOUBLE_EQ(s.slo_attainment, 0.5);
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 2.0 / 500e-6);
+  EXPECT_DOUBLE_EQ(s.goodput_rps, 1.0 / 500e-6);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 2.0);
+  EXPECT_DOUBLE_EQ(s.server_busy_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 50.0 / 500.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace minuet

@@ -168,6 +168,25 @@ TEST(TracerTest, TwoClockDomains) {
   EXPECT_GE(child.HostDurationUs(), 0.0);
 }
 
+TEST(TracerTest, ServingClockIsSetNotAdvanced) {
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  tracer.SetServeNow(1000.0);
+  {
+    Span batch("serve/batch#0", "serve");
+    tracer.SetServeNow(1400.0);  // the scheduler jumps to the completion time
+  }
+  {
+    Span step("engine/map", "step");  // serving clock stands still
+  }
+  const SpanRecord& batch = tracer.spans()[0];
+  EXPECT_DOUBLE_EQ(batch.serve_begin_us, 1000.0);
+  EXPECT_DOUBLE_EQ(batch.serve_end_us, 1400.0);
+  EXPECT_DOUBLE_EQ(batch.ServeDurationUs(), 400.0);
+  const SpanRecord& step = tracer.spans()[1];
+  EXPECT_DOUBLE_EQ(step.ServeDurationUs(), 0.0);
+}
+
 TEST(TracerTest, MoveTransfersOwnership) {
   ScopedTracer scoped;
   {
@@ -211,6 +230,37 @@ TEST(ChromeTraceTest, OpenSpansExportAsIfClosed) {
   Tracer::Install(nullptr);
   EXPECT_TRUE(BalancedJson(json)) << json;
   EXPECT_NE(json.find("crashed-run"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ServeSpansGetAThirdTrack) {
+  ScopedTracer scoped;
+  Tracer& tracer = scoped.get();
+  {
+    Span step("engine/map", "step");
+  }
+  // No serve span traced: the serving-clock track is omitted entirely.
+  std::string without = trace::ChromeTraceJson(tracer);
+  EXPECT_TRUE(BalancedJson(without)) << without;
+  EXPECT_EQ(without.find("serving clock"), std::string::npos);
+  EXPECT_EQ(without.find("\"tid\":2"), std::string::npos);
+
+  tracer.SetServeNow(250.0);
+  {
+    Span batch("serve/batch#0", "serve");
+    tracer.SetServeNow(750.0);
+  }
+  std::string with = trace::ChromeTraceJson(tracer);
+  EXPECT_TRUE(BalancedJson(with)) << with;
+  EXPECT_NE(with.find("serving clock"), std::string::npos);
+  // Exactly one event lands on tid 2: the serve span at its serving-clock
+  // coordinates. The step span stays on the host + sim tracks only.
+  size_t tid2_events = 0;
+  for (size_t pos = 0; (pos = with.find("\"tid\":2", pos)) != std::string::npos; ++pos) {
+    ++tid2_events;
+  }
+  // One metadata (thread_name) record + one "X" event.
+  EXPECT_EQ(tid2_events, 2u);
+  EXPECT_NE(with.find("\"serve_us\":500"), std::string::npos) << with;
 }
 
 TEST(MetricsTest, CountersAndGaugesRoundTrip) {

@@ -4,8 +4,10 @@
 //   minuet_prof report RUN.json [--top N]
 //       Top-kernels table (simulated ms, % of run, occupancy, DRAM BW
 //       utilisation, roofline class) and a per-layer hot-path summary.
-//       RUN.json is either a metrics snapshot (--metrics) or a Chrome trace
-//       (--trace); the artifact kind is auto-detected.
+//       RUN.json is either a metrics snapshot (--metrics), a Chrome trace
+//       (--trace), or a minuet_serve report (--json); the artifact kind is
+//       auto-detected. Serve reports get the latency-percentile/shed-rate
+//       view first, then top-kernels from the embedded metrics snapshot.
 //
 //   minuet_prof diff BEFORE.json AFTER.json [--threshold F] [--min-ms M]
 //       Per-kernel deltas between two runs. Exits 1 when any kernel slows
@@ -148,10 +150,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 }
 
 int RunReport(const Args& args) {
-  prof::RunProfile profile;
+  JsonValue doc;
   std::string error;
-  if (!prof::LoadRunProfileFile(args.files[0], &profile, &error)) {
+  if (!ReadJsonFile(args.files[0], &doc, &error)) {
     std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  if (prof::IsServeReport(doc)) {
+    prof::ServeProfile serve;
+    if (!prof::LoadServeProfile(doc, &serve, &error)) {
+      std::fprintf(stderr, "minuet_prof: %s: %s\n", args.files[0].c_str(), error.c_str());
+      return 2;
+    }
+    std::fputs(prof::FormatServeReport(serve, args.top).c_str(), stdout);
+    return 0;
+  }
+  prof::RunProfile profile;
+  if (!prof::LoadRunProfile(doc, &profile, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s: %s\n", args.files[0].c_str(), error.c_str());
     return 2;
   }
   std::string report = prof::FormatReport(profile, args.top);

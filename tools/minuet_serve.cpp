@@ -1,0 +1,319 @@
+// minuet_serve: serving-scheduler driver — replays or generates a request
+// arrival trace against one engine deployment and reports SLO accounting.
+//
+//   minuet_serve [--gpu 3090] [--network tiny] [--engine minuet]
+//                [--process poisson|mmpp|closed] [--rate RPS] [--requests N]
+//                [--policy fifo|sjf|priority] [--queue-capacity N]
+//                [--max-batch N] [--max-delay-us D] [--slo-us S] [--seed N]
+//                [--arrivals in.json] [--dump-arrivals out.json]
+//                [--json report.json] [--trace trace.json] [--metrics m.json]
+//
+// Everything downstream of the flags is deterministic: arrivals come from
+// seeded RNG streams, time is the virtual serving clock, and the device runs
+// with deterministic_addressing, so the --json report is byte-identical
+// across invocations of the same command line (output file names may differ;
+// enabling/disabling other sinks like --trace changes the host allocation
+// interleaving and with it the last ~0.1% of simulated cache behaviour).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/device_config.h"
+#include "src/serve/arrival.h"
+#include "src/serve/report.h"
+#include "src/serve/scheduler.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
+#include "src/util/check.h"
+
+namespace minuet {
+namespace {
+
+struct Options {
+  std::string gpu = "3090";
+  std::string network = "tiny";
+  std::string engine = "minuet";
+  bool fp16 = false;
+  bool autotune = false;
+  serve::TraceConfig arrival;
+  serve::SchedulerConfig scheduler;
+  std::string arrivals_in;    // replay this trace file instead of generating
+  std::string dump_arrivals;  // write the generated trace and exit
+  std::string report_json;
+  std::string trace_json;
+  std::string metrics_json;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: minuet_serve [--gpu 2070s|2080ti|3090|a100] [--network unet42|resnet21|tiny]\n"
+      "                    [--engine minuet|torchsparse|minkowski] [--precision fp32|fp16]\n"
+      "                    [--autotune 0|1]\n"
+      "                    [--process poisson|mmpp|closed] [--rate RPS] [--requests N]\n"
+      "                    [--seed N] [--burst-mult M] [--base-dwell-us D]\n"
+      "                    [--burst-dwell-us D] [--clients N] [--think-us D]\n"
+      "                    [--policy fifo|sjf|priority] [--queue-capacity N]\n"
+      "                    [--max-batch N] [--max-delay-us D] [--slo-us S]\n"
+      "                    [--arrivals in.json] [--dump-arrivals out.json]\n"
+      "                    [--json report.json] [--trace trace.json] [--metrics m.json]\n"
+      "\n"
+      "  --arrivals FILE       replay a recorded arrival trace (overrides --process)\n"
+      "  --dump-arrivals FILE  write the generated arrival trace and exit\n"
+      "  --json FILE           serving report (summary, per-request records, batches,\n"
+      "                        embedded device metrics) — deterministic, diffable\n"
+      "  --trace FILE          Chrome trace with the serving-clock track (tid 2)\n"
+      "  --metrics FILE        metrics-registry snapshot (serve/* + device kernels)\n");
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline_value) {
+        return inline_value;
+      }
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--gpu") {
+      opts.gpu = next();
+    } else if (arg == "--network") {
+      opts.network = next();
+    } else if (arg == "--engine") {
+      opts.engine = next();
+    } else if (arg == "--precision") {
+      std::string p = next();
+      if (p == "fp16") {
+        opts.fp16 = true;
+      } else if (p != "fp32") {
+        Usage();
+      }
+    } else if (arg == "--autotune") {
+      opts.autotune = std::atoi(next().c_str()) != 0;
+    } else if (arg == "--process") {
+      if (!serve::ParseArrivalProcess(next(), &opts.arrival.process)) {
+        Usage();
+      }
+    } else if (arg == "--rate") {
+      opts.arrival.rate_rps = std::atof(next().c_str());
+    } else if (arg == "--requests") {
+      opts.arrival.num_requests = std::atoll(next().c_str());
+    } else if (arg == "--seed") {
+      opts.arrival.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+      opts.scheduler.seed = opts.arrival.seed;
+    } else if (arg == "--burst-mult") {
+      opts.arrival.burst_multiplier = std::atof(next().c_str());
+    } else if (arg == "--base-dwell-us") {
+      opts.arrival.base_dwell_us = std::atof(next().c_str());
+    } else if (arg == "--burst-dwell-us") {
+      opts.arrival.burst_dwell_us = std::atof(next().c_str());
+    } else if (arg == "--clients") {
+      opts.arrival.num_clients = std::atoi(next().c_str());
+    } else if (arg == "--think-us") {
+      opts.arrival.think_time_us = std::atof(next().c_str());
+    } else if (arg == "--policy") {
+      if (!serve::ParseAdmissionPolicy(next(), &opts.scheduler.policy)) {
+        Usage();
+      }
+    } else if (arg == "--queue-capacity") {
+      opts.scheduler.queue_capacity = std::atoll(next().c_str());
+    } else if (arg == "--max-batch") {
+      opts.scheduler.max_batch_size = std::atoll(next().c_str());
+    } else if (arg == "--max-delay-us") {
+      opts.scheduler.max_queue_delay_us = std::atof(next().c_str());
+    } else if (arg == "--slo-us") {
+      opts.scheduler.slo_us = std::atof(next().c_str());
+    } else if (arg == "--arrivals") {
+      opts.arrivals_in = next();
+    } else if (arg == "--dump-arrivals") {
+      opts.dump_arrivals = next();
+    } else if (arg == "--json") {
+      opts.report_json = next();
+    } else if (arg == "--trace") {
+      opts.trace_json = next();
+    } else if (arg == "--metrics") {
+      opts.metrics_json = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+    }
+  }
+  return opts;
+}
+
+DeviceConfig ParseGpu(const std::string& name) {
+  if (name == "2070s") {
+    return MakeRtx2070Super();
+  }
+  if (name == "2080ti") {
+    return MakeRtx2080Ti();
+  }
+  if (name == "3090") {
+    return MakeRtx3090();
+  }
+  if (name == "a100") {
+    return MakeA100();
+  }
+  std::fprintf(stderr, "unknown gpu: %s\n", name.c_str());
+  Usage();
+}
+
+Network ParseNetwork(const std::string& name) {
+  if (name == "unet42") {
+    return MakeMinkUNet42(4);
+  }
+  if (name == "resnet21") {
+    return MakeSparseResNet21(4, 20);
+  }
+  if (name == "tiny") {
+    return MakeTinyUNet(4);
+  }
+  std::fprintf(stderr, "unknown network: %s\n", name.c_str());
+  Usage();
+}
+
+EngineKind ParseEngine(const std::string& name) {
+  if (name == "minuet") {
+    return EngineKind::kMinuet;
+  }
+  if (name == "torchsparse") {
+    return EngineKind::kTorchSparse;
+  }
+  if (name == "minkowski") {
+    return EngineKind::kMinkowski;
+  }
+  std::fprintf(stderr, "unknown engine: %s\n", name.c_str());
+  Usage();
+}
+
+int Main(int argc, char** argv) {
+  Options opts = Parse(argc, argv);
+
+  if (!opts.dump_arrivals.empty()) {
+    std::vector<serve::Request> trace = serve::GenerateArrivalTrace(opts.arrival);
+    if (!serve::WriteArrivalTrace(trace, opts.dump_arrivals)) {
+      std::fprintf(stderr, "could not write arrival trace to %s\n", opts.dump_arrivals.c_str());
+      return 1;
+    }
+    std::printf("%lld arrivals (%s, %.0f rps) written to %s\n",
+                static_cast<long long>(trace.size()),
+                serve::ArrivalProcessName(opts.arrival.process), opts.arrival.rate_rps,
+                opts.dump_arrivals.c_str());
+    return 0;
+  }
+
+  DeviceConfig device = ParseGpu(opts.gpu);
+  // The serving report must be byte-stable across processes; keep the cache
+  // model off the allocator's addresses (see DeviceConfig).
+  device.deterministic_addressing = true;
+  Network net = ParseNetwork(opts.network);
+
+  EngineConfig config;
+  config.kind = ParseEngine(opts.engine);
+  config.precision = opts.fp16 ? Precision::kFp16 : Precision::kFp32;
+  config.functional = false;  // serving measures time; skip the arithmetic
+  Engine engine(config, device);
+  engine.Prepare(net, opts.arrival.seed);
+  if (opts.autotune && config.kind == EngineKind::kMinuet) {
+    GeneratorConfig gen;
+    gen.target_points = 2000;
+    gen.channels = net.in_channels;
+    gen.seed = opts.arrival.seed + 1;
+    PointCloud sample = GenerateCloud(DatasetKind::kRandom, gen);
+    engine.Autotune(sample);
+  }
+
+  trace::Tracer tracer;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(&tracer);
+  }
+
+  serve::ServeScheduler scheduler(engine, opts.scheduler);
+  serve::ServeResult result;
+  if (!opts.arrivals_in.empty()) {
+    std::vector<serve::Request> trace;
+    std::string error;
+    if (!serve::ReadArrivalTraceFile(opts.arrivals_in, &trace, &error)) {
+      std::fprintf(stderr, "could not read %s: %s\n", opts.arrivals_in.c_str(), error.c_str());
+      return 1;
+    }
+    opts.arrival.num_requests = static_cast<int64_t>(trace.size());
+    result = scheduler.Run(std::move(trace));
+  } else {
+    result = scheduler.Run(opts.arrival);
+  }
+
+  trace::MetricsRegistry registry;
+  serve::PublishServeMetrics(result, registry);
+  engine.device().PublishMetrics(registry);
+  scheduler.session().PublishMetrics(registry);
+
+  bool ok = true;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(nullptr);
+    if (!WriteChromeTrace(tracer, opts.trace_json)) {
+      std::fprintf(stderr, "could not write trace to %s\n", opts.trace_json.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_json.empty() && !registry.WriteSnapshot(opts.metrics_json)) {
+    std::fprintf(stderr, "could not write metrics to %s\n", opts.metrics_json.c_str());
+    ok = false;
+  }
+  if (!opts.report_json.empty()) {
+    serve::ServeReportContext context;
+    context.device = device.name;
+    context.network = net.name;
+    context.engine = EngineKindName(config.kind);
+    context.precision = opts.fp16 ? "fp16" : "fp32";
+    std::string json = serve::ServeReportJson(result, opts.arrival, context, &registry);
+    if (!serve::WriteServeReport(json, opts.report_json)) {
+      std::fprintf(stderr, "could not write report to %s\n", opts.report_json.c_str());
+      ok = false;
+    }
+  }
+
+  const serve::ServeSummary& s = result.summary;
+  std::printf("deployment %s | %s | %s | %s | policy %s, queue %lld, batch %lld, delay %.0f us\n",
+              net.name.c_str(), EngineKindName(config.kind), device.name.c_str(),
+              opts.fp16 ? "fp16" : "fp32", serve::AdmissionPolicyName(result.config.policy),
+              static_cast<long long>(result.config.queue_capacity),
+              static_cast<long long>(result.config.max_batch_size),
+              result.config.max_queue_delay_us);
+  std::printf("offered %lld (%.0f rps) | completed %lld | shed %lld (%.1f%%) | "
+              "batches %lld (mean %.2f) | warm %lld\n",
+              static_cast<long long>(s.offered), s.offered_rps,
+              static_cast<long long>(s.completed), static_cast<long long>(s.shed),
+              100.0 * s.shed_rate, static_cast<long long>(s.num_batches), s.mean_batch_size,
+              static_cast<long long>(s.warm_requests));
+  std::printf("latency p50/p95/p99 %8.1f /%8.1f /%8.1f us | queue p99 %8.1f us | "
+              "service p99 %8.1f us\n",
+              s.latency_p50_us, s.latency_p95_us, s.latency_p99_us, s.queue_p99_us,
+              s.service_p99_us);
+  std::printf("goodput %.1f rps (SLO %.0f us, attainment %.1f%%) | throughput %.1f rps | "
+              "utilization %.1f%%\n",
+              s.goodput_rps, result.config.slo_us, 100.0 * s.slo_attainment, s.throughput_rps,
+              100.0 * s.utilization);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main(int argc, char** argv) { return minuet::Main(argc, argv); }
