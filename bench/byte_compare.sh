@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Byte-compares the simulator's *simulated* statistics across two builds.
+#
+#   bench/byte_compare.sh BUILD_A [BUILD_B]
+#
+# Runs fig03 + fig12 (both under --deterministic, so cache statistics do not
+# depend on allocator layout or ASLR) and the pinned-arrivals serve smoke
+# (deterministic addressing is the serving default) out of each build tree,
+# then diffs every JSON artifact after stripping host-clock data:
+#   - any object key containing "host" or "wall" (case-insensitive), the same
+#     exemption the perf baseline gate applies (see src/prof IsHostTimeKey);
+#   - Chrome-trace events on tid 0, the host wall-clock track.
+# Everything that remains — simulated cycles, cache hits/misses, queue/SLO
+# accounting, per-kernel aggregates — must match byte for byte.
+#
+# With one argument the suite runs twice out of the same build, which catches
+# run-to-run nondeterminism (the serve-smoke CI check, extended to benches).
+# With two arguments it is the host-optimisation gate: a host-side change may
+# make the simulator faster, never change what it simulates.
+set -euo pipefail
+
+if [[ $# -lt 1 || $# -gt 2 ]]; then
+  echo "usage: $0 BUILD_A [BUILD_B]" >&2
+  exit 2
+fi
+BUILD_A=$1
+BUILD_B=${2:-$1}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK/a" "$WORK/b"
+
+# Workload scale pinned to the committed baseline's (record_baseline.sh / CI).
+export MINUET_BENCH_POINTS=${MINUET_BENCH_POINTS:-8000}
+
+run_suite() {
+  local build=$1 out=$2
+  "$build/bench/fig03_map_l2_hitratio" --deterministic \
+    --json="$out/fig03.json" --metrics="$out/fig03_metrics.json" > /dev/null
+  "$build/bench/fig12_end_to_end" --deterministic \
+    --json="$out/fig12.json" --metrics="$out/fig12_metrics.json" > /dev/null
+  "$build/tools/minuet_serve" --process poisson --rate 6000 --requests 80 \
+    --seed 29 --dump-arrivals "$out/arrivals.json" > /dev/null
+  "$build/tools/minuet_serve" --gpu 3090 --arrivals "$out/arrivals.json" \
+    --queue-capacity 16 --max-batch 4 --json "$out/serve.json" \
+    --trace "$out/serve_trace.json" --metrics "$out/serve_metrics.json" > /dev/null
+}
+
+echo "byte_compare: running suite from $BUILD_A"
+run_suite "$BUILD_A" "$WORK/a"
+echo "byte_compare: running suite from $BUILD_B"
+run_suite "$BUILD_B" "$WORK/b"
+
+FILTER="$WORK/filter.py"
+cat > "$FILTER" <<'PY'
+import json
+import sys
+
+
+def strip(obj):
+    if isinstance(obj, dict):
+        return {k: strip(v) for k, v in obj.items()
+                if 'host' not in k.lower() and 'wall' not in k.lower()}
+    if isinstance(obj, list):
+        return [strip(v) for v in obj]
+    return obj
+
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+if isinstance(data, dict) and isinstance(data.get('traceEvents'), list):
+    data['traceEvents'] = [
+        e for e in data['traceEvents']
+        if not (isinstance(e, dict) and e.get('tid') == 0)
+    ]
+with open(sys.argv[2], 'w') as f:
+    json.dump(strip(data), f, sort_keys=True, indent=1)
+PY
+
+STATUS=0
+for name in fig03.json fig03_metrics.json fig12.json fig12_metrics.json \
+            serve.json serve_trace.json serve_metrics.json; do
+  python3 "$FILTER" "$WORK/a/$name" "$WORK/a/$name.filtered"
+  python3 "$FILTER" "$WORK/b/$name" "$WORK/b/$name.filtered"
+  if cmp -s "$WORK/a/$name.filtered" "$WORK/b/$name.filtered"; then
+    echo "byte_compare: $name OK"
+  else
+    echo "byte_compare: $name MISMATCH" >&2
+    diff -u "$WORK/a/$name.filtered" "$WORK/b/$name.filtered" | head -40 >&2 || true
+    STATUS=1
+  fi
+done
+
+if [[ $STATUS -ne 0 ]]; then
+  echo "byte_compare: FAILED — simulated statistics drifted" >&2
+else
+  echo "byte_compare: all simulated statistics byte-identical"
+fi
+exit $STATUS

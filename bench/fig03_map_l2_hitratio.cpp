@@ -1,8 +1,17 @@
 // Figure 3: L2 cache hit ratio while building kernel maps, for the hash-table
 // implementations of TorchSparse, MinkowskiEngine and Open3D versus Minuet,
 // as the number of input points grows (RTX 3090 model).
+//
+// Flags beyond the shared --json=FILE:
+//   --deterministic   run the simulator with deterministic_addressing, so the
+//                     emitted statistics are reproducible across builds and
+//                     ASLR (used by bench/byte_compare.sh).
+//   --metrics=FILE    dump every implementation's device counters into one
+//                     metrics-registry snapshot, one prefix per (points, impl).
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -12,12 +21,16 @@
 #include "src/gpusim/device_config.h"
 #include "src/map/hash_map.h"
 #include "src/map/minuet_map.h"
+#include "src/trace/metrics.h"
 
 namespace minuet {
 namespace {
 
-void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report) {
+void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report, bool deterministic,
+         trace::MetricsRegistry* metrics) {
   auto offsets = MakeWeightOffsets(3, 1);
+  DeviceConfig config = MakeRtx3090();
+  config.deterministic_addressing = deterministic;
   bench::Row("%-10s %-24s %10s", "points", "implementation", "L2 hit");
   bench::Rule();
   for (int64_t n : sizes) {
@@ -43,7 +56,7 @@ void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report) {
         {"Open3D(spatial)", std::make_unique<HashMapBuilder>(HashTableKind::kSpatial)});
     impls.push_back({"Minuet(ours)", std::make_unique<MinuetMapBuilder>()});
     for (auto& impl : impls) {
-      Device device(MakeRtx3090());
+      Device device(config);
       MapBuildResult result = impl.builder->Build(device, input);
       bench::Row("%-10lld %-24s %9.1f%%", static_cast<long long>(n), impl.label,
                  100.0 * result.lookup_stats.L2HitRatio());
@@ -51,6 +64,10 @@ void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report) {
       report.Set("points", n);
       report.Set("implementation", std::string(impl.label));
       report.Set("l2_hit_ratio", result.lookup_stats.L2HitRatio());
+      if (metrics != nullptr) {
+        device.PublishMetrics(*metrics,
+                              "fig03/" + std::to_string(n) + "/" + impl.label);
+      }
     }
     bench::Rule();
   }
@@ -62,10 +79,31 @@ void Run(const std::vector<int64_t>& sizes, bench::JsonReport& report) {
 int main(int argc, char** argv) {
   using namespace minuet;
   bench::JsonReport report("fig03_map_l2_hitratio", argc, argv);
+  bool deterministic = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    }
+  }
   bench::PrintTitle("Figure 3",
                     "L2 hit ratio of kernel-map building (lookup kernels), random clouds");
   bench::PrintNote("point counts scaled ~5x down from the paper (1e5..5e6 -> 2e4..1e6)");
   report.Meta("device", std::string("RTX 3090"));
-  Run({20000, 50000, 100000, 200000, 500000, 1000000}, report);
+  if (deterministic) {
+    report.Meta("deterministic_addressing", static_cast<int64_t>(1));
+  }
+  trace::MetricsRegistry metrics;
+  Run({20000, 50000, 100000, 200000, 500000, 1000000}, report, deterministic,
+      metrics_path.empty() ? nullptr : &metrics);
+  if (!metrics_path.empty() && !metrics.WriteSnapshot(metrics_path)) {
+    std::fprintf(stderr, "could not write %s\n", metrics_path.c_str());
+    return 1;
+  }
   return report.Write() ? 0 : 1;
 }

@@ -1,36 +1,73 @@
 // Figure 12: end-to-end speedup of Minuet over MinkowskiEngine and
 // TorchSparse for both evaluation networks on all four datasets (RTX 3090
 // model), plus a GPU-architecture sweep on MinkUNet42/kitti.
+//
+// Flags beyond the shared --json=FILE:
+//   --deterministic   run every engine with deterministic_addressing, so the
+//                     emitted statistics are reproducible across builds and
+//                     ASLR (used by bench/byte_compare.sh).
+//   --metrics=FILE    dump each engine run's device counters into one
+//                     metrics-registry snapshot, one prefix per run.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/data/generators.h"
 #include "src/engine/engine.h"
 #include "src/gpusim/device_config.h"
+#include "src/trace/metrics.h"
 #include "src/util/summary.h"
 
 namespace minuet {
 namespace {
 
+struct RunOptions {
+  bool deterministic = false;
+  trace::MetricsRegistry* metrics = nullptr;
+};
+
 double RunEndToEnd(EngineKind kind, const Network& net, const PointCloud& cloud,
-                   const PointCloud& sample, const DeviceConfig& device) {
+                   const PointCloud& sample, const DeviceConfig& device,
+                   const RunOptions& options, const std::string& metrics_prefix) {
   EngineConfig config;
   config.kind = kind;
   config.functional = false;
-  Engine engine(config, device);
+  DeviceConfig device_config = device;
+  device_config.deterministic_addressing =
+      device_config.deterministic_addressing || options.deterministic;
+  Engine engine(config, device_config);
   engine.Prepare(net, /*seed=*/5);
   if (kind == EngineKind::kMinuet) {
     engine.Autotune(sample);  // excluded from timing, as in the paper
   }
   RunResult result = engine.Run(cloud);
+  if (options.metrics != nullptr) {
+    engine.device().PublishMetrics(*options.metrics, metrics_prefix);
+  }
   return device.CyclesToMillis(result.total.TotalCycles());
 }
 
-void Run(bench::JsonReport& report) {
+const char* EngineLabel(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMinkowski:
+      return "minkowski";
+    case EngineKind::kTorchSparse:
+      return "torchsparse";
+    default:
+      return "minuet";
+  }
+}
+
+void Run(bench::JsonReport& report, const RunOptions& options) {
   const int64_t points = bench::PointsFromEnv(100000);
   report.Meta("points", points);
   std::vector<Network> networks = {MakeSparseResNet21(4, 20), MakeMinkUNet42(4)};
+
+  auto prefix = [](const Network& net, const char* dataset, const DeviceConfig& device,
+                   EngineKind kind) {
+    return "fig12/" + net.name + "/" + dataset + "/" + device.name + "/" + EngineLabel(kind);
+  };
 
   std::vector<double> over_mink, over_ts;
   bench::Row("%-16s %-10s %12s %12s %12s %10s %10s", "network", "dataset", "Mink(ms)",
@@ -49,9 +86,13 @@ void Run(bench::JsonReport& report) {
       tune.seed = 22;
       PointCloud sample = GenerateCloud(dataset, tune);
 
-      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, rtx3090);
-      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, rtx3090);
-      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, rtx3090);
+      const char* ds = DatasetName(dataset);
+      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, rtx3090, options,
+                                prefix(net, ds, rtx3090, EngineKind::kMinkowski));
+      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, rtx3090, options,
+                              prefix(net, ds, rtx3090, EngineKind::kTorchSparse));
+      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, rtx3090, options,
+                              prefix(net, ds, rtx3090, EngineKind::kMinuet));
       over_mink.push_back(mink / mn);
       over_ts.push_back(ts / mn);
       bench::Row("%-16s %-10s %12.2f %12.2f %12.2f %9.2fx %9.2fx", net.name.c_str(),
@@ -87,9 +128,12 @@ void Run(bench::JsonReport& report) {
     tune.seed = 22;
     PointCloud sample = GenerateCloud(DatasetKind::kKitti, tune);
     for (const DeviceConfig& device : AllDeviceConfigs()) {
-      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, device);
-      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, device);
-      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, device);
+      double mink = RunEndToEnd(EngineKind::kMinkowski, net, cloud, sample, device, options,
+                                prefix(net, "kitti", device, EngineKind::kMinkowski));
+      double ts = RunEndToEnd(EngineKind::kTorchSparse, net, cloud, sample, device, options,
+                              prefix(net, "kitti", device, EngineKind::kTorchSparse));
+      double mn = RunEndToEnd(EngineKind::kMinuet, net, cloud, sample, device, options,
+                              prefix(net, "kitti", device, EngineKind::kMinuet));
       bench::Row("%-16s %12.2f %12.2f %12.2f %9.2fx %9.2fx", device.name.c_str(), mink, ts, mn,
                  mink / mn, ts / mn);
       report.AddRow();
@@ -111,9 +155,32 @@ void Run(bench::JsonReport& report) {
 int main(int argc, char** argv) {
   using namespace minuet;
   bench::JsonReport report("fig12_end_to_end", argc, argv);
+  RunOptions options;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deterministic") {
+      options.deterministic = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    }
+  }
   bench::PrintTitle("Figure 12", "End-to-end speedup across networks, datasets and GPUs");
   bench::PrintNote("100K-point clouds (MINUET_BENCH_POINTS overrides), timing-only mode;");
   bench::PrintNote("Minuet autotuned per layer beforehand (tuning excluded, as in the paper)");
-  Run(report);
+  if (options.deterministic) {
+    report.Meta("deterministic_addressing", static_cast<int64_t>(1));
+  }
+  trace::MetricsRegistry metrics;
+  if (!metrics_path.empty()) {
+    options.metrics = &metrics;
+  }
+  Run(report, options);
+  if (!metrics_path.empty() && !metrics.WriteSnapshot(metrics_path)) {
+    std::fprintf(stderr, "could not write %s\n", metrics_path.c_str());
+    return 1;
+  }
   return report.Write() ? 0 : 1;
 }

@@ -1,0 +1,226 @@
+// Host-performance microbench for the gpusim execution core.
+//
+// Everything else in bench/ measures *simulated* quantities; this binary
+// measures the simulator itself — host wall-clock per scenario and a
+// sim-cycles-per-host-second throughput figure — over the host hot paths the
+// DESIGN.md "Host performance" section describes: deterministic-addressing
+// granule remap, raw line accounting, L2 set lookup, and launch overhead
+// (name interning + callable dispatch).
+//
+// All wall-clock-derived keys carry the host_ prefix, so they fall under the
+// established host-time exemption in the perf baseline gate (bench/
+// check_baseline.py strips keys containing "host"/"wall"): host throughput is
+// recorded as an informational signal, never as a bit-exact expectation. The
+// simulated keys (cycles, l2 hits/misses, granules) are deterministic — the
+// scenarios run with deterministic_addressing on a fixed touch order — and do
+// byte-compare.
+//
+// Scenarios:
+//   det_remap_stream    contiguous sweeps over one large buffer; granule remap
+//                       with perfect page locality, the serving-path shape.
+//   det_remap_strided   strided element touches; exercises the per-block
+//                       granule memo (repeated sub-16B touches) and page
+//                       switches.
+//   raw_stream          the same sweep without deterministic addressing; pure
+//                       line-loop + L1 + L2 cost.
+//   cache_pressure      random single-line touches over a footprint larger
+//                       than the L2; every touch reaches the set-lookup path.
+//   launch_churn        many tiny kernels; measures per-launch fixed host cost
+//                       (interning, aggregate record, no std::function churn).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/device_config.h"
+#include "src/util/timer.h"
+
+namespace minuet {
+namespace {
+
+// A synthetic config whose L2 has a power-of-two set count (4 MiB / 16 ways /
+// 128 B lines = 2048 sets), so the CacheSim mask fast path is on the measured
+// path. Everything else mirrors the RTX 3090 model.
+DeviceConfig MakeHostperfConfig(bool deterministic) {
+  DeviceConfig config = MakeRtx3090();
+  config.name = "hostperf-pow2";
+  config.l2_bytes = 4 << 20;
+  config.deterministic_addressing = deterministic;
+  return config;
+}
+
+struct Scenario {
+  const char* name;
+  double host_ms = 0.0;
+  double sim_cycles = 0.0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+  int64_t launches = 0;
+  int64_t granules = 0;
+};
+
+// Contiguous read sweeps: each block reads a 64 KiB slice in 128 B chunks,
+// repeated over several passes. In deterministic mode every 16 B granule of
+// the slice goes through GranuleTable::Remap.
+Scenario RunStream(const char* name, bool deterministic, int64_t mib, int passes) {
+  Device device(MakeHostperfConfig(deterministic));
+  std::vector<uint8_t> buffer(static_cast<size_t>(mib) << 20);
+  const int64_t slice = 64 << 10;
+  const int64_t blocks = static_cast<int64_t>(buffer.size()) / slice;
+  Scenario s;
+  s.name = name;
+  WallTimer timer;
+  for (int pass = 0; pass < passes; ++pass) {
+    KernelStats stats =
+        device.Launch("hostperf/stream", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+          const uint8_t* base = buffer.data() + ctx.block_index() * slice;
+          for (int64_t offset = 0; offset < slice; offset += 128) {
+            ctx.GlobalRead(base + offset, 128);
+          }
+        });
+    s.sim_cycles += stats.cycles;
+    s.l2_hits += stats.l2_hits;
+    s.l2_misses += stats.l2_misses;
+    ++s.launches;
+  }
+  s.host_ms = timer.ElapsedMillis();
+  s.granules = static_cast<int64_t>(device.granule_count());
+  return s;
+}
+
+// Strided 8-byte element touches: each element is read four times in a row
+// (the per-lane metadata shape the BlockCtx granule memo exists for), with a
+// 40-byte stride so lines and granules interleave unevenly.
+Scenario RunStrided(const char* name, bool deterministic, int64_t mib, int passes) {
+  Device device(MakeHostperfConfig(deterministic));
+  std::vector<uint8_t> buffer(static_cast<size_t>(mib) << 20);
+  const int64_t slice = 64 << 10;
+  const int64_t blocks = static_cast<int64_t>(buffer.size()) / slice;
+  Scenario s;
+  s.name = name;
+  WallTimer timer;
+  for (int pass = 0; pass < passes; ++pass) {
+    KernelStats stats =
+        device.Launch("hostperf/strided", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+          const uint8_t* base = buffer.data() + ctx.block_index() * slice;
+          for (int64_t offset = 0; offset + 8 <= slice; offset += 40) {
+            for (int repeat = 0; repeat < 4; ++repeat) {
+              ctx.GlobalRead(base + offset, 8);
+            }
+          }
+        });
+    s.sim_cycles += stats.cycles;
+    s.l2_hits += stats.l2_hits;
+    s.l2_misses += stats.l2_misses;
+    ++s.launches;
+  }
+  s.host_ms = timer.ElapsedMillis();
+  s.granules = static_cast<int64_t>(device.granule_count());
+  return s;
+}
+
+// Random-order line touches over a footprint ~4x the L2: a deterministic
+// xorshift walk, so misses and evictions dominate and every access runs the
+// full set lookup + LRU scan.
+Scenario RunCachePressure(const char* name, int64_t touches) {
+  Device device(MakeHostperfConfig(/*deterministic=*/true));
+  std::vector<uint8_t> buffer(16 << 20);
+  const uint64_t lines = buffer.size() / 128;
+  Scenario s;
+  s.name = name;
+  WallTimer timer;
+  KernelStats stats =
+      device.Launch("hostperf/pressure", LaunchDims{64, 128, 0}, [&](BlockCtx& ctx) {
+        uint64_t state = 0x9e3779b9u + static_cast<uint64_t>(ctx.block_index());
+        const int64_t per_block = touches / 64;
+        for (int64_t i = 0; i < per_block; ++i) {
+          state ^= state << 13;
+          state ^= state >> 7;
+          state ^= state << 17;
+          ctx.GlobalRead(buffer.data() + (state % lines) * 128, 128);
+        }
+      });
+  s.sim_cycles = stats.cycles;
+  s.l2_hits = stats.l2_hits;
+  s.l2_misses = stats.l2_misses;
+  s.launches = 1;
+  s.host_ms = timer.ElapsedMillis();
+  s.granules = static_cast<int64_t>(device.granule_count());
+  return s;
+}
+
+// Many tiny launches: per-launch host overhead (name resolution, stats
+// recording, callable dispatch) dominates over the single line touched.
+Scenario RunLaunchChurn(const char* name, int launches) {
+  Device device(MakeHostperfConfig(/*deterministic=*/true));
+  std::vector<uint8_t> buffer(4 << 10);
+  Scenario s;
+  s.name = name;
+  WallTimer timer;
+  for (int i = 0; i < launches; ++i) {
+    static const KernelId kChurn = KernelId::Intern("hostperf/churn");
+    KernelStats stats = device.Launch(kChurn, LaunchDims{1, 128, 0}, [&](BlockCtx& ctx) {
+      ctx.GlobalRead(buffer.data(), 128);
+      ctx.Compute(128);
+    });
+    s.sim_cycles += stats.cycles;
+    s.l2_hits += stats.l2_hits;
+    s.l2_misses += stats.l2_misses;
+    ++s.launches;
+  }
+  s.host_ms = timer.ElapsedMillis();
+  s.granules = static_cast<int64_t>(device.granule_count());
+  return s;
+}
+
+void Report(bench::JsonReport& report, const Scenario& s) {
+  const double host_seconds = s.host_ms / 1e3;
+  const double cycles_per_host_s = host_seconds > 0.0 ? s.sim_cycles / host_seconds : 0.0;
+  bench::Row("%-18s %10.1f %14.3e %12lld %12lld %10lld", s.name, s.host_ms, cycles_per_host_s,
+             static_cast<long long>(s.l2_hits + s.l2_misses), static_cast<long long>(s.granules),
+             static_cast<long long>(s.launches));
+  report.AddRow();
+  report.Set("scenario", std::string(s.name));
+  report.Set("host_ms", s.host_ms);
+  report.Set("sim_cycles_per_host_second", cycles_per_host_s);
+  report.Set("sim_cycles", s.sim_cycles);
+  report.Set("l2_hits", static_cast<int64_t>(s.l2_hits));
+  report.Set("l2_misses", static_cast<int64_t>(s.l2_misses));
+  report.Set("granules", s.granules);
+  report.Set("launches", s.launches);
+}
+
+}  // namespace
+}  // namespace minuet
+
+int main(int argc, char** argv) {
+  using namespace minuet;
+  bench::JsonReport report("hostperf", argc, argv);
+  bench::PrintTitle("Hostperf", "host wall-clock of the simulator's own hot paths");
+  bench::PrintNote("host_* keys are wall-clock (exempt from the baseline gate);");
+  bench::PrintNote("sim_cycles / l2 counters / granules are deterministic and byte-compare");
+  const int64_t scale = bench::PointsFromEnv(100000);
+  // Map the generic point scale onto buffer sizes / touch counts so
+  // MINUET_BENCH_POINTS shrinks this bench like the others. Default: 32 MiB
+  // sweeps, 4M pressure touches, 20k churn launches.
+  const int64_t mib = std::max<int64_t>(4, 32 * scale / 100000);
+  const int pressure_touches = static_cast<int>(std::max<int64_t>(1 << 18, 4194304 * scale / 100000));
+  const int churn = static_cast<int>(std::max<int64_t>(1000, 20000 * scale / 100000));
+  report.Meta("mib", mib);
+  report.Meta("pressure_touches", static_cast<int64_t>(pressure_touches));
+  report.Meta("churn_launches", static_cast<int64_t>(churn));
+
+  bench::Row("%-18s %10s %14s %12s %12s %10s", "scenario", "host_ms", "cyc/host_s",
+             "l2_touches", "granules", "launches");
+  bench::Rule();
+  Report(report, RunStream("det_remap_stream", /*deterministic=*/true, mib, /*passes=*/3));
+  Report(report, RunStrided("det_remap_strided", /*deterministic=*/true, mib, /*passes=*/2));
+  Report(report, RunStream("raw_stream", /*deterministic=*/false, mib, /*passes=*/3));
+  Report(report, RunCachePressure("cache_pressure", pressure_touches));
+  Report(report, RunLaunchChurn("launch_churn", churn));
+  bench::Rule();
+  return report.Write() ? 0 : 1;
+}

@@ -22,17 +22,20 @@
 # make-baseline.
 #
 # Usage: bench/record_baseline.sh [BUILD_DIR [OUT_FILE]]
-#   RUNS=N                 rounds per bench (default 2)
+#   RUNS=N                 rounds per bench (default 5)
 #   MINUET_BENCH_POINTS=N  workload scale (default 8000; must match CI)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_BASELINE.json}"
-RUNS="${RUNS:-3}"
+RUNS="${RUNS:-5}"
 export MINUET_BENCH_POINTS="${MINUET_BENCH_POINTS:-8000}"
 
 # Keep this list in sync with the perf-regression job in .github/workflows/ci.yml.
-BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop serve_scheduler)
+# hostperf is informational: its host_* keys are excluded like every other
+# host-time key, and its simulated keys (cycles, l2 counters, granule counts)
+# are deterministic, so the envelope it contributes is exact.
+BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop serve_scheduler hostperf)
 
 PROF="$BUILD_DIR/tools/minuet_prof"
 if [[ ! -x "$PROF" ]]; then
@@ -50,15 +53,30 @@ for bench in "${BENCHES[@]}"; do
     echo "error: $bin not built" >&2
     exit 2
   fi
+  bin_abs="$(cd "$(dirname "$bin")" && pwd)/$(basename "$bin")"
   for run in $(seq 1 "$RUNS"); do
     # Run-dependent padding: a different argv + environ length per round gives
-    # each run its own heap layout (see header comment). Small shifts often
-    # land in the same layout state, so the environ pad grows in large steps.
-    pad="$(printf 'x%.0s' $(seq 1 $((run * 7))))"
+    # each run its own heap layout (see header comment). The output-path pads
+    # grow geometrically (0, 16, 48, 112, 240 extra chars) so the sampled
+    # argv strings span several malloc size classes — layout modes flip on
+    # the size class, not the byte count, and CI's own invocation uses a
+    # short relative path ("perf/<bench>.json") that linearly-growing long
+    # temp paths never sample. Run 1 therefore uses the shortest name the
+    # temp dir allows (the CLI runs from $WORK so the argv carries only the
+    # file name), and later runs pad upward from there.
+    pad_len=$(( (2 ** run - 2) * 8 ))
+    if (( pad_len > 200 )); then  # keep the file name under the 255-byte limit
+      pad_len=200
+    fi
+    pad=""
+    if (( pad_len > 0 )); then
+      pad="$(printf 'x%.0s' $(seq 1 "$pad_len"))."
+    fi
     envpad="$(printf 'y%.0s' $(seq 1 $((run * 173))))"
-    out="$WORK/$bench.$run.$pad.json"
+    name="$run.$pad$bench.json"
+    out="$WORK/$name"
     echo "== $bench (run $run/$RUNS, MINUET_BENCH_POINTS=$MINUET_BENCH_POINTS)"
-    MINUET_BASELINE_LAYOUT_PAD="$envpad" "$bin" --json="$out" > /dev/null
+    (cd "$WORK" && MINUET_BASELINE_LAYOUT_PAD="$envpad" "$bin_abs" --json="$name" > /dev/null)
     reports+=("$out")
   done
 done

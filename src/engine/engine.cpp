@@ -46,7 +46,8 @@ KernelStats ApplyBnRelu(Device& device, FeatureMatrix& features, bool functional
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = features.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("engine/elementwise/bn_relu", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kBnRelu = KernelId::Intern("engine/elementwise/bn_relu");
+  return device.Launch(kBnRelu, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -72,7 +73,8 @@ KernelStats AddInto(Device& device, FeatureMatrix& dst, const FeatureMatrix& src
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = dst.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("engine/elementwise/residual_add", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kResidualAdd = KernelId::Intern("engine/elementwise/residual_add");
+  return device.Launch(kResidualAdd, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -101,7 +103,8 @@ KernelStats CopyColumns(Device& device, const FeatureMatrix& src, FeatureMatrix&
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t rows = src.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("engine/elementwise/copy_features", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kCopyFeatures = KernelId::Intern("engine/elementwise/copy_features");
+  return device.Launch(kCopyFeatures, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     for (int64_t i = begin; i < end; ++i) {
@@ -124,7 +127,8 @@ KernelStats GlobalAvgPool(Device& device, const FeatureMatrix& src, FeatureMatri
   const int64_t rows = std::max<int64_t>(src.rows(), 1);
   constexpr int64_t kRowsPerBlock = 256;
   const int64_t blocks = std::max<int64_t>(1, (src.rows() + kRowsPerBlock - 1) / kRowsPerBlock);
-  return device.Launch("engine/elementwise/global_avg_pool", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kGlobalAvgPool = KernelId::Intern("engine/elementwise/global_avg_pool");
+  return device.Launch(kGlobalAvgPool, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, src.rows());
     if (begin >= end) {
@@ -170,7 +174,8 @@ KernelStats ChargeDilationDedup(Device& device, std::span<const uint64_t> input_
   }
   constexpr int64_t kItemsPerBlock = 1024;
   const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
-  stats += device.Launch("engine/coords/dilate_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kDilateCandidates = KernelId::Intern("engine/coords/dilate_candidates");
+  stats += device.Launch(kDilateCandidates, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kItemsPerBlock;
     int64_t end = std::min(begin + kItemsPerBlock, n);
     ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -181,7 +186,8 @@ KernelStats ChargeDilationDedup(Device& device, std::span<const uint64_t> input_
   });
   if (sorted_engine) {
     stats += RadixSortCoordPairs(device, candidates, {}).kernels;
-    stats += device.Launch("engine/coords/dilate_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    static const KernelId kDilateUnique = KernelId::Intern("engine/coords/dilate_unique");
+    stats += device.Launch(kDilateUnique, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
       int64_t begin = ctx.block_index() * kItemsPerBlock;
       int64_t end = std::min(begin + kItemsPerBlock, n);
       ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -219,7 +225,8 @@ KernelStats ChargeDownsampleDedup(Device& device, std::span<const uint64_t> inpu
   std::vector<uint64_t> candidates(static_cast<size_t>(n));
   constexpr int64_t kItemsPerBlock = 1024;
   const int64_t blocks = (n + kItemsPerBlock - 1) / kItemsPerBlock;
-  stats += device.Launch("engine/coords/downsample_candidates", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kDownsampleCandidates = KernelId::Intern("engine/coords/downsample_candidates");
+  stats += device.Launch(kDownsampleCandidates, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kItemsPerBlock;
     int64_t end = std::min(begin + kItemsPerBlock, n);
     ctx.GlobalRead(&input_keys[static_cast<size_t>(begin)],
@@ -238,7 +245,8 @@ KernelStats ChargeDownsampleDedup(Device& device, std::span<const uint64_t> inpu
   if (sorted_engine) {
     // Sort + adjacent-unique compaction.
     stats += RadixSortCoordPairs(device, candidates, {}).kernels;
-    stats += device.Launch("engine/coords/downsample_unique", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+    static const KernelId kDownsampleUnique = KernelId::Intern("engine/coords/downsample_unique");
+    stats += device.Launch(kDownsampleUnique, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
       int64_t begin = ctx.block_index() * kItemsPerBlock;
       int64_t end = std::min(begin + kItemsPerBlock, n);
       ctx.GlobalRead(&candidates[static_cast<size_t>(begin)],
@@ -599,7 +607,8 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
           // 1x1 stride-1 conv == one GEMM over the feature matrix.
           trace::Span span("engine/conv1x1", "step");
           FeatureMatrix out = new_matrix(target->features.rows(), conv.c_out);
-          KernelStats gemm = dev.LaunchGemm("engine/gemm/conv1x1", target->features.rows(), conv.c_out,
+          static const KernelId kConv1x1 = KernelId::Intern("engine/gemm/conv1x1");
+          KernelStats gemm = dev.LaunchGemm(kConv1x1, target->features.rows(), conv.c_out,
                                             conv.c_in);
           AccumulateKernel(layer, &StepBreakdown::gemm, gemm);
           layer.gemm_kernels += 1;
@@ -960,8 +969,9 @@ RunResult Engine::RunImpl(const PointCloud& input, SessionCtx* ctx) {
           }
         }
         FeatureMatrix out = new_matrix(act.features.rows(), instr.linear_out);
+        static const KernelId kLinearHead = KernelId::Intern("engine/gemm/linear_head");
         KernelStats gemm =
-            dev.LaunchGemm("engine/gemm/linear_head", act.features.rows(), instr.linear_out, c_in);
+            dev.LaunchGemm(kLinearHead, act.features.rows(), instr.linear_out, c_in);
         AccumulateKernel(result.total, &StepBreakdown::gemm, gemm);
         if (functional) {
           BlockedGemm(act.features.data(), w.data(), out.data(), act.features.rows(), c_in,

@@ -164,8 +164,9 @@ GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
     constexpr int64_t kEntriesPerBlock = 256;
     const int64_t n = static_cast<int64_t>(entries.size());
     const int64_t blocks = (n + kEntriesPerBlock - 1) / kEntriesPerBlock;
+    static const KernelId kOffsetTraffic = KernelId::Intern("gmas/fused/offset_traffic");
     result.stats.gather += device.Launch(
-        "gmas/fused/offset_traffic", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+        kOffsetTraffic, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kEntriesPerBlock;
           int64_t end = std::min(begin + kEntriesPerBlock, n);
           ctx.GlobalRead(&entries[static_cast<size_t>(begin)],
@@ -193,7 +194,8 @@ GmasResult RunPerOffsetFused(Device& device, const KernelMap& map,
           }
         });
     // Math half: the arithmetic at fused-kernel (non-library) efficiency.
-    result.stats.gemm += device.LaunchGemm("gmas/fused/offset_gemm", n, c_out, c_in, 1,
+    static const KernelId kOffsetGemm = KernelId::Intern("gmas/fused/offset_gemm");
+    result.stats.gemm += device.LaunchGemm(kOffsetGemm, n, c_out, c_in, 1,
                                            FusedGemmEfficiency(c_in, c_out));
   }
   result.stats.gemm_stream_cycles = result.stats.gemm.cycles;

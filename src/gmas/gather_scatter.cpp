@@ -50,7 +50,8 @@ KernelStats ClearBuffer(Device& device, FeatureMatrix& buffer, int element_bytes
   const int64_t rows = buffer.rows();
   const int64_t blocks = std::max<int64_t>(1, (rows + kRowsPerBlock - 1) / kRowsPerBlock);
   const int64_t row_bytes = buffer.cols() * static_cast<int64_t>(element_bytes);
-  return device.Launch("gmas/buffer/memset", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kMemset = KernelId::Intern("gmas/buffer/memset");
+  return device.Launch(kMemset, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kRowsPerBlock;
     int64_t end = std::min(begin + kRowsPerBlock, rows);
     if (begin >= end) {
@@ -81,8 +82,9 @@ KernelStats GatherKernel(Device& device, const MetadataTables& tables,
       std::max<int64_t>(1, (total_threads + config.threads_per_block - 1) / config.threads_per_block);
   const int64_t tile_bytes = config.tile_size * static_cast<int64_t>(config.element_bytes);
 
+  static const KernelId kTileCopy = KernelId::Intern("gmas/gather/tile_copy");
   return device.Launch(
-      "gmas/gather/tile_copy", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
+      kTileCopy, LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * config.threads_per_block;
         int64_t end = std::min(begin + config.threads_per_block, total_threads);
         ForEachPointSpan(begin, end, tiles_per_row, [&](const ThreadSpan& span) {
@@ -135,8 +137,9 @@ KernelStats ScatterKernel(Device& device, const FeatureMatrix& buffer,
       std::max<int64_t>(1, (total_threads + config.threads_per_block - 1) / config.threads_per_block);
   const int64_t tile_bytes = config.tile_size * static_cast<int64_t>(config.element_bytes);
 
+  static const KernelId kTileReduce = KernelId::Intern("gmas/scatter/tile_reduce");
   return device.Launch(
-      "gmas/scatter/tile_reduce", LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
+      kTileReduce, LaunchDims{blocks, config.threads_per_block, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * config.threads_per_block;
         int64_t end = std::min(begin + config.threads_per_block, total_threads);
         ForEachPointSpan(begin, end, tiles_per_row, [&](const ThreadSpan& span) {

@@ -62,8 +62,9 @@ BatchedGemmResult ExecuteGroupedGemms(Device& device, const GroupingPlan& plan,
   BatchedGemmResult result;
   StreamPool pool(num_streams, device.config().launch_overhead_cycles);
   for (const GemmGroup& group : plan.groups) {
+    static const KernelId kGroupedBatch = KernelId::Intern("gmas/gemm/grouped_batch");
     KernelStats stats = device.LaunchGemm(
-        "gmas/gemm/grouped_batch", group.rows_per_gemm, c_out, c_in,
+        kGroupedBatch, group.rows_per_gemm, c_out, c_in,
         static_cast<int64_t>(group.offset_indices.size()), efficiency,
         static_cast<double>(element_bytes));
     pool.Submit(stats.cycles);

@@ -34,8 +34,9 @@ MetadataTables BuildMetadataTables(Device& device, const KernelMap& map,
     running += static_cast<int64_t>(map.entries[static_cast<size_t>(k)].size());
   }
 
+  static const KernelId kBuildTables = KernelId::Intern("gmas/metadata/build_tables");
   KernelStats launch = device.Launch(
-      "gmas/metadata/build_tables", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+      kBuildTables, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kEntriesPerBlock;
         int64_t end = std::min(begin + kEntriesPerBlock, total_entries);
         if (begin >= end) {

@@ -16,7 +16,8 @@ KernelStats SparsePoolKernel(Device& device, const MapPositionTable& table,
   const int64_t blocks =
       std::max<int64_t>(1, (table.num_outputs + kOutputsPerBlock - 1) / kOutputsPerBlock);
 
-  return device.Launch("gmas/pool/sparse_window", LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kSparseWindow = KernelId::Intern("gmas/pool/sparse_window");
+  return device.Launch(kSparseWindow, LaunchDims{blocks, 128, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kOutputsPerBlock;
     int64_t end = std::min(begin + kOutputsPerBlock, table.num_outputs);
     for (int64_t i = begin; i < end; ++i) {

@@ -16,15 +16,19 @@ CacheSim::CacheSim(size_t capacity_bytes, int ways, int line_bytes)
   MINUET_CHECK_GE(lines, static_cast<size_t>(ways));
   num_sets_ = lines / static_cast<size_t>(ways);
   MINUET_CHECK_GT(num_sets_, 0u);
+  if (std::has_single_bit(num_sets_)) {
+    set_mask_ = num_sets_ - 1;
+  }
   ways_storage_.assign(num_sets_ * static_cast<size_t>(ways_), Way{});
 }
 
-bool CacheSim::Access(uint64_t addr) {
-  uint64_t line = addr >> line_shift_;
+bool CacheSim::AccessLine(uint64_t line) {
   // Cheap tag-bit mix so that allocator-aligned structures do not all land in
-  // set 0; sets need not be a power of two.
+  // set 0; sets need not be a power of two (power-of-two counts take the
+  // equivalent mask path, skipping the modulo).
   uint64_t mixed = line * 0x9e3779b97f4a7c15ULL;
-  size_t set = static_cast<size_t>(mixed % num_sets_);
+  size_t set = set_mask_ != 0 ? static_cast<size_t>(mixed & set_mask_)
+                              : static_cast<size_t>(mixed % num_sets_);
   Way* base = &ways_storage_[set * static_cast<size_t>(ways_)];
   ++clock_;
 

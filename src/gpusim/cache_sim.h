@@ -17,7 +17,13 @@ class CacheSim {
   CacheSim(size_t capacity_bytes, int ways, int line_bytes);
 
   // Touches the line containing byte address `addr`. Returns true on hit.
-  bool Access(uint64_t addr);
+  bool Access(uint64_t addr) { return AccessLine(addr >> line_shift_); }
+
+  // Touches line `line` (= addr >> log2(line_bytes)) directly. The device's
+  // access loops already hold line numbers — deterministic mode derives them
+  // from remapped granule ids — so this skips the round trip through a byte
+  // address. Identical hit/miss behaviour to Access().
+  bool AccessLine(uint64_t line);
 
   // Drops all cached lines and resets hit/miss counters.
   void Flush();
@@ -39,6 +45,11 @@ class CacheSim {
   };
 
   size_t num_sets_;
+  // num_sets_ - 1 when the set count is a power of two, else 0. The mixed
+  // tag's set index is then a mask instead of a 64-bit modulo — same value,
+  // since x % 2^k == x & (2^k - 1) for unsigned x — which matters because
+  // set selection runs once per simulated line transaction.
+  size_t set_mask_ = 0;
   int ways_;
   int line_bytes_;
   int line_shift_;

@@ -1,6 +1,7 @@
 #include "src/gpusim/device.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <limits>
 
@@ -11,6 +12,10 @@
 namespace minuet {
 
 namespace {
+
+// Serving loops can re-enable tracing every window; cap the history-derived
+// reserve so one huge offline run does not pin megabytes forever after.
+constexpr size_t kMaxTraceReserve = 65536;
 
 // Leaf span for one simulated launch: the host range covers the simulation
 // of the kernel, the sim range is the kernel's modelled duration (this is
@@ -115,44 +120,94 @@ void BlockCtx::AccessLines(const void* addr, size_t bytes, bool is_read) {
   if (bytes == 0) {
     return;
   }
-  uint64_t start = reinterpret_cast<uint64_t>(addr);
-  uint64_t end = start + bytes - 1;
-  int line_bytes = device_->config_.line_bytes;
-  auto touch_line = [&](uint64_t line) {
-    if (is_read) {
-      size_t slot = static_cast<size_t>(line % kL1Lines);
+  const uint64_t start = reinterpret_cast<uint64_t>(addr);
+  const uint64_t end = start + bytes - 1;
+  if (device_->config_.deterministic_addressing) {
+    AccessLinesDeterministic(start, end, is_read);
+  } else {
+    AccessLinesRaw(start, end, is_read);
+  }
+}
+
+// Raw mode: lines are formed directly over byte addresses. The read and
+// write loops are written out separately so the per-line body is straight
+// code — this runs once per simulated line transaction, which is the
+// simulator's innermost loop.
+void BlockCtx::AccessLinesRaw(uint64_t start, uint64_t end, bool is_read) {
+  CacheSim& l2 = device_->l2_;
+  const int line_shift = device_->line_shift_;
+  const uint64_t first = start >> line_shift;
+  const uint64_t last = end >> line_shift;
+  if (is_read) {
+    for (uint64_t line = first; line <= last; ++line) {
+      const size_t slot = static_cast<size_t>(line & (kL1Lines - 1));
       if (l1_tags_[slot] == line) {
         ++l1_hits_;
-        return;
+        continue;
       }
       l1_tags_[slot] = line;
-    }
-    if (device_->l2_.Access(line * static_cast<uint64_t>(line_bytes))) {
-      ++line_hits_;
-    } else {
-      ++line_misses_;
-    }
-  };
-  if (device_->config_.deterministic_addressing) {
-    // Walk the access in 16-byte malloc granules, renumber each by first
-    // touch, and form lines over the renumbered space (see RemapGranule).
-    // Contiguously-touched data stays contiguous, so spatial locality
-    // survives, but no line id ever depends on a real address.
-    const uint64_t granules_per_line = static_cast<uint64_t>(line_bytes) / 16;
-    uint64_t prev_line = ~uint64_t{0};
-    for (uint64_t granule = start >> 4; granule <= (end >> 4); ++granule) {
-      uint64_t line = device_->RemapGranule(granule) / granules_per_line;
-      if (line != prev_line) {
-        touch_line(line);
-        prev_line = line;
+      if (l2.AccessLine(line)) {
+        ++line_hits_;
+      } else {
+        ++line_misses_;
       }
     }
-    return;
+  } else {
+    for (uint64_t line = first; line <= last; ++line) {
+      if (l2.AccessLine(line)) {
+        ++line_hits_;
+      } else {
+        ++line_misses_;
+      }
+    }
   }
-  for (uint64_t line = start / static_cast<uint64_t>(line_bytes);
-       line <= end / static_cast<uint64_t>(line_bytes); ++line) {
-    touch_line(line);
+}
+
+// Deterministic mode: walk the access in 16-byte malloc granules, renumber
+// each by first touch, and form lines over the renumbered space (see
+// GranuleTable). Contiguously-touched data stays contiguous, so spatial
+// locality survives, but no line id ever depends on a real address.
+//
+// The per-block memo short-circuits the common per-lane shape — many small
+// touches of the same element in a row — and consecutive granules of one
+// range still dedupe into one line touch via prev_line, exactly as before.
+void BlockCtx::AccessLinesDeterministic(uint64_t start, uint64_t end, bool is_read) {
+  GranuleTable& table = device_->granules_;
+  CacheSim& l2 = device_->l2_;
+  const int gpl_shift = device_->granules_per_line_shift_;
+  uint64_t granule = start >> 4;
+  const uint64_t last_granule = end >> 4;
+  uint64_t id = granule == memo_granule_ ? memo_granule_id_ : table.Remap(granule);
+  uint64_t prev_line = ~uint64_t{0};
+  for (;;) {
+    const uint64_t line = id >> gpl_shift;
+    if (line != prev_line) {
+      prev_line = line;
+      if (is_read) {
+        const size_t slot = static_cast<size_t>(line & (kL1Lines - 1));
+        if (l1_tags_[slot] == line) {
+          ++l1_hits_;
+        } else {
+          l1_tags_[slot] = line;
+          if (l2.AccessLine(line)) {
+            ++line_hits_;
+          } else {
+            ++line_misses_;
+          }
+        }
+      } else if (l2.AccessLine(line)) {
+        ++line_hits_;
+      } else {
+        ++line_misses_;
+      }
+    }
+    if (granule == last_granule) {
+      break;
+    }
+    id = table.Remap(++granule);
   }
+  memo_granule_ = last_granule;
+  memo_granule_id_ = id;
 }
 
 void BlockCtx::GlobalRead(const void* addr, size_t bytes) {
@@ -166,7 +221,14 @@ void BlockCtx::GlobalWrite(const void* addr, size_t bytes) {
 }
 
 Device::Device(const DeviceConfig& config)
-    : config_(config), l2_(config.l2_bytes, config.l2_ways, config.line_bytes) {}
+    : config_(config), l2_(config.l2_bytes, config.l2_ways, config.line_bytes) {
+  // CacheSim's constructor already insists line_bytes is a power of two.
+  line_shift_ = std::countr_zero(static_cast<unsigned>(config.line_bytes));
+  if (config.deterministic_addressing) {
+    MINUET_CHECK_GE(config.line_bytes, 16);
+  }
+  granules_per_line_shift_ = line_shift_ >= 4 ? line_shift_ - 4 : 0;
+}
 
 int64_t Device::ConcurrentBlocks(const LaunchDims& dims) const {
   MINUET_CHECK_GT(dims.threads_per_block, 0);
@@ -180,9 +242,10 @@ int64_t Device::ConcurrentBlocks(const LaunchDims& dims) const {
   return per_sm * config_.num_sms;
 }
 
-KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
-                           const std::function<void(BlockCtx&)>& body) {
+KernelStats Device::Launch(KernelId kernel, const LaunchDims& dims,
+                           FunctionRef<void(BlockCtx&)> body) {
   MINUET_CHECK_GE(dims.num_blocks, 0);
+  const std::string& name = kernel.name();
   trace::Tracer* tracer = trace::Tracer::Get();
   const int64_t span_id = tracer != nullptr ? tracer->OpenSpan(name, "kernel") : -1;
   KernelStats stats;
@@ -282,20 +345,21 @@ KernelStats Device::Launch(const std::string& name, const LaunchDims& dims,
   stats.cycles = total_cycles;
   stats.millis = config_.CyclesToMillis(total_cycles);
   totals_ += stats;
-  Record(stats);
+  Record(kernel, stats);
   if (tracer != nullptr) {
     EmitKernelSpan(tracer, span_id, stats, config_);
   }
   return stats;
 }
 
-KernelStats Device::LaunchGemm(const std::string& name, int64_t m, int64_t n, int64_t k,
+KernelStats Device::LaunchGemm(KernelId kernel, int64_t m, int64_t n, int64_t k,
                                int64_t batch, double efficiency, double bytes_per_element) {
   MINUET_CHECK_GE(m, 0);
   MINUET_CHECK_GE(n, 0);
   MINUET_CHECK_GE(k, 0);
   MINUET_CHECK_GE(batch, 1);
   MINUET_CHECK_GT(efficiency, 0.0);
+  const std::string& name = kernel.name();
   trace::Tracer* tracer = trace::Tracer::Get();
   const int64_t span_id = tracer != nullptr ? tracer->OpenSpan(name, "kernel") : -1;
   KernelStats stats;
@@ -342,52 +406,104 @@ KernelStats Device::LaunchGemm(const std::string& name, int64_t m, int64_t n, in
   stats.block_slots =
       std::max<int64_t>(batch, static_cast<int64_t>(static_cast<double>(batch) / util));
   totals_ += stats;
-  Record(stats);
+  Record(kernel, stats);
   if (tracer != nullptr) {
     EmitKernelSpan(tracer, span_id, stats, config_);
   }
   return stats;
 }
 
-void Device::ResetTotals() {
-  totals_ = KernelStats{};
-  kernel_aggregates_.clear();
+void Device::Record(KernelId kernel, const KernelStats& stats) {
+  const size_t index = kernel.index();
+  if (index >= aggregates_by_id_.size()) {
+    // Grow to the full registry: other call sites may have interned ids
+    // since the last launch, and resizing once for all of them beats
+    // resizing per newly-seen kernel.
+    aggregates_by_id_.resize(KernelId::Count());
+  }
+  KernelStats& aggregate = aggregates_by_id_[index];
+  if (aggregate.name.empty()) {
+    aggregate.name = kernel.name();
+  }
+  aggregate += stats;
+  aggregates_view_dirty_ = true;
+  if (trace_enabled_) {
+    trace_.push_back(stats);
+  }
 }
 
-void Device::PublishMetrics(trace::MetricsRegistry& registry) const {
-  auto publish = [&registry, this](const std::string& prefix, const KernelStats& stats) {
-    registry.GetCounter(prefix + "/launches").Set(stats.num_launches);
-    registry.GetCounter(prefix + "/blocks").Set(stats.num_blocks);
-    registry.GetGauge(prefix + "/cycles").Set(stats.cycles);
-    registry.GetGauge(prefix + "/millis").Set(stats.millis);
-    registry.GetCounter(prefix + "/l2_hits").Set(static_cast<int64_t>(stats.l2_hits));
-    registry.GetCounter(prefix + "/l2_misses").Set(static_cast<int64_t>(stats.l2_misses));
-    registry.GetGauge(prefix + "/l2_hit_ratio").Set(stats.L2HitRatio());
-    registry.GetCounter(prefix + "/bytes_read")
+const std::map<std::string, KernelStats>& Device::kernel_aggregates() const {
+  if (aggregates_view_dirty_) {
+    aggregates_view_.clear();
+    for (const KernelStats& stats : aggregates_by_id_) {
+      if (!stats.name.empty()) {
+        aggregates_view_.emplace(stats.name, stats);
+      }
+    }
+    aggregates_view_dirty_ = false;
+  }
+  return aggregates_view_;
+}
+
+void Device::ResetTotals() {
+  totals_ = KernelStats{};
+  aggregates_by_id_.clear();
+  aggregates_view_.clear();
+  aggregates_view_dirty_ = false;
+}
+
+void Device::EnableTrace(bool enabled) {
+  trace_enabled_ = enabled;
+  if (enabled) {
+    const size_t hint =
+        std::min(std::max(trace_reserve_hint_, static_cast<size_t>(totals_.num_launches)),
+                 kMaxTraceReserve);
+    if (hint > trace_.capacity()) {
+      trace_.reserve(hint);
+    }
+  }
+}
+
+void Device::ClearTrace() {
+  trace_reserve_hint_ = std::max(trace_reserve_hint_, trace_.size());
+  trace_.clear();
+}
+
+void Device::PublishMetrics(trace::MetricsRegistry& registry, const std::string& prefix) const {
+  auto publish = [&registry, this](const std::string& key_prefix, const KernelStats& stats) {
+    registry.GetCounter(key_prefix + "/launches").Set(stats.num_launches);
+    registry.GetCounter(key_prefix + "/blocks").Set(stats.num_blocks);
+    registry.GetGauge(key_prefix + "/cycles").Set(stats.cycles);
+    registry.GetGauge(key_prefix + "/millis").Set(stats.millis);
+    registry.GetCounter(key_prefix + "/l2_hits").Set(static_cast<int64_t>(stats.l2_hits));
+    registry.GetCounter(key_prefix + "/l2_misses").Set(static_cast<int64_t>(stats.l2_misses));
+    registry.GetGauge(key_prefix + "/l2_hit_ratio").Set(stats.L2HitRatio());
+    registry.GetCounter(key_prefix + "/bytes_read")
         .Set(static_cast<int64_t>(stats.global_bytes_read));
-    registry.GetCounter(prefix + "/bytes_written")
+    registry.GetCounter(key_prefix + "/bytes_written")
         .Set(static_cast<int64_t>(stats.global_bytes_written));
-    registry.GetCounter(prefix + "/dram_bytes").Set(static_cast<int64_t>(stats.dram_bytes));
-    registry.GetCounter(prefix + "/waves").Set(stats.num_waves);
-    registry.GetGauge(prefix + "/occupancy").Set(stats.Occupancy());
-    registry.GetGauge(prefix + "/dram_bw_util").Set(stats.DramBandwidthUtilization(config_));
-    registry.GetGauge(prefix + "/arith_intensity").Set(stats.ArithmeticIntensity());
-    registry.GetLabel(prefix + "/roofline").Set(RooflineClassName(stats.Roofline()));
+    registry.GetCounter(key_prefix + "/dram_bytes").Set(static_cast<int64_t>(stats.dram_bytes));
+    registry.GetCounter(key_prefix + "/waves").Set(stats.num_waves);
+    registry.GetGauge(key_prefix + "/occupancy").Set(stats.Occupancy());
+    registry.GetGauge(key_prefix + "/dram_bw_util").Set(stats.DramBandwidthUtilization(config_));
+    registry.GetGauge(key_prefix + "/arith_intensity").Set(stats.ArithmeticIntensity());
+    registry.GetLabel(key_prefix + "/roofline").Set(RooflineClassName(stats.Roofline()));
   };
-  publish("device/total", totals_);
-  for (const auto& [name, stats] : kernel_aggregates_) {
-    publish("device/kernel/" + name, stats);
+  publish(prefix + "/total", totals_);
+  for (const auto& [name, stats] : kernel_aggregates()) {
+    publish(prefix + "/kernel/" + name, stats);
   }
   // The config peaks the derived ratios were computed against, so a consumer
   // (minuet_prof, the regression gate) can sanity-check them and label the
   // report without guessing the device.
-  registry.GetLabel("device/config/name").Set(config_.name);
-  registry.GetGauge("device/config/clock_ghz").Set(config_.clock_ghz);
-  registry.GetGauge("device/config/dram_gbps").Set(config_.dram_gbps);
-  registry.GetGauge("device/config/gemm_tflops").Set(config_.gemm_tflops);
-  registry.GetGauge("device/config/launch_overhead_cycles").Set(config_.launch_overhead_cycles);
-  registry.GetCounter("device/config/num_sms").Set(config_.num_sms);
-  registry.GetCounter("device/config/l2_bytes").Set(static_cast<int64_t>(config_.l2_bytes));
+  registry.GetLabel(prefix + "/config/name").Set(config_.name);
+  registry.GetGauge(prefix + "/config/clock_ghz").Set(config_.clock_ghz);
+  registry.GetGauge(prefix + "/config/dram_gbps").Set(config_.dram_gbps);
+  registry.GetGauge(prefix + "/config/gemm_tflops").Set(config_.gemm_tflops);
+  registry.GetGauge(prefix + "/config/launch_overhead_cycles")
+      .Set(config_.launch_overhead_cycles);
+  registry.GetCounter(prefix + "/config/num_sms").Set(config_.num_sms);
+  registry.GetCounter(prefix + "/config/l2_bytes").Set(static_cast<int64_t>(config_.l2_bytes));
 }
 
 bool WriteTraceCsv(const std::vector<KernelStats>& trace, const DeviceConfig& config,

@@ -14,20 +14,32 @@
 // divergence, memory-level parallelism within a block (costs are additive)
 // and bank conflicts. See DESIGN.md for why the paper's comparisons survive
 // these simplifications.
+//
+// Host performance (DESIGN.md "Host performance"): the simulator itself runs
+// on one CPU, and its host loop is the bound on every bench and serving
+// trace. The hot path is therefore allocation- and hash-free: kernel names
+// are interned to KernelId once per call site, kernel bodies are passed as
+// non-owning FunctionRef (no std::function allocation per launch), per-kernel
+// aggregates are vector-indexed, and deterministic-addressing remap goes
+// through a dense two-level page table (GranuleTable) instead of a per-touch
+// hash probe. All of it under one invariant: simulated statistics are
+// byte-identical to the straightforward implementations they replaced.
 #ifndef SRC_GPUSIM_DEVICE_H_
 #define SRC_GPUSIM_DEVICE_H_
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "src/gpusim/cache_sim.h"
 #include "src/gpusim/device_config.h"
+#include "src/gpusim/granule_table.h"
+#include "src/gpusim/kernel_name.h"
+#include "src/util/function_ref.h"
 
 namespace minuet {
 
@@ -134,6 +146,8 @@ class BlockCtx {
   }
 
   void AccessLines(const void* addr, size_t bytes, bool is_read);
+  void AccessLinesRaw(uint64_t start, uint64_t end, bool is_read);
+  void AccessLinesDeterministic(uint64_t start, uint64_t end, bool is_read);
 
   Device* device_;
   int64_t block_index_;
@@ -143,6 +157,12 @@ class BlockCtx {
   // Direct-mapped per-block L1: 128 lines x 128B = 16 KiB.
   static constexpr size_t kL1Lines = 128;
   std::array<uint64_t, kL1Lines> l1_tags_;
+
+  // Deterministic-mode memo: the last granule this block remapped and its id.
+  // Repeated sub-16-byte touches of one element (per-lane metadata reads are
+  // the common shape) then skip the granule table entirely.
+  uint64_t memo_granule_ = UINT64_MAX;
+  uint64_t memo_granule_id_ = 0;
 
   uint64_t l1_hits_ = 0;
   uint64_t line_hits_ = 0;
@@ -166,16 +186,30 @@ class Device {
   const DeviceConfig& config() const { return config_; }
 
   // Runs `body(ctx)` for each block and returns the kernel's simulated stats.
-  KernelStats Launch(const std::string& name, const LaunchDims& dims,
-                     const std::function<void(BlockCtx&)>& body);
+  // The body is borrowed for the duration of the call only (FunctionRef), so
+  // passing a lambda allocates nothing. Hot call sites should intern the
+  // kernel name once (`static const KernelId kKernel = KernelId::Intern(...)`)
+  // and use the KernelId overload; the name overload interns per call.
+  KernelStats Launch(KernelId kernel, const LaunchDims& dims,
+                     FunctionRef<void(BlockCtx&)> body);
+  KernelStats Launch(std::string_view name, const LaunchDims& dims,
+                     FunctionRef<void(BlockCtx&)> body) {
+    return Launch(KernelId::Intern(name), dims, body);
+  }
 
   // Analytic batched-GEMM kernel: one launch computing 2*m*n*k*batch FLOPs
   // and moving the operands once. Does not touch the L2 sim. `efficiency`
   // scales the achievable FLOP rate; engines that cannot use the vendor GEMM
   // library (e.g. MinkowskiEngine's fused small-channel dataflow) pass < 1.
-  KernelStats LaunchGemm(const std::string& name, int64_t m, int64_t n, int64_t k,
+  KernelStats LaunchGemm(KernelId kernel, int64_t m, int64_t n, int64_t k,
                          int64_t batch = 1, double efficiency = 1.0,
                          double bytes_per_element = 4.0);
+  KernelStats LaunchGemm(std::string_view name, int64_t m, int64_t n, int64_t k,
+                         int64_t batch = 1, double efficiency = 1.0,
+                         double bytes_per_element = 4.0) {
+    return LaunchGemm(KernelId::Intern(name), m, n, k, batch, efficiency,
+                      bytes_per_element);
+  }
 
   // Blocks co-resident across the device for a given block shape.
   int64_t ConcurrentBlocks(const LaunchDims& dims) const;
@@ -190,57 +224,57 @@ class Device {
   // Per-kernel-name aggregates since construction or ResetTotals(). With the
   // structured naming convention (phase/step/kernel, e.g. map/query/
   // ss_search) this is the per-kernel breakdown a profiler would show.
-  const std::map<std::string, KernelStats>& kernel_aggregates() const {
-    return kernel_aggregates_;
-  }
+  // Internally the device aggregates into a KernelId-indexed vector; the map
+  // view is materialized on demand, so calling this is not free — consumers
+  // (metrics export, reports) are all off the hot path.
+  const std::map<std::string, KernelStats>& kernel_aggregates() const;
 
   // Copies the per-kernel aggregates and device totals into `registry` as
-  // counters/gauges under "device/kernel/<name>/..." and "device/total/...".
-  void PublishMetrics(trace::MetricsRegistry& registry) const;
+  // counters/gauges under "<prefix>/kernel/<name>/..." and "<prefix>/total/
+  // ...". The default prefix keeps the established "device/..." namespace;
+  // multi-device reports (e.g. a bench publishing one snapshot per
+  // implementation) pass a distinguishing prefix.
+  void PublishMetrics(trace::MetricsRegistry& registry,
+                      const std::string& prefix = "device") const;
 
   // Kernel tracing: when enabled, every launch's stats are recorded in order
   // (a poor man's Nsight timeline). Off by default — traces of full network
-  // runs hold thousands of entries.
-  void EnableTrace(bool enabled) { trace_enabled_ = enabled; }
+  // runs hold thousands of entries. Enabling reserves capacity from launch
+  // history (launches so far, and the size of previously cleared traces),
+  // so steady-state serving loops that ClearTrace() per window do not regrow
+  // the vector one doubling at a time.
+  void EnableTrace(bool enabled);
   bool trace_enabled() const { return trace_enabled_; }
   const std::vector<KernelStats>& trace() const { return trace_; }
-  void ClearTrace() { trace_.clear(); }
+  void ClearTrace();
 
   // Distinct 16-byte granules the remap table has seen. A warm serving loop
   // that touches only stable (pooled/cached) buffers stops growing this —
   // the observable test for "no fresh device-visible allocation per run".
-  size_t granule_count() const { return granule_ids_.size(); }
+  size_t granule_count() const { return granules_.size(); }
 
  private:
   friend class BlockCtx;
 
-  // First-touch renumbering for deterministic_addressing, at malloc-granule
-  // (16-byte) granularity: the n-th distinct granule ever touched becomes
-  // granule n, and cache lines are formed over the renumbered space. Line
-  // identity therefore derives purely from touch order — neither ASLR's
-  // page-granular shifts nor the allocator's 16-byte-granular layout changes
-  // (argv/environ length moves every later heap chunk) reach the cache model.
-  // Persists across ResetTotals() — it is an address-space identity, not a
-  // statistic.
-  uint64_t RemapGranule(uint64_t granule) {
-    auto [it, inserted] = granule_ids_.try_emplace(granule, granule_ids_.size());
-    return it->second;
-  }
-
-  void Record(const KernelStats& stats) {
-    kernel_aggregates_[stats.name] += stats;
-    if (trace_enabled_) {
-      trace_.push_back(stats);
-    }
-  }
+  void Record(KernelId kernel, const KernelStats& stats);
 
   DeviceConfig config_;
   CacheSim l2_;
-  std::unordered_map<uint64_t, uint64_t> granule_ids_;
+  // First-touch renumbering for deterministic_addressing, at malloc-granule
+  // (16-byte) granularity (see GranuleTable). Persists across ResetTotals()
+  // — it is an address-space identity, not a statistic.
+  GranuleTable granules_;
+  int line_shift_ = 0;           // log2(config.line_bytes)
+  int granules_per_line_shift_ = 0;  // log2(line_bytes / 16)
   KernelStats totals_;
-  std::map<std::string, KernelStats> kernel_aggregates_;
+  // Aggregates indexed by KernelId; the name-keyed map is a lazily rebuilt
+  // view so the public API (and its iteration order) is unchanged.
+  std::vector<KernelStats> aggregates_by_id_;
+  mutable std::map<std::string, KernelStats> aggregates_view_;
+  mutable bool aggregates_view_dirty_ = false;
   bool trace_enabled_ = false;
   std::vector<KernelStats> trace_;
+  size_t trace_reserve_hint_ = 0;
 };
 
 // Writes a recorded trace as CSV (one row per launch) to `path`. Returns

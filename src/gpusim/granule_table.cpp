@@ -1,0 +1,85 @@
+#include "src/gpusim/granule_table.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace minuet {
+namespace {
+
+// All table storage is anonymous mmap so it never touches malloc's state —
+// see the header comment for why that is a determinism requirement.
+void* MapBytes(size_t bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  MINUET_CHECK(p != MAP_FAILED);
+  return p;
+}
+
+}  // namespace
+
+GranuleTable::~GranuleTable() {
+  if (slots_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < slot_capacity_; ++i) {
+    if (slots_[i].key_plus_one != 0) {
+      ::munmap(slots_[i].page, kPageGranules * sizeof(uint32_t));
+    }
+  }
+  ::munmap(slots_, slot_capacity_ * sizeof(PageSlot));
+}
+
+void GranuleTable::GrowSlots() {
+  const size_t new_capacity = slot_capacity_ == 0 ? 64 : slot_capacity_ * 2;
+  // mmap returns zeroed memory: every slot starts empty (key_plus_one == 0).
+  PageSlot* new_slots = static_cast<PageSlot*>(MapBytes(new_capacity * sizeof(PageSlot)));
+  const size_t new_mask = new_capacity - 1;
+  for (size_t i = 0; i < slot_capacity_; ++i) {
+    if (slots_[i].key_plus_one == 0) {
+      continue;
+    }
+    size_t j = static_cast<size_t>((slots_[i].key_plus_one - 1) * 0x9e3779b97f4a7c15ULL) &
+               new_mask;
+    while (new_slots[j].key_plus_one != 0) {
+      j = (j + 1) & new_mask;
+    }
+    new_slots[j] = slots_[i];
+  }
+  if (slots_ != nullptr) {
+    ::munmap(slots_, slot_capacity_ * sizeof(PageSlot));
+  }
+  slots_ = new_slots;
+  slot_capacity_ = new_capacity;
+}
+
+uint32_t* GranuleTable::SwitchPage(uint64_t page_num) {
+  if (slot_count_ * 2 >= slot_capacity_) {
+    GrowSlots();
+  }
+  const uint64_t key = page_num + 1;
+  const size_t mask = slot_capacity_ - 1;
+  size_t i = static_cast<size_t>(page_num * 0x9e3779b97f4a7c15ULL) & mask;
+  while (slots_[i].key_plus_one != 0 && slots_[i].key_plus_one != key) {
+    i = (i + 1) & mask;
+  }
+  if (slots_[i].key_plus_one == 0) {
+    slots_[i].key_plus_one = key;
+    slots_[i].page = static_cast<uint32_t*>(MapBytes(kPageGranules * sizeof(uint32_t)));
+    std::memset(slots_[i].page, 0xFF, kPageGranules * sizeof(uint32_t));  // all kUnassigned
+    ++slot_count_;
+  }
+  memo_page_num_ = page_num;
+  memo_page_ = slots_[i].page;
+  return memo_page_;
+}
+
+uint32_t GranuleTable::AssignNextId() {
+  // 2^32 - 1 distinct granules is 64 GiB of touched address space; the check
+  // documents the id width rather than guarding a reachable state.
+  MINUET_CHECK_LT(next_id_, kUnassigned);
+  return next_id_++;
+}
+
+}  // namespace minuet

@@ -1,0 +1,94 @@
+// First-touch renumbering table for deterministic_addressing mode.
+//
+// Maps 16-byte malloc granules (host address >> 4) to dense ids in first-touch
+// order: the n-th distinct granule ever remapped becomes id n. Line identity in
+// the cache model then derives purely from touch order, which is what makes
+// simulated statistics reproducible across ASLR shifts and allocator layout
+// changes (see DeviceConfig::deterministic_addressing).
+//
+// This used to be a std::unordered_map<granule, id>, which cost a hash probe
+// per 16-byte granule on every simulated global access — the single hottest
+// operation in the whole simulator host loop. It is now a two-level page
+// table: the low kPageBits of the granule index a dense per-page id array, and
+// the remaining high bits select the page. Page lookup goes through a
+// one-entry memo (accesses walk granules in order, so consecutive touches
+// almost always stay on one page) before falling back to a page directory that
+// is only consulted on page changes. The dense arrays never move once
+// allocated, so the memo pointer stays valid across growth.
+//
+// The numbering is exactly the numbering the hash map produced — same ids,
+// same first-touch order, same size() — so cache statistics are bit-identical
+// to the map-based implementation by construction.
+//
+// All storage (the per-page id arrays and the page directory) is anonymous
+// mmap, never malloc. This is a correctness requirement, not an optimisation:
+// how many pages exist — and when each is first allocated — depends on raw
+// heap addresses (how the allocator's chunks straddle 1 MiB boundaries),
+// which ASLR shuffles per process. Routing those allocations through malloc
+// would let address randomisation perturb the allocator's own state (arena
+// growth, dynamic mmap threshold) and thereby the heap replay that
+// deterministic_addressing relies on — the simulated statistics would stop
+// byte-comparing across runs. mmap keeps the table invisible to malloc, so
+// the replay every other allocation sees is exactly the old map-free one.
+#ifndef SRC_GPUSIM_GRANULE_TABLE_H_
+#define SRC_GPUSIM_GRANULE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minuet {
+
+class GranuleTable {
+ public:
+  // 2^16 granules per page = 1 MiB of address space per 256 KiB id array.
+  // Large enough that a streaming sweep changes page every 64Ki touches,
+  // small enough that sparse heaps (a few dozen live regions) stay cheap.
+  static constexpr int kPageBits = 16;
+  static constexpr uint64_t kPageGranules = uint64_t{1} << kPageBits;
+
+  GranuleTable() = default;
+  ~GranuleTable();
+  GranuleTable(const GranuleTable&) = delete;
+  GranuleTable& operator=(const GranuleTable&) = delete;
+
+  // Returns the dense first-touch id for `granule`, assigning the next id on
+  // first touch. Hot path: one compare for the page memo, one array index.
+  uint64_t Remap(uint64_t granule) {
+    const uint64_t page_num = granule >> kPageBits;
+    uint32_t* page = page_num == memo_page_num_ ? memo_page_ : SwitchPage(page_num);
+    uint32_t& slot = page[granule & (kPageGranules - 1)];
+    if (slot == kUnassigned) {
+      slot = AssignNextId();
+    }
+    return slot;
+  }
+
+  // Distinct granules remapped so far (ids are dense, so also the next id).
+  size_t size() const { return next_id_; }
+
+ private:
+  static constexpr uint32_t kUnassigned = UINT32_MAX;
+
+  // Page directory entry: open-addressing slot, empty while key_plus_one is 0
+  // (page numbers are addr >> 20, so +1 never collides with a real key).
+  struct PageSlot {
+    uint64_t key_plus_one;
+    uint32_t* page;
+  };
+
+  // Cold paths, out of line so Remap inlines tightly.
+  uint32_t* SwitchPage(uint64_t page_num);
+  uint32_t AssignNextId();
+  void GrowSlots();
+
+  uint64_t memo_page_num_ = UINT64_MAX;
+  uint32_t* memo_page_ = nullptr;
+  PageSlot* slots_ = nullptr;   // mmap-backed, linear probing, <= 50% load
+  size_t slot_capacity_ = 0;    // power of two (0 until first page)
+  size_t slot_count_ = 0;
+  uint32_t next_id_ = 0;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_GPUSIM_GRANULE_TABLE_H_

@@ -50,8 +50,9 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
 
     // Kernel 1: per-block digit histogram.
     std::fill(block_hist.begin(), block_hist.end(), 0);
+    static const KernelId kHistogram = KernelId::Intern("sort/radix/histogram");
     stats.kernels += device.Launch(
-        "sort/radix/histogram", LaunchDims{num_blocks, kThreadsPerBlock, kNumBins * sizeof(uint32_t)},
+        kHistogram, LaunchDims{num_blocks, kThreadsPerBlock, kNumBins * sizeof(uint32_t)},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kKeysPerBlock;
           int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
@@ -92,8 +93,9 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
     // Kernel 2: exclusive scan over the digit-major (d, b) layout, producing
     // for each (block, digit) the global base offset of its first element.
     std::vector<int64_t> base(static_cast<size_t>(num_blocks) * kNumBins);
+    static const KernelId kScan = KernelId::Intern("sort/radix/scan");
     stats.kernels += device.Launch(
-        "sort/radix/scan", LaunchDims{1, kThreadsPerBlock, 0}, [&](BlockCtx& ctx) {
+        kScan, LaunchDims{1, kThreadsPerBlock, 0}, [&](BlockCtx& ctx) {
           ctx.GlobalRead(block_hist.data(), block_hist.size() * sizeof(uint32_t));
           int64_t running = 0;
           for (int d = 0; d < kNumBins; ++d) {
@@ -111,8 +113,9 @@ SortStats RadixSortPairs(Device& device, std::span<uint64_t> keys, std::span<uin
     // block via shared memory so that each digit's keys leave as one
     // contiguous global write (a block's slice of a digit is contiguous in
     // the output by construction of the scan).
+    static const KernelId kScatter = KernelId::Intern("sort/radix/scatter");
     stats.kernels += device.Launch(
-        "sort/radix/scatter",
+        kScatter,
         LaunchDims{num_blocks, kThreadsPerBlock,
                    kKeysPerBlock * (sizeof(uint64_t) + sizeof(uint32_t))},
         [&](BlockCtx& ctx) {
@@ -186,8 +189,9 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
   // Kernel A: per-axis min/max reduction over the packed keys.
   Coord3 lo{INT32_MAX, INT32_MAX, INT32_MAX};
   Coord3 hi{INT32_MIN, INT32_MIN, INT32_MIN};
+  static const KernelId kMinmaxReduce = KernelId::Intern("sort/coord/minmax_reduce");
   stats.kernels += device.Launch(
-      "sort/coord/minmax_reduce", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      kMinmaxReduce, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -219,8 +223,9 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
 
   // Kernel B: re-pack each key into the compact layout (order-preserving).
   std::vector<uint64_t> compact(static_cast<size_t>(n));
+  static const KernelId kRepack = KernelId::Intern("sort/coord/repack");
   stats.kernels += device.Launch(
-      "sort/coord/repack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      kRepack, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -244,8 +249,9 @@ SortStats RadixSortCoordPairs(Device& device, std::span<uint64_t> keys,
   stats.passes_scattered = sort_stats.passes_scattered;
 
   // Kernel C: rebuild the original keys in sorted order.
+  static const KernelId kUnpack = KernelId::Intern("sort/coord/unpack");
   stats.kernels += device.Launch(
-      "sort/coord/unpack", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+      kUnpack, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kKeysPerBlock;
         int64_t end = std::min<int64_t>(begin + kKeysPerBlock, n);
         ctx.GlobalRead(&compact[static_cast<size_t>(begin)],

@@ -25,8 +25,9 @@ KernelStats CuckooHashTable::Build(Device& device, std::span<const uint64_t> key
   KernelStats memset_stats = ChargeTableMemset(device, slots_.data(), slots_.size() * sizeof(HashSlot));
   const int64_t n = static_cast<int64_t>(keys.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kCuckooInsert = KernelId::Intern("map/build/cuckoo_insert");
   KernelStats build_stats = device.Launch(
-      "map/build/cuckoo_insert", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kCuckooInsert, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -68,8 +69,9 @@ KernelStats CuckooHashTable::Query(Device& device, std::span<const uint64_t> que
   MINUET_CHECK(!slots_.empty()) << "Query before Build";
   const int64_t n = static_cast<int64_t>(queries.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kCuckooLookup = KernelId::Intern("map/query/cuckoo_lookup");
   return device.Launch(
-      "map/query/cuckoo_lookup", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kCuckooLookup, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&queries[static_cast<size_t>(begin)],

@@ -17,7 +17,8 @@ KernelStats ChargeTableMemset(Device& device, const void* table, size_t bytes) {
   const int64_t blocks =
       std::max<int64_t>(1, static_cast<int64_t>((bytes + kBytesPerBlock - 1) / kBytesPerBlock));
   const char* base = static_cast<const char*>(table);
-  return device.Launch("map/build/table_memset", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kTableMemset = KernelId::Intern("map/build/table_memset");
+  return device.Launch(kTableMemset, LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
     size_t begin = static_cast<size_t>(ctx.block_index()) * kBytesPerBlock;
     size_t end = std::min(begin + kBytesPerBlock, bytes);
     if (begin >= end) {

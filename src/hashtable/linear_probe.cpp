@@ -21,8 +21,9 @@ KernelStats LinearProbeHashTable::Build(Device& device, std::span<const uint64_t
   KernelStats memset_stats = ChargeTableMemset(device, slots_.data(), slots_.size() * sizeof(HashSlot));
   const int64_t n = static_cast<int64_t>(keys.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kLinearProbeInsert = KernelId::Intern("map/build/linear_probe_insert");
   KernelStats build_stats = device.Launch(
-      "map/build/linear_probe_insert", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kLinearProbeInsert, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -54,8 +55,9 @@ KernelStats LinearProbeHashTable::Query(Device& device, std::span<const uint64_t
   MINUET_CHECK(!slots_.empty()) << "Query before Build";
   const int64_t n = static_cast<int64_t>(queries.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kLinearProbeLookup = KernelId::Intern("map/query/linear_probe_lookup");
   return device.Launch(
-      "map/query/linear_probe_lookup", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kLinearProbeLookup, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&queries[static_cast<size_t>(begin)],

@@ -21,8 +21,9 @@ KernelStats SpatialHashTable::Build(Device& device, std::span<const uint64_t> ke
   KernelStats memset_stats = ChargeTableMemset(device, keys_.data(), keys_.size() * sizeof(uint64_t));
   const int64_t n = static_cast<int64_t>(keys.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kSpatialInsert = KernelId::Intern("map/build/spatial_insert");
   KernelStats build_stats = device.Launch(
-      "map/build/spatial_insert", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kSpatialInsert, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&keys[static_cast<size_t>(begin)],
@@ -65,8 +66,9 @@ KernelStats SpatialHashTable::Query(Device& device, std::span<const uint64_t> qu
   MINUET_CHECK(!keys_.empty()) << "Query before Build";
   const int64_t n = static_cast<int64_t>(queries.size());
   const int64_t num_blocks = (n + kQueriesPerBlock - 1) / kQueriesPerBlock;
+  static const KernelId kSpatialLookup = KernelId::Intern("map/query/spatial_lookup");
   return device.Launch(
-      "map/query/spatial_lookup", LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+      kSpatialLookup, LaunchDims{num_blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
         int64_t begin = ctx.block_index() * kQueriesPerBlock;
         int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, n);
         ctx.GlobalRead(&queries[static_cast<size_t>(begin)],

@@ -79,8 +79,9 @@ MapBuildResult NaiveBinaryMapBuilder::Build(Device& device, const MapBuildInput&
   for (int64_t k = 0; k < n_off; ++k) {
     uint64_t delta = PackDelta(input.offsets[static_cast<size_t>(k)]);
     const int64_t blocks = (n_out + kItemsPerBlock - 1) / kItemsPerBlock;
+    static const KernelId kNaiveBinarySearch = KernelId::Intern("map/query/naive_binary_search");
     KernelStats lookup = device.Launch(
-        "map/query/naive_binary_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        kNaiveBinarySearch, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, n_out);
           ctx.GlobalRead(&order[static_cast<size_t>(begin)],
@@ -150,8 +151,9 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
   std::vector<uint32_t> tags(static_cast<size_t>(total));
   {
     const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
+    static const KernelId kFullSortMakeQueries = KernelId::Intern("map/query/full_sort_make_queries");
     result.query_stats += device.Launch(
-        "map/query/full_sort_make_queries", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        kFullSortMakeQueries, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, total);
           for (int64_t t = begin; t < end; ++t) {
@@ -185,8 +187,9 @@ MapBuildResult FullSortMapBuilder::Build(Device& device, const MapBuildInput& in
   uint32_t* positions = result.table.positions.data();
   {
     const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
+    static const KernelId kFullSortSearch = KernelId::Intern("map/query/full_sort_search");
     KernelStats lookup = device.Launch(
-        "map/query/full_sort_search", LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
+        kFullSortSearch, LaunchDims{blocks, kThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kItemsPerBlock;
           int64_t end = std::min<int64_t>(begin + kItemsPerBlock, total);
           ctx.GlobalRead(&queries[static_cast<size_t>(begin)],
@@ -281,8 +284,9 @@ MapBuildResult MergePathMapBuilder::Build(Device& device, const MapBuildInput& i
       return ClampedQueryKey(out_keys[static_cast<size_t>(i)], offset, valid);
     };
 
+    static const KernelId kMergePath = KernelId::Intern("map/query/merge_path");
     KernelStats lookup = device.Launch(
-        "map/query/merge_path", LaunchDims{blocks_per_segment, 128, 0}, [&](BlockCtx& ctx) {
+        kMergePath, LaunchDims{blocks_per_segment, 128, 0}, [&](BlockCtx& ctx) {
           // Diagonal binary search: find (si, qi) with si + qi = d0 such that
           // the merge is correctly partitioned.
           int64_t d0 = ctx.block_index() * diagonal_block_;

@@ -48,8 +48,9 @@ KernelStats BuildEngineHashTable(Device& device, HashTableKind kind,
     constexpr size_t kBytesPerBlock = 64 << 10;
     const int64_t blocks = std::max<int64_t>(
         1, static_cast<int64_t>((table_bytes + kBytesPerBlock - 1) / kBytesPerBlock));
+    static const KernelId kCompactScan = KernelId::Intern("map/build/compact_scan");
     stats += device.Launch(
-        "map/build/compact_scan", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+        kCompactScan, LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
           size_t begin = static_cast<size_t>(ctx.block_index()) * kBytesPerBlock;
           size_t end = std::min(begin + kBytesPerBlock, table_bytes);
           if (begin >= end) {
@@ -99,8 +100,9 @@ MapBuildResult HashMapBuilder::Build(Device& device, const MapBuildInput& input)
   std::vector<uint64_t> queries(static_cast<size_t>(total));
   {
     const int64_t blocks = (total + kQueriesPerBlock - 1) / kQueriesPerBlock;
+    static const KernelId kMakeQueries = KernelId::Intern("map/query/make_queries");
     result.query_stats += device.Launch(
-        "map/query/make_queries", LaunchDims{blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
+        kMakeQueries, LaunchDims{blocks, kQueryThreads, 0}, [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * kQueriesPerBlock;
           int64_t end = std::min<int64_t>(begin + kQueriesPerBlock, total);
           if (begin >= end) {

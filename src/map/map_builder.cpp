@@ -14,7 +14,8 @@ KernelStats ChargeMapCompaction(Device& device, const MapPositionTable& table,
   }
   constexpr int64_t kItemsPerBlock = 2048;
   const int64_t blocks = (total + kItemsPerBlock - 1) / kItemsPerBlock;
-  return device.Launch("map/compact/position_table", LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
+  static const KernelId kPositionTable = KernelId::Intern("map/compact/position_table");
+  return device.Launch(kPositionTable, LaunchDims{blocks, 256, 0}, [&](BlockCtx& ctx) {
     int64_t begin = ctx.block_index() * kItemsPerBlock;
     int64_t end = std::min(begin + kItemsPerBlock, total);
     ctx.GlobalRead(&table.positions[static_cast<size_t>(begin)],

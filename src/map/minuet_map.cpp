@@ -114,8 +114,9 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     const int64_t chunk = block_c;
     const int64_t chunks_per_segment = (n_out + chunk - 1) / chunk;
     const int64_t total_blocks = n_off * chunks_per_segment;
+    static const KernelId kSsSearch = KernelId::Intern("map/query/ss_search");
     KernelStats lookup = device.Launch(
-        "map/query/ss_search", LaunchDims{total_blocks, config_.threads_per_block, 0},
+        kSsSearch, LaunchDims{total_blocks, config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t seg = ctx.block_index() / chunks_per_segment;
           int64_t piece = ctx.block_index() % chunks_per_segment;
@@ -169,8 +170,9 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     const int64_t items = n_off * num_source_blocks;
     const int64_t items_per_block = config_.threads_per_block;
     const int64_t blocks = (items + items_per_block - 1) / items_per_block;
+    static const KernelId kBackwardSearch = KernelId::Intern("map/query/backward_search");
     result.query_stats += device.Launch(
-        "map/query/backward_search", LaunchDims{blocks, config_.threads_per_block, 0},
+        kBackwardSearch, LaunchDims{blocks, config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * items_per_block;
           int64_t end = std::min<int64_t>(begin + items_per_block, items);
@@ -228,8 +230,9 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
     // Charge the balancing pass (a scan + compact over the boundary array).
     const int64_t items = n_off * num_source_blocks;
     const int64_t blocks = (items + config_.threads_per_block - 1) / config_.threads_per_block;
+    static const KernelId kBalance = KernelId::Intern("map/query/balance");
     result.query_stats += device.Launch(
-        "map/query/balance", LaunchDims{std::max<int64_t>(blocks, 1), config_.threads_per_block, 0},
+        kBalance, LaunchDims{std::max<int64_t>(blocks, 1), config_.threads_per_block, 0},
         [&](BlockCtx& ctx) {
           int64_t begin = ctx.block_index() * config_.threads_per_block;
           int64_t end = std::min<int64_t>(begin + config_.threads_per_block, items);
@@ -250,8 +253,9 @@ MapBuildResult MinuetMapBuilder::Build(Device& device, const MapBuildInput& inpu
   // --- Forward binary search (Figure 11, steps 4-5): one thread block per
   // balanced query block; the source block is staged in scratchpad memory.
   const size_t shared_bytes = static_cast<size_t>(block_b) * sizeof(uint64_t);
+  static const KernelId kForwardSearch = KernelId::Intern("map/query/forward_search");
   KernelStats forward = device.Launch(
-      "map/query/forward_search",
+      kForwardSearch,
       LaunchDims{static_cast<int64_t>(tasks.size()), config_.threads_per_block, shared_bytes},
       [&](BlockCtx& ctx) {
         const QueryBlockTask& task = tasks[static_cast<size_t>(ctx.block_index())];

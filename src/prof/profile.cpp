@@ -174,6 +174,7 @@ bool LoadFromMetrics(const JsonValue& doc, RunProfile* out, std::string* error) 
 
 struct TraceKernelAccum {
   double dur_us = 0.0;
+  double host_us = 0.0;
   double cycles = 0.0;
   int64_t launches = 0;
   int64_t blocks = 0;
@@ -202,10 +203,14 @@ bool LoadFromTrace(const JsonValue& doc, RunProfile* out, std::string* error) {
     }
     const JsonValue* ph = event.Find("ph");
     const JsonValue* tid = event.Find("tid");
-    // Only complete spans on the simulated-time track (tid 1); the host track
-    // duplicates every span with wall-clock timing.
-    if (ph == nullptr || ph->StringOr("") != "X" || tid == nullptr ||
-        tid->DoubleOr(-1.0) != 1.0) {
+    // Complete spans only. Aggregates come from the simulated-time track
+    // (tid 1); the host track (tid 0) duplicates every span with wall-clock
+    // timing, which feeds the report's host_ms / sim-per-host column.
+    if (ph == nullptr || ph->StringOr("") != "X" || tid == nullptr) {
+      continue;
+    }
+    const double tid_num = tid->DoubleOr(-1.0);
+    if (tid_num != 1.0 && tid_num != 0.0) {
       continue;
     }
     const JsonValue* cat_v = event.Find("cat");
@@ -217,6 +222,19 @@ bool LoadFromTrace(const JsonValue& doc, RunProfile* out, std::string* error) {
     const std::string cat = cat_v->StringOr("");
     const std::string name = name_v->StringOr("");
     const double dur = event.Find("dur") != nullptr ? event.Find("dur")->DoubleOr(0.0) : 0.0;
+    if (tid_num == 0.0) {
+      // Host wall-clock track: only durations matter here.
+      if (dur > 0.0) {
+        if (cat == "kernel") {
+          kernels[name].host_us += dur;
+          out->has_host_time = true;
+        } else if (cat == "run") {
+          out->total_host_ms += dur / 1e3;
+          out->has_host_time = true;
+        }
+      }
+      continue;
+    }
     auto arg_num = [&](const char* key, double fallback) {
       if (args == nullptr) {
         return fallback;
@@ -262,10 +280,13 @@ bool LoadFromTrace(const JsonValue& doc, RunProfile* out, std::string* error) {
   }
 
   double kernel_ms_sum = 0.0;
+  double host_ms_sum = 0.0;
   for (auto& [name, acc] : kernels) {
     KernelProfile k;
     k.name = name;
     k.millis = acc.dur_us / 1e3;
+    k.host_ms = acc.host_us / 1e3;
+    host_ms_sum += k.host_ms;
     k.cycles = acc.cycles;
     k.launches = acc.launches;
     k.blocks = acc.blocks;
@@ -294,6 +315,9 @@ bool LoadFromTrace(const JsonValue& doc, RunProfile* out, std::string* error) {
   }
   if (out->total_ms == 0.0) {
     out->total_ms = kernel_ms_sum;
+  }
+  if (out->total_host_ms == 0.0) {
+    out->total_host_ms = host_ms_sum;
   }
   return true;
 }
@@ -354,6 +378,9 @@ std::string FormatReport(const RunProfile& profile, int top_n) {
   }
   out += ": " + Format("%.4f", profile.total_ms) + " simulated ms, " +
          std::to_string(profile.kernels.size()) + " kernels";
+  if (profile.has_host_time) {
+    out += ", " + Format("%.2f", profile.total_host_ms) + " host ms";
+  }
   if (!profile.total_roofline.empty()) {
     out += ", overall " + profile.total_roofline;
   }
@@ -361,20 +388,40 @@ std::string FormatReport(const RunProfile& profile, int top_n) {
 
   size_t limit = top_n <= 0 ? profile.kernels.size()
                             : std::min(profile.kernels.size(), static_cast<size_t>(top_n));
+  // The host columns appear only when the artifact carried host span
+  // durations (a trace's tid-0 track): host_ms is wall-clock spent simulating
+  // the kernel, sim/host how much simulated time a host millisecond buys.
+  const bool host = profile.has_host_time;
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"#", "kernel", "sim_ms", "%run", "launches", "occ", "bw_util",
-                  "arith_int", "l2_hit", "roofline"});
+  {
+    std::vector<std::string> header = {"#", "kernel", "sim_ms"};
+    if (host) {
+      header.insert(header.end(), {"host_ms", "sim/host"});
+    }
+    header.insert(header.end(),
+                  {"%run", "launches", "occ", "bw_util", "arith_int", "l2_hit", "roofline"});
+    rows.push_back(std::move(header));
+  }
   for (size_t i = 0; i < limit; ++i) {
     const KernelProfile& k = profile.kernels[i];
     double pct = profile.total_ms > 0 ? 100.0 * k.millis / profile.total_ms : 0.0;
-    rows.push_back({std::to_string(i + 1), k.name, Format("%.4f", k.millis),
-                    Format("%.1f", pct), std::to_string(k.launches),
-                    Format("%.2f", k.occupancy), Format("%.2f", k.dram_bw_util),
-                    FormatIntensity(k.arith_intensity), Format("%.2f", k.l2_hit_ratio),
-                    k.roofline});
+    std::vector<std::string> row = {std::to_string(i + 1), k.name, Format("%.4f", k.millis)};
+    if (host) {
+      row.push_back(Format("%.2f", k.host_ms));
+      row.push_back(k.host_ms > 0 ? Format("%.3f", k.millis / k.host_ms) : "-");
+    }
+    row.insert(row.end(),
+               {Format("%.1f", pct), std::to_string(k.launches), Format("%.2f", k.occupancy),
+                Format("%.2f", k.dram_bw_util), FormatIntensity(k.arith_intensity),
+                Format("%.2f", k.l2_hit_ratio), k.roofline});
+    rows.push_back(std::move(row));
   }
-  AppendTable(&out, rows,
-              {true, false, true, true, true, true, true, true, true, false});
+  std::vector<bool> right = {true, false, true};
+  if (host) {
+    right.insert(right.end(), {true, true});
+  }
+  right.insert(right.end(), {true, true, true, true, true, true, false});
+  AppendTable(&out, rows, right);
   if (limit < profile.kernels.size()) {
     out += "... " + std::to_string(profile.kernels.size() - limit) + " more kernels\n";
   }

@@ -27,6 +27,10 @@ namespace prof {
 struct KernelProfile {
   std::string name;
   double millis = 0.0;
+  // Host wall-clock spent simulating this kernel, accumulated from the trace's
+  // host track (tid 0). 0 when the artifact has no host durations (metrics
+  // snapshots, synthetic traces).
+  double host_ms = 0.0;
   double cycles = 0.0;
   int64_t launches = 0;
   int64_t blocks = 0;
@@ -52,6 +56,12 @@ struct RunProfile {
   std::string source;  // "metrics" or "trace"
   std::string device;  // DeviceConfig name when the artifact carries it
   double total_ms = 0.0;
+  // Host wall-clock view, present only when the artifact carries host span
+  // durations (a Chrome trace's tid-0 track). FormatReport then adds a
+  // host_ms and sim/host column: how much simulated time each host
+  // millisecond buys, the simulator's own throughput.
+  bool has_host_time = false;
+  double total_host_ms = 0.0;
   double total_occupancy = 0.0;
   double total_dram_bw_util = 0.0;
   std::string total_roofline;

@@ -1,0 +1,51 @@
+// Non-owning callable reference, in the spirit of LLVM's function_ref /
+// P0792's std::function_ref.
+//
+// Device::Launch takes its kernel body once per launch and invokes it
+// immediately; it never stores the callable. std::function is the wrong tool
+// for that shape: constructing one from a capturing lambda heap-allocates
+// whenever the captures outgrow the small-buffer optimisation (a [&] body
+// capturing a handful of locals always does), and that allocation recurs on
+// every launch. FunctionRef is two words — an opaque object pointer and a
+// trampoline — so passing a lambda to Launch costs nothing and the call
+// inlines to an indirect jump.
+//
+// Safety model: a FunctionRef does not extend the referee's lifetime. It is
+// only valid while the callable it was built from is alive, which makes it
+// suitable exclusively for "call me now" parameters (exactly Launch's use);
+// never store one beyond the call that received it.
+#ifndef SRC_UTIL_FUNCTION_REF_H_
+#define SRC_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace minuet {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design, like function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace minuet
+
+#endif  // SRC_UTIL_FUNCTION_REF_H_

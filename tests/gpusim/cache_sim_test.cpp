@@ -2,8 +2,80 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace minuet {
 namespace {
+
+// Straight-line reference for the golden-sequence tests below: the documented
+// model (multiplicative tag mix, modulo set selection, LRU by stamp) with no
+// fast paths. CacheSim's power-of-two mask path must reproduce its hit/miss
+// decisions access for access.
+class ReferenceLru {
+ public:
+  ReferenceLru(size_t capacity_bytes, int ways, int line_bytes)
+      : num_sets_(capacity_bytes / static_cast<size_t>(line_bytes) /
+                  static_cast<size_t>(ways)),
+        ways_(ways),
+        storage_(num_sets_ * static_cast<size_t>(ways)) {}
+
+  bool AccessLine(uint64_t line) {
+    const size_t set =
+        static_cast<size_t>((line * 0x9e3779b97f4a7c15ULL) % num_sets_);
+    Way* base = &storage_[set * static_cast<size_t>(ways_)];
+    ++clock_;
+    int victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].tag == line) {
+        base[w].stamp = clock_;
+        return true;
+      }
+      const uint64_t stamp = base[w].valid ? base[w].stamp : 0;
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = w;
+      }
+    }
+    base[victim] = Way{line, clock_, true};
+    return false;
+  }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+  size_t num_sets_;
+  int ways_;
+  std::vector<Way> storage_;
+  uint64_t clock_ = 0;
+};
+
+// A deterministic access recording: pseudorandom line touches with enough
+// locality (a small working window revisited between jumps) that both hits
+// and misses occur in quantity.
+std::vector<uint64_t> RecordedLineSequence(size_t count, uint64_t line_space) {
+  std::vector<uint64_t> lines;
+  lines.reserve(count);
+  uint64_t state = 0x2545F4914F6CDD1Dull;
+  uint64_t window = 0;
+  for (size_t i = 0; i < count; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    if (i % 64 == 0) {
+      window = state % line_space;
+    }
+    // Three of four touches stay near the window base; the rest jump.
+    const uint64_t line =
+        (state & 3) != 0 ? (window + (state % 97)) % line_space : state % line_space;
+    lines.push_back(line);
+  }
+  return lines;
+}
 
 TEST(CacheSimTest, FirstAccessMissesSecondHits) {
   CacheSim cache(1 << 20, 16, 128);
@@ -71,6 +143,38 @@ TEST(CacheSimTest, FlushClearsEverything) {
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
   EXPECT_FALSE(cache.Access(0));
+}
+
+TEST(CacheSimTest, MaskFastPathMatchesModuloReferenceSequence) {
+  // 4 MiB / 16 ways / 128 B lines = 2048 sets: a power of two, so CacheSim
+  // takes the mask path. The reference always computes the modulo. Every
+  // individual hit/miss decision must agree — the golden-sequence guarantee
+  // the host-performance work rests on.
+  CacheSim cache(4 << 20, 16, 128);
+  ASSERT_EQ(cache.num_sets(), 2048u);
+  ReferenceLru ref(4 << 20, 16, 128);
+  const std::vector<uint64_t> lines = RecordedLineSequence(200000, 100000);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_EQ(cache.AccessLine(lines[i]), ref.AccessLine(lines[i]))
+        << "diverged at access " << i << " (line " << lines[i] << ")";
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(CacheSimTest, ModuloPathMatchesReferenceSequence) {
+  // The RTX 3090 geometry (6 MiB -> 3072 sets) is not a power of two and
+  // stays on the modulo path; it must agree with the reference as well.
+  CacheSim cache(6 << 20, 16, 128);
+  ASSERT_EQ(cache.num_sets(), 3072u);
+  ReferenceLru ref(6 << 20, 16, 128);
+  const std::vector<uint64_t> lines = RecordedLineSequence(200000, 150000);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_EQ(cache.AccessLine(lines[i]), ref.AccessLine(lines[i]))
+        << "diverged at access " << i << " (line " << lines[i] << ")";
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
 }
 
 TEST(CacheSimTest, ResetCountersKeepsContents) {

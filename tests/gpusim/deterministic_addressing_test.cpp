@@ -5,11 +5,14 @@
 // pointer-keyed mode.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/gpusim/device.h"
 #include "src/gpusim/device_config.h"
+#include "src/gpusim/granule_table.h"
 
 namespace minuet {
 namespace {
@@ -95,6 +98,195 @@ TEST(DeterministicAddressing, RemapPersistsAcrossLaunches) {
   KernelStats warm = RunPattern(device, backing.data(), region);
   EXPECT_GT(cold.l2_misses, 0u);
   EXPECT_LT(warm.l2_misses, cold.l2_misses);
+}
+
+// --- Golden-sequence tests for the host fast paths ---------------------------
+//
+// The host-performance rework (two-level GranuleTable, BlockCtx granule memo,
+// CacheSim set mask) is only admissible if it reproduces the slow paths'
+// behaviour decision for decision. These tests replay recorded access
+// patterns against straight-line reference models — the hash-map first-touch
+// remap and the documented L1/L2 accounting — and demand exact agreement.
+
+TEST(DeterministicAddressing, GranuleTableMatchesFirstTouchHashMapSequence) {
+  // The reference is the structure GranuleTable replaced: a hash map handing
+  // out ids in first-touch order. The recorded pattern mixes streaming runs
+  // (page-local, the memo's fast case), repeats, and far jumps across enough
+  // distinct 2^16-granule pages that the page directory grows and rehashes.
+  GranuleTable table;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  auto ref_remap = [&ref](uint64_t granule) {
+    return ref.try_emplace(granule, ref.size()).first->second;
+  };
+
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  uint64_t cursor = 0;
+  for (int i = 0; i < 200000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    uint64_t granule;
+    switch (state & 3) {
+      case 0:  // streaming: continue the current run
+      case 1:
+        granule = cursor++;
+        break;
+      case 2:  // revisit something already touched
+        granule = state % (cursor + 1);
+        break;
+      default:  // far jump: new run on one of ~200 pages
+        cursor = (state % 200) * GranuleTable::kPageGranules + (state >> 32) % 1000;
+        granule = cursor++;
+        break;
+    }
+    ASSERT_EQ(table.Remap(granule), ref_remap(granule))
+        << "diverged at touch " << i << " (granule " << granule << ")";
+  }
+  EXPECT_EQ(table.size(), ref.size());
+}
+
+// Reference re-implementation of deterministic-mode access accounting with no
+// fast paths: hash-map remap, per-access line dedup, 128-line direct-mapped
+// read L1, modulo-set LRU L2. Mirrors the documented BlockCtx model.
+class ReferenceAccounting {
+ public:
+  ReferenceAccounting(size_t l2_bytes, int l2_ways, int line_bytes)
+      : granules_per_line_shift_(line_bytes >= 16 ? __builtin_ctz(line_bytes) - 4 : 0),
+        num_sets_(l2_bytes / static_cast<size_t>(line_bytes) /
+                  static_cast<size_t>(l2_ways)),
+        ways_(l2_ways),
+        storage_(num_sets_ * static_cast<size_t>(l2_ways)) {
+    l1_tags_.fill(UINT64_MAX);
+  }
+
+  void Touch(const void* addr, size_t bytes, bool is_read) {
+    const uint64_t start = reinterpret_cast<uint64_t>(addr);
+    const uint64_t end = start + bytes - 1;
+    uint64_t prev_line = ~uint64_t{0};
+    for (uint64_t granule = start >> 4; granule <= end >> 4; ++granule) {
+      const uint64_t id = remap_.try_emplace(granule, remap_.size()).first->second;
+      const uint64_t line = id >> granules_per_line_shift_;
+      if (line == prev_line) {
+        continue;
+      }
+      prev_line = line;
+      if (is_read) {
+        const size_t slot = static_cast<size_t>(line % l1_tags_.size());
+        if (l1_tags_[slot] == line) {
+          continue;  // L1 hit: never reaches the L2
+        }
+        l1_tags_[slot] = line;
+      }
+      AccessL2(line);
+    }
+  }
+
+  uint64_t l2_hits() const { return hits_; }
+  uint64_t l2_misses() const { return misses_; }
+  size_t granules() const { return remap_.size(); }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  void AccessL2(uint64_t line) {
+    const size_t set =
+        static_cast<size_t>((line * 0x9e3779b97f4a7c15ULL) % num_sets_);
+    Way* base = &storage_[set * static_cast<size_t>(ways_)];
+    ++clock_;
+    int victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].tag == line) {
+        base[w].stamp = clock_;
+        ++hits_;
+        return;
+      }
+      const uint64_t stamp = base[w].valid ? base[w].stamp : 0;
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = w;
+      }
+    }
+    base[victim] = Way{line, clock_, true};
+    ++misses_;
+  }
+
+  std::unordered_map<uint64_t, uint64_t> remap_;
+  std::array<uint64_t, 128> l1_tags_;  // kL1Lines, direct mapped
+  int granules_per_line_shift_;
+  size_t num_sets_;
+  int ways_;
+  std::vector<Way> storage_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+TEST(DeterministicAddressing, FastPathReproducesReferenceAccounting) {
+  // Record a pseudorandom pattern of reads and writes (varying sizes and
+  // alignments, with back-to-back repeats of small touches so the BlockCtx
+  // granule memo is exercised), then replay it through a real kernel and
+  // through the reference model. L2 hits/misses and the granule count must
+  // match exactly. SmallDevice has 64 KiB / 4 ways / 128 B -> 128 sets, a
+  // power of two, so the device's L2 runs the mask path while the reference
+  // runs the modulo.
+  struct Access {
+    uint32_t offset;
+    uint16_t bytes;
+    bool is_read;
+  };
+  const size_t region = 256 << 10;
+  std::vector<char> backing(region + 512);
+  std::vector<Access> pattern;
+  uint64_t state = 0x123456789ABCDEFull;
+  for (int i = 0; i < 6000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    Access a;
+    a.offset = static_cast<uint32_t>(state % region);
+    a.bytes = static_cast<uint16_t>(1 + (state >> 32) % 256);
+    a.is_read = (state & 12) != 0;  // ~3/4 reads
+    pattern.push_back(a);
+    if ((state & 48) == 0) {
+      // Repeat a small sub-element touch: the memo's fast case.
+      Access r = a;
+      r.bytes = 8;
+      pattern.push_back(r);
+      pattern.push_back(r);
+    }
+  }
+
+  DeviceConfig config = SmallDevice(true);
+  Device device(config);
+  ASSERT_EQ(config.line_bytes, 128);
+  LaunchDims dims;
+  dims.num_blocks = 1;  // one block: a single L1 and memo, like the reference
+  dims.threads_per_block = 64;
+  KernelStats stats = device.Launch("test/golden_replay", dims, [&](BlockCtx& ctx) {
+    for (const Access& a : pattern) {
+      if (a.is_read) {
+        ctx.GlobalRead(backing.data() + a.offset, a.bytes);
+      } else {
+        ctx.GlobalWrite(backing.data() + a.offset, a.bytes);
+      }
+    }
+  });
+
+  ReferenceAccounting ref(config.l2_bytes, config.l2_ways, config.line_bytes);
+  for (const Access& a : pattern) {
+    ref.Touch(backing.data() + a.offset, a.bytes, a.is_read);
+  }
+
+  EXPECT_EQ(stats.l2_hits, ref.l2_hits());
+  EXPECT_EQ(stats.l2_misses, ref.l2_misses());
+  EXPECT_EQ(device.granule_count(), ref.granules());
+  EXPECT_GT(stats.l2_hits, 0u);
+  EXPECT_GT(stats.l2_misses, 0u);
 }
 
 }  // namespace

@@ -121,9 +121,14 @@ TEST(ProfileLoadTest, LoadsChromeTraceAndAggregatesLaunches) {
   EXPECT_DOUBLE_EQ(profile.total_ms, 1.0);  // run span: 1000 us
   ASSERT_EQ(profile.kernels.size(), 2u);
 
+  // The host track (tid 0) feeds the host view, never the simulated one.
+  EXPECT_TRUE(profile.has_host_time);
+  EXPECT_DOUBLE_EQ(profile.total_host_ms, 99.999);  // host run span: 99999 us
+
   const KernelProfile& a = profile.kernels[0];  // 400 us beats 50 us
   EXPECT_EQ(a.name, "k/a");
   EXPECT_DOUBLE_EQ(a.millis, 0.4);  // host-track (tid 0) duplicate ignored
+  EXPECT_DOUBLE_EQ(a.host_ms, 7.777);
   EXPECT_EQ(a.launches, 2);
   EXPECT_EQ(a.blocks, 16);
   EXPECT_EQ(a.waves, 3);
@@ -137,11 +142,38 @@ TEST(ProfileLoadTest, LoadsChromeTraceAndAggregatesLaunches) {
 
   const KernelProfile& b = profile.kernels[1];
   EXPECT_EQ(b.name, "k/b");
+  EXPECT_DOUBLE_EQ(b.host_ms, 0.0);  // no host span recorded for k/b
   EXPECT_TRUE(std::isinf(b.arith_intensity));  // lane ops, zero DRAM traffic
 
   ASSERT_EQ(profile.layers.size(), 1u);
   EXPECT_DOUBLE_EQ(profile.layers[0].sim_ms, 0.6);
   EXPECT_DOUBLE_EQ(profile.layers[0].padding_ratio, 0.2);
+
+  // The report grows host columns only because this artifact carries host
+  // durations: host_ms per kernel and sim/host (simulated ms bought per host
+  // ms — 0.4 / 7.777 for k/a).
+  std::string text = FormatReport(profile, 0);
+  EXPECT_NE(text.find("host_ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("sim/host"), std::string::npos) << text;
+  EXPECT_NE(text.find("100.00 host ms"), std::string::npos) << text;  // 99.999 at %.2f
+  EXPECT_NE(text.find("0.051"), std::string::npos) << text;  // 0.4 / 7.777
+}
+
+TEST(ProfileLoadTest, MetricsSnapshotReportHasNoHostColumns) {
+  // Metrics snapshots carry no host span durations, so the report must keep
+  // its classic shape (the host view would be all zeros — noise).
+  Device dev(TinyConfig());
+  dev.Launch("map/query", LaunchDims{32, 128, 0},
+             [](BlockCtx& ctx) { ctx.Compute(5000); });
+  trace::MetricsRegistry registry;
+  dev.PublishMetrics(registry);
+
+  RunProfile profile;
+  ASSERT_TRUE(LoadRunProfile(Parse(registry.SnapshotJson()), &profile, nullptr));
+  EXPECT_FALSE(profile.has_host_time);
+  std::string text = FormatReport(profile, 0);
+  EXPECT_EQ(text.find("host_ms"), std::string::npos) << text;
+  EXPECT_EQ(text.find("sim/host"), std::string::npos) << text;
 }
 
 RunProfile MakeProfile(std::vector<KernelProfile> kernels) {
