@@ -4,8 +4,9 @@
 #   bench/byte_compare.sh BUILD_A [BUILD_B]
 #
 # Runs fig03 + fig12 (both under --deterministic, so cache statistics do not
-# depend on allocator layout or ASLR) and the pinned-arrivals serve smoke
-# (deterministic addressing is the serving default) out of each build tree,
+# depend on allocator layout or ASLR) and the pinned-arrivals serve smokes —
+# single-device and a 2-replica heterogeneous fleet (deterministic addressing
+# is the serving default) — out of each build tree,
 # then diffs every JSON artifact after stripping host-clock data:
 #   - any object key containing "host" or "wall" (case-insensitive), the same
 #     exemption the perf baseline gate applies (see src/prof IsHostTimeKey);
@@ -44,6 +45,10 @@ run_suite() {
   "$build/tools/minuet_serve" --gpu 3090 --arrivals "$out/arrivals.json" \
     --queue-capacity 16 --max-batch 4 --json "$out/serve.json" \
     --trace "$out/serve_trace.json" --metrics "$out/serve_metrics.json" > /dev/null
+  "$build/tools/minuet_serve" --pool 3090,a100 --routing least-loaded \
+    --arrivals "$out/arrivals.json" --queue-capacity 16 --max-batch 4 \
+    --json "$out/fleet.json" --trace "$out/fleet_trace.json" \
+    --metrics "$out/fleet_metrics.json" > /dev/null
 }
 
 echo "byte_compare: running suite from $BUILD_A"
@@ -79,7 +84,8 @@ PY
 
 STATUS=0
 for name in fig03.json fig03_metrics.json fig12.json fig12_metrics.json \
-            serve.json serve_trace.json serve_metrics.json; do
+            serve.json serve_trace.json serve_metrics.json \
+            fleet.json fleet_trace.json fleet_metrics.json; do
   python3 "$FILTER" "$WORK/a/$name" "$WORK/a/$name.filtered"
   python3 "$FILTER" "$WORK/b/$name" "$WORK/b/$name.filtered"
   if cmp -s "$WORK/a/$name.filtered" "$WORK/b/$name.filtered"; then

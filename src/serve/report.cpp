@@ -8,14 +8,9 @@
 namespace minuet {
 namespace serve {
 
-std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
-                            const ServeReportContext& context,
-                            const trace::MetricsRegistry* registry) {
-  const ServeSummary& s = result.summary;
-  JsonWriter w;
-  w.BeginObject();
-  w.KV("serve_report", 1);
+namespace {
 
+void WriteContext(JsonWriter& w, const ServeReportContext& context) {
   w.Key("context");
   w.BeginObject();
   w.KV("device", context.device);
@@ -23,7 +18,9 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
   w.KV("engine", context.engine);
   w.KV("precision", context.precision);
   w.EndObject();
+}
 
+void WriteArrival(JsonWriter& w, const TraceConfig& arrival) {
   w.Key("arrival");
   w.BeginObject();
   w.KV("process", ArrivalProcessName(arrival.process));
@@ -40,18 +37,20 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
     w.KV("think_time_us", arrival.think_time_us);
   }
   w.EndObject();
+}
 
+void WriteConfig(JsonWriter& w, const SchedulerConfig& config) {
   w.Key("config");
   w.BeginObject();
-  w.KV("policy", AdmissionPolicyName(result.config.policy));
-  w.KV("queue_capacity", result.config.queue_capacity);
-  w.KV("max_batch_size", result.config.max_batch_size);
-  w.KV("max_queue_delay_us", result.config.max_queue_delay_us);
-  w.KV("slo_us", result.config.slo_us);
+  w.KV("policy", AdmissionPolicyName(config.policy));
+  w.KV("queue_capacity", config.queue_capacity);
+  w.KV("max_batch_size", config.max_batch_size);
+  w.KV("max_queue_delay_us", config.max_queue_delay_us);
+  w.KV("slo_us", config.slo_us);
   w.EndObject();
+}
 
-  w.Key("summary");
-  w.BeginObject();
+void WriteSummaryFields(JsonWriter& w, const ServeSummary& s) {
   w.KV("offered", s.offered);
   w.KV("admitted", s.admitted);
   w.KV("shed", s.shed);
@@ -76,17 +75,26 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
   w.KV("latency_p50_us", s.latency_p50_us);
   w.KV("latency_p95_us", s.latency_p95_us);
   w.KV("latency_p99_us", s.latency_p99_us);
-  w.EndObject();
+}
 
+void WriteSummary(JsonWriter& w, const ServeSummary& s) {
+  w.Key("summary");
+  w.BeginObject();
+  WriteSummaryFields(w, s);
+  w.EndObject();
+}
+
+void WriteRequests(JsonWriter& w, const std::vector<RequestRecord>& requests) {
   w.Key("requests");
   w.BeginArray();
-  for (const RequestRecord& record : result.requests) {
+  for (const RequestRecord& record : requests) {
     w.BeginObject();
     w.KV("id", record.request.id);
     w.KV("arrival_us", record.request.arrival_us);
     w.KV("points", record.request.points);
     w.KV("priority", record.request.priority);
     w.KV("batch_class", record.request.batch_class);
+    w.KV("device", static_cast<int64_t>(record.device));
     w.KV("shed", record.shed);
     if (!record.shed) {
       w.KV("warm", record.warm);
@@ -98,13 +106,16 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
     w.EndObject();
   }
   w.EndArray();
+}
 
+void WriteBatches(JsonWriter& w, const std::vector<BatchRecord>& batches) {
   w.Key("batches");
   w.BeginArray();
-  for (const BatchRecord& batch : result.batches) {
+  for (const BatchRecord& batch : batches) {
     w.BeginObject();
     w.KV("id", batch.id);
     w.KV("class", batch.batch_class);
+    w.KV("device", static_cast<int64_t>(batch.device));
     w.KV("size", batch.size);
     w.KV("dispatch_us", batch.dispatch_us);
     w.KV("service_us", batch.completion_us - batch.dispatch_us);
@@ -114,12 +125,89 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
     w.EndObject();
   }
   w.EndArray();
+}
 
+void WriteDeviceMetrics(JsonWriter& w, const trace::MetricsRegistry* registry) {
   if (registry != nullptr) {
     w.Key("device_metrics");
     w.RawValue(registry->SnapshotJson());
   }
+}
 
+}  // namespace
+
+std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
+                            const ServeReportContext& context,
+                            const trace::MetricsRegistry* registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("serve_report", 1);
+  WriteContext(w, context);
+  WriteArrival(w, arrival);
+  WriteConfig(w, result.config);
+  WriteSummary(w, result.summary);
+  WriteRequests(w, result.requests);
+  WriteBatches(w, result.batches);
+  WriteDeviceMetrics(w, registry);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string FleetReportJson(const FleetResult& result, const TraceConfig& arrival,
+                            const ServeReportContext& context,
+                            const trace::MetricsRegistry* registry) {
+  const FleetSummary& fs = result.summary;
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("serve_report", 1);
+  WriteContext(w, context);
+  WriteArrival(w, arrival);
+  WriteConfig(w, result.config.scheduler);
+  WriteSummary(w, fs.fleet);
+  WriteRequests(w, result.requests);
+  WriteBatches(w, result.batches);
+
+  w.Key("fleet");
+  w.BeginObject();
+  w.KV("routing", RoutingPolicyName(result.config.routing));
+  w.KV("num_devices", static_cast<int64_t>(fs.devices.size()));
+  w.KV("plan_hit_rate_min", fs.plan_hit_rate_min);
+  w.KV("plan_hit_rate_max", fs.plan_hit_rate_max);
+  w.KV("plan_hit_asymmetry", fs.plan_hit_asymmetry);
+  w.Key("devices");
+  w.BeginArray();
+  for (const DeviceSummary& dev : fs.devices) {
+    w.BeginObject();
+    w.KV("device", static_cast<int64_t>(dev.device));
+    w.KV("name", dev.name);
+    w.KV("plan_hits", static_cast<int64_t>(dev.plan_hits));
+    w.KV("plan_misses", static_cast<int64_t>(dev.plan_misses));
+    w.KV("plan_hit_rate", dev.plan_hit_rate);
+    w.KV("pool_reuses", static_cast<int64_t>(dev.pool_reuses));
+    w.KV("pool_allocations", static_cast<int64_t>(dev.pool_allocations));
+    w.Key("summary");
+    w.BeginObject();
+    WriteSummaryFields(w, dev.summary);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("tiers");
+  w.BeginArray();
+  for (const TierSummary& tier : fs.tiers) {
+    w.BeginObject();
+    w.KV("priority", static_cast<int64_t>(tier.priority));
+    w.KV("offered", tier.offered);
+    w.KV("completed", tier.completed);
+    w.KV("shed", tier.shed);
+    w.KV("latency_p50_us", tier.latency_p50_us);
+    w.KV("latency_p99_us", tier.latency_p99_us);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  WriteDeviceMetrics(w, registry);
   w.EndObject();
   return w.TakeString();
 }

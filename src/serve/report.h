@@ -7,22 +7,29 @@
 //    "config":   {"policy":.., "queue_capacity":.., "max_batch_size":..,
 //                 "max_queue_delay_us":.., "slo_us":..},
 //    "summary":  {<every ServeSummary field>},
-//    "requests": [{"id":..,"arrival_us":..,"shed":..,"warm":..,"batch":..,
-//                  "queue_us":..,"service_us":..,"latency_us":..,
+//    "requests": [{"id":..,"arrival_us":..,"device":..,"shed":..,"warm":..,
+//                  "batch":..,"queue_us":..,"service_us":..,"latency_us":..,
 //                  "points":..}, ...],
-//    "batches":  [{"id":..,"class":..,"size":..,"dispatch_us":..,
+//    "batches":  [{"id":..,"class":..,"device":..,"size":..,"dispatch_us":..,
 //                  "service_us":..,"overlap":..}, ...],
+//    "fleet":    {"routing":.., "plan_hit_asymmetry":..,                (fleet
+//                 "devices":[{"device":..,"name":..,"plan_hits":..,     runs
+//                             "summary":{..}}, ...],                    only)
+//                 "tiers":[{"priority":..,"offered":..,...}, ...]},
 //    "device_metrics": {<MetricsRegistry snapshot>}}        (optional)
 //
-// Everything is simulated/serving-clock time — no host wall-clock leaks in,
-// so two runs of the same config produce byte-identical reports (given
-// DeviceConfig::deterministic_addressing).
+// Fleet runs keep the same top-level version key and the same aggregate
+// "summary", so minuet_prof's serve-report loader reads either kind; the
+// "fleet" section is additive. Everything is simulated/serving-clock time —
+// no host wall-clock leaks in, so two runs of the same config produce
+// byte-identical reports (given DeviceConfig::deterministic_addressing).
 #ifndef SRC_SERVE_REPORT_H_
 #define SRC_SERVE_REPORT_H_
 
 #include <string>
 
 #include "src/serve/arrival.h"
+#include "src/serve/fleet.h"
 #include "src/serve/scheduler.h"
 
 namespace minuet {
@@ -33,7 +40,9 @@ class MetricsRegistry;
 
 namespace serve {
 
-// Identity of the deployment the report describes.
+// Identity of the deployment the report describes. For a fleet report,
+// `device` names the pool (e.g. "rtx3090,a100"); per-replica device names
+// live in the fleet section.
 struct ServeReportContext {
   std::string device;     // DeviceConfig name
   std::string network;    // Network name
@@ -45,6 +54,12 @@ struct ServeReportContext {
 // snapshot is embedded verbatim so one file carries both the serving view and
 // the per-kernel device view.
 std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
+                            const ServeReportContext& context,
+                            const trace::MetricsRegistry* registry);
+
+// The fleet flavour: same envelope plus the "fleet" section (routing policy,
+// per-device summaries and cache stats, per-priority tiers, hit asymmetry).
+std::string FleetReportJson(const FleetResult& result, const TraceConfig& arrival,
                             const ServeReportContext& context,
                             const trace::MetricsRegistry* registry);
 

@@ -45,6 +45,7 @@ struct RequestRecord {
   Request request;
   bool shed = false;
   bool warm = false;         // served from a cached ExecutionPlan
+  int device = 0;            // fleet replica that served (or shed) the request
   int64_t batch_id = -1;
   double dispatch_us = 0.0;
   double completion_us = 0.0;
@@ -60,6 +61,7 @@ struct RequestRecord {
 struct BatchRecord {
   int64_t id = 0;
   int batch_class = 0;
+  int device = 0;  // fleet replica the batch ran on
   int64_t size = 0;
   double dispatch_us = 0.0;
   double completion_us = 0.0;

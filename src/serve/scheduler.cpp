@@ -1,14 +1,11 @@
 #include "src/serve/scheduler.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <numeric>
-#include <queue>
-#include <string>
+#include <utility>
 
+#include "src/serve/fleet.h"
 #include "src/trace/metrics.h"
-#include "src/trace/trace.h"
 #include "src/util/check.h"
 #include "src/util/summary.h"
 
@@ -17,22 +14,10 @@ namespace serve {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-double Exponential(Pcg32& rng, double mean) {
-  return -std::log(1.0 - rng.NextDouble()) * mean;
-}
-
-// Min-heap order over pending arrivals: earliest first, ids break ties.
-struct ArrivalAfter {
-  bool operator()(const Request& a, const Request& b) const {
-    return a.arrival_us != b.arrival_us ? a.arrival_us > b.arrival_us : a.id > b.id;
-  }
-};
-
-double CyclesToUs(const DeviceConfig& config, double cycles) {
-  return config.CyclesToMillis(cycles) * 1000.0;
-}
+// Every rate/ratio in the summary goes through this so degenerate runs (all
+// shed, empty trace, zero duration) report 0 instead of NaN/Inf — JsonWriter
+// would otherwise decay them to null in reports.
+double SafeDiv(double num, double den) { return den != 0.0 ? num / den : 0.0; }
 
 }  // namespace
 
@@ -92,226 +77,36 @@ double BatchServiceCycles(const std::vector<double>& request_cycles, int stream_
   return std::max(critical, serial / ways);
 }
 
-ServeScheduler::ServeScheduler(Engine& engine, const SchedulerConfig& config)
-    : engine_(&engine), config_(config), session_(engine) {
-  MINUET_CHECK_GE(config.queue_capacity, 0);
-  MINUET_CHECK_GE(config.max_batch_size, 1);
-  MINUET_CHECK_GE(config.max_queue_delay_us, 0.0);
+ServeScheduler::ServeScheduler(Engine& engine, const SchedulerConfig& config) : config_(config) {
+  FleetConfig fleet_config;
+  fleet_config.scheduler = config;
+  fleet_config.routing = RoutingPolicy::kLeastLoaded;  // degenerate with one replica
+  fleet_ = std::make_unique<FleetScheduler>(std::vector<Engine*>{&engine}, fleet_config);
 }
 
-const PointCloud& ServeScheduler::CloudFor(const Request& request) {
-  const auto key = std::make_tuple(static_cast<int>(request.dataset), request.points,
-                                   request.cloud_seed);
-  auto it = clouds_.find(key);
-  if (it == clouds_.end()) {
-    GeneratorConfig gen;
-    gen.target_points = request.points;
-    gen.channels = engine_->network().in_channels;
-    gen.seed = request.cloud_seed;
-    it = clouds_.emplace(key, GenerateCloud(request.dataset, gen)).first;
-  }
-  return it->second;
+ServeScheduler::~ServeScheduler() = default;
+
+RunSession& ServeScheduler::session() { return fleet_->replica(0).session(); }
+
+namespace {
+
+ServeResult ToServeResult(FleetResult fleet, const SchedulerConfig& config) {
+  ServeResult result;
+  result.config = config;
+  result.requests = std::move(fleet.requests);
+  result.batches = std::move(fleet.batches);
+  result.summary = fleet.summary.fleet;
+  return result;
 }
+
+}  // namespace
 
 ServeResult ServeScheduler::Run(std::vector<Request> trace) {
-  std::stable_sort(trace.begin(), trace.end(), [](const Request& a, const Request& b) {
-    return a.arrival_us != b.arrival_us ? a.arrival_us < b.arrival_us : a.id < b.id;
-  });
-  return RunLoop(std::move(trace), nullptr);
+  return ToServeResult(fleet_->Run(std::move(trace)), config_);
 }
 
 ServeResult ServeScheduler::Run(const TraceConfig& trace) {
-  if (trace.process != ArrivalProcess::kClosedLoop) {
-    return RunLoop(GenerateArrivalTrace(trace), nullptr);
-  }
-  return RunLoop({}, &trace);
-}
-
-ServeResult ServeScheduler::RunLoop(std::vector<Request> arrivals, const TraceConfig* closed) {
-  const DeviceConfig& device_config = engine_->device().config();
-  trace::Tracer* tracer = trace::Tracer::Get();
-
-  std::priority_queue<Request, std::vector<Request>, ArrivalAfter> pending(
-      ArrivalAfter{}, std::move(arrivals));
-
-  // Closed-loop client pool: seeded issue per client, re-issue on completion
-  // or shed after an exponential think time, until num_requests are out.
-  Pcg32 timing_rng(closed != nullptr ? closed->seed : 0, /*stream=*/0x5e73aa);
-  Pcg32 body_rng(closed != nullptr ? closed->seed : 0, /*stream=*/0x5e73bb);
-  RequestSampler sampler(closed != nullptr ? *closed : TraceConfig{});
-  int64_t issued = 0;
-  auto issue = [&](int client, double not_before_us) {
-    if (closed == nullptr || issued >= closed->num_requests) {
-      return;
-    }
-    const double arrival = not_before_us + Exponential(timing_rng, closed->think_time_us);
-    Request request = sampler.Sample(issued++, arrival, body_rng);
-    request.client = client;
-    pending.push(request);
-  };
-  if (closed != nullptr) {
-    MINUET_CHECK_GT(closed->num_clients, 0);
-    MINUET_CHECK_GT(closed->think_time_us, 0.0);
-    for (int client = 0; client < closed->num_clients; ++client) {
-      issue(client, 0.0);
-    }
-  }
-
-  std::vector<Pending> queue;  // admission order
-  std::vector<RequestRecord> records;
-  std::vector<BatchRecord> batches;
-  int64_t admit_counter = 0;
-
-  // In-flight batch (the server is a single executor; busy until flight_end).
-  bool busy = false;
-  double flight_end_us = 0.0;
-  std::vector<RequestRecord> flight;
-  double server_busy_us = 0.0;
-
-  double now_us = 0.0;
-  for (;;) {
-    const double completion_t = busy ? flight_end_us : kInf;
-    const double arrival_t = pending.empty() ? kInf : pending.top().arrival_us;
-
-    // Dispatch decision, only with the server idle and work queued: go now
-    // when the batch is full or nothing else can ever arrive; otherwise wait
-    // for the earliest batch member's max_queue_delay timer (or an earlier
-    // arrival, which re-evaluates everything).
-    double dispatch_t = kInf;
-    std::vector<size_t> batch_idx;
-    if (!busy && !queue.empty()) {
-      std::vector<QueueEntry> entries;
-      entries.reserve(queue.size());
-      for (const Pending& p : queue) {
-        entries.push_back({&p.request, p.admit_order});
-      }
-      batch_idx = PickBatch(entries, config_.policy, config_.max_batch_size);
-      if (static_cast<int64_t>(batch_idx.size()) >= config_.max_batch_size ||
-          arrival_t == kInf) {
-        dispatch_t = now_us;
-      } else {
-        double oldest_us = kInf;
-        for (size_t idx : batch_idx) {
-          oldest_us = std::min(oldest_us, queue[idx].request.arrival_us);
-        }
-        dispatch_t = std::max(now_us, oldest_us + config_.max_queue_delay_us);
-      }
-    }
-
-    const double t = std::min({completion_t, arrival_t, dispatch_t});
-    if (t == kInf) {
-      break;
-    }
-    now_us = t;
-
-    if (completion_t <= t) {
-      // 1. Batch completion: the whole batch finishes together.
-      busy = false;
-      batches.back().completion_us = now_us;
-      for (RequestRecord& record : flight) {
-        record.completion_us = now_us;
-        issue(record.request.client, now_us);
-        records.push_back(record);
-      }
-      flight.clear();
-      continue;
-    }
-
-    if (arrival_t <= t) {
-      // 2. Request arrival: admit or shed.
-      Request request = pending.top();
-      pending.pop();
-      if (static_cast<int64_t>(queue.size()) >= config_.queue_capacity) {
-        RequestRecord record;
-        record.request = request;
-        record.shed = true;
-        issue(request.client, now_us);
-        records.push_back(record);
-      } else {
-        queue.push_back({request, admit_counter++});
-      }
-      continue;
-    }
-
-    // 3. Dispatch: run the picked batch through the session, overlap the
-    // members on the stream pool, occupy the server until it completes.
-    MINUET_CHECK(!batch_idx.empty());
-    const int64_t batch_id = static_cast<int64_t>(batches.size());
-    int64_t span_id = -1;
-    if (tracer != nullptr) {
-      tracer->SetServeNow(now_us);
-      span_id = tracer->OpenSpan("serve/batch#" + std::to_string(batch_id), "serve");
-    }
-
-    std::vector<double> member_cycles;
-    member_cycles.reserve(batch_idx.size());
-    flight.clear();
-    for (size_t idx : batch_idx) {
-      const Pending& p = queue[idx];
-      const SessionStats before = session_.stats();
-      RunResult result = session_.Run(CloudFor(p.request));
-      const SessionStats after = session_.stats();
-
-      RequestRecord record;
-      record.request = p.request;
-      record.warm = after.warm_runs > before.warm_runs;
-      record.batch_id = batch_id;
-      record.dispatch_us = now_us;
-      record.service_cycles = result.total.TotalCycles();
-      member_cycles.push_back(record.service_cycles);
-      flight.push_back(record);
-    }
-
-    BatchRecord batch;
-    batch.id = batch_id;
-    batch.batch_class = flight.front().request.batch_class;
-    batch.size = static_cast<int64_t>(flight.size());
-    batch.dispatch_us = now_us;
-    batch.service_cycles =
-        BatchServiceCycles(member_cycles, engine_->config().stream_pool_size);
-    batch.serial_cycles = std::accumulate(member_cycles.begin(), member_cycles.end(), 0.0);
-
-    const double service_us = CyclesToUs(device_config, batch.service_cycles);
-    busy = true;
-    flight_end_us = now_us + service_us;
-    batch.completion_us = flight_end_us;  // provisional; rewritten on completion
-    server_busy_us += service_us;
-    batches.push_back(batch);
-
-    if (span_id >= 0) {
-      tracer->SetAttr(span_id, "batch_size", batch.size);
-      tracer->SetAttr(span_id, "batch_class", static_cast<int64_t>(batch.batch_class));
-      tracer->SetAttr(span_id, "service_cycles", batch.service_cycles);
-      tracer->SetAttr(span_id, "serial_cycles", batch.serial_cycles);
-      tracer->SetServeNow(flight_end_us);
-      tracer->CloseSpan(span_id);
-    }
-
-    // Remove dispatched entries (descending index order keeps indices valid).
-    std::vector<size_t> doomed = batch_idx;
-    std::sort(doomed.begin(), doomed.end());
-    for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
-      queue.erase(queue.begin() + static_cast<int64_t>(*it));
-    }
-  }
-
-  MINUET_CHECK(queue.empty());
-  MINUET_CHECK(!busy);
-
-  std::stable_sort(records.begin(), records.end(),
-                   [](const RequestRecord& a, const RequestRecord& b) {
-                     return a.request.id < b.request.id;
-                   });
-
-  ServeResult result;
-  result.config = config_;
-  result.requests = std::move(records);
-  result.batches = std::move(batches);
-  result.summary = Summarize(result.requests, result.batches, config_);
-  result.summary.server_busy_us = server_busy_us;
-  result.summary.utilization =
-      result.summary.duration_us > 0.0 ? server_busy_us / result.summary.duration_us : 0.0;
-  return result;
+  return ToServeResult(fleet_->Run(trace), config_);
 }
 
 ServeSummary Summarize(const std::vector<RequestRecord>& requests,
@@ -346,30 +141,30 @@ ServeSummary Summarize(const std::vector<RequestRecord>& requests,
   for (const BatchRecord& batch : batches) {
     s.server_busy_us += batch.completion_us - batch.dispatch_us;
   }
+  // All rates through SafeDiv: an all-shed trace has completions = 0 and can
+  // even have duration 0 (every arrival stamped t=0), and the summary must
+  // stay finite through JSON round-trips either way.
   const double duration_s = s.duration_us / 1e6;
-  if (duration_s > 0.0) {
-    s.offered_rps = static_cast<double>(s.offered) / duration_s;
-    s.throughput_rps = static_cast<double>(s.completed) / duration_s;
-    s.goodput_rps = static_cast<double>(within_slo) / duration_s;
-    s.utilization = s.server_busy_us / s.duration_us;
-  }
-  s.shed_rate = s.offered > 0 ? static_cast<double>(s.shed) / static_cast<double>(s.offered) : 0.0;
+  s.offered_rps = SafeDiv(static_cast<double>(s.offered), duration_s);
+  s.throughput_rps = SafeDiv(static_cast<double>(s.completed), duration_s);
+  s.goodput_rps = SafeDiv(static_cast<double>(within_slo), duration_s);
+  s.utilization = SafeDiv(s.server_busy_us, s.duration_us);
+  s.shed_rate = SafeDiv(static_cast<double>(s.shed), static_cast<double>(s.offered));
   s.slo_attainment =
-      s.completed > 0 ? static_cast<double>(within_slo) / static_cast<double>(s.completed) : 0.0;
-  s.mean_batch_size = s.num_batches > 0
-                          ? static_cast<double>(s.completed) / static_cast<double>(s.num_batches)
-                          : 0.0;
-  if (!latency_us.empty()) {
-    s.queue_p50_us = Percentile(queue_us, 50.0);
-    s.queue_p95_us = Percentile(queue_us, 95.0);
-    s.queue_p99_us = Percentile(queue_us, 99.0);
-    s.service_p50_us = Percentile(service_us, 50.0);
-    s.service_p95_us = Percentile(service_us, 95.0);
-    s.service_p99_us = Percentile(service_us, 99.0);
-    s.latency_p50_us = Percentile(latency_us, 50.0);
-    s.latency_p95_us = Percentile(latency_us, 95.0);
-    s.latency_p99_us = Percentile(latency_us, 99.0);
-  }
+      SafeDiv(static_cast<double>(within_slo), static_cast<double>(s.completed));
+  s.mean_batch_size =
+      SafeDiv(static_cast<double>(s.completed), static_cast<double>(s.num_batches));
+  // Percentile returns the kEmptyPercentile sentinel on empty populations, so
+  // the all-shed case needs no special-casing here.
+  s.queue_p50_us = Percentile(queue_us, 50.0);
+  s.queue_p95_us = Percentile(queue_us, 95.0);
+  s.queue_p99_us = Percentile(queue_us, 99.0);
+  s.service_p50_us = Percentile(service_us, 50.0);
+  s.service_p95_us = Percentile(service_us, 95.0);
+  s.service_p99_us = Percentile(service_us, 99.0);
+  s.latency_p50_us = Percentile(latency_us, 50.0);
+  s.latency_p95_us = Percentile(latency_us, 95.0);
+  s.latency_p99_us = Percentile(latency_us, 99.0);
   return s;
 }
 

@@ -16,7 +16,10 @@
 // the batch is full (max_batch_size), when the earliest candidate has waited
 // max_queue_delay_us, or when no further arrival can ever top the batch up —
 // the classic max-size / max-delay policy of batched inference servers
-// (TorchSparse++-style deployments, TF-Serving's batching layer).
+// (TorchSparse++-style deployments, TF-Serving's batching layer). A batch
+// whose delay timer has expired is frozen at the expiry instant: an arrival
+// stamped with the very same timestamp is sequenced after the timer and
+// waits for the next batch instead of riding the departing one.
 //
 // Execution: every request runs through the engine's RunSession, so repeated
 // shapes are served warm from the plan cache exactly as the serving path
@@ -33,12 +36,16 @@
 // seeded Pcg32 streams, and the engine should run on a device with
 // DeviceConfig::deterministic_addressing so service times do not inherit the
 // allocator's ASLR noise (see device_config.h).
+//
+// ServeScheduler is the single-device deployment. It is implemented as a
+// fleet of one: the event loop, router and accounting live in
+// src/serve/fleet.h, which generalises the same machinery to a heterogeneous
+// device pool.
 #ifndef SRC_SERVE_SCHEDULER_H_
 #define SRC_SERVE_SCHEDULER_H_
 
 #include <cstdint>
-#include <map>
-#include <tuple>
+#include <memory>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -53,6 +60,8 @@ class MetricsRegistry;
 
 namespace serve {
 
+class FleetScheduler;
+
 struct SchedulerConfig {
   AdmissionPolicy policy = AdmissionPolicy::kFifo;
   // Pending requests the admission queue holds; arrivals beyond it are shed.
@@ -62,10 +71,17 @@ struct SchedulerConfig {
   double max_queue_delay_us = 2000.0;  // partial-batch dispatch timer
   double slo_us = 50000.0;           // end-to-end target for goodput
   uint64_t seed = 1;                 // closed-loop client randomness
+  // Serving runs can outlive any reasonable per-launch trace: drain the
+  // device's launch-record vector every this many dispatched batches so a
+  // long run holds trace memory flat (kernel aggregates survive the drain).
+  // 0 disables draining — short diagnostic runs keep every launch record.
+  int64_t device_trace_drain_batches = 256;
 };
 
 // Aggregate accounting over one scheduler run. All times are serving-clock
-// microseconds; percentiles cover completed requests only.
+// microseconds; percentiles cover completed requests only. Degenerate runs
+// (nothing offered, everything shed, zero duration) report 0 for every rate
+// and percentile — never NaN/Inf, which JSON would decay to null.
 struct ServeSummary {
   int64_t offered = 0;
   int64_t admitted = 0;
@@ -114,9 +130,13 @@ double BatchServiceCycles(const std::vector<double>& request_cycles, int stream_
 // One scheduler bound to one engine. The engine must be Prepare()d; the
 // scheduler owns a RunSession over it, so consecutive Run() calls keep their
 // warm plans (a long-lived deployment), and stats accumulate in the session.
+//
+// A thin facade over a single-replica FleetScheduler — every behaviour here
+// is the fleet machinery with N = 1.
 class ServeScheduler {
  public:
   ServeScheduler(Engine& engine, const SchedulerConfig& config);
+  ~ServeScheduler();
 
   // Serves a pre-generated open-loop trace (sorted by arrival; see
   // GenerateArrivalTrace / ReadArrivalTraceFile).
@@ -128,23 +148,11 @@ class ServeScheduler {
   // completes or is shed, until num_requests have been issued).
   ServeResult Run(const TraceConfig& trace);
 
-  RunSession& session() { return session_; }
+  RunSession& session();
 
  private:
-  struct Pending {
-    Request request;
-    int64_t admit_order = 0;
-  };
-
-  ServeResult RunLoop(std::vector<Request> arrivals, const TraceConfig* closed);
-  const PointCloud& CloudFor(const Request& request);
-
-  Engine* engine_;
   SchedulerConfig config_;
-  RunSession session_;
-  // Clouds are pure functions of (dataset, points, seed); memoised so a
-  // thousand-request trace over a dozen shapes generates a dozen clouds.
-  std::map<std::tuple<int, int64_t, uint64_t>, PointCloud> clouds_;
+  std::unique_ptr<FleetScheduler> fleet_;
 };
 
 // Copies a run's serve counters and latency aggregates into `registry` under

@@ -1,5 +1,6 @@
 #include "src/trace/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/util/check.h"
@@ -47,6 +48,13 @@ void Tracer::SetAttr(int64_t id, std::string key, AttrValue value) {
   MINUET_CHECK_GE(id, 0);
   MINUET_CHECK_LT(id, static_cast<int64_t>(spans_.size()));
   spans_[static_cast<size_t>(id)].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::SetServeTrack(int64_t id, int track) {
+  MINUET_CHECK_GE(id, 0);
+  MINUET_CHECK_LT(id, static_cast<int64_t>(spans_.size()));
+  MINUET_CHECK_GE(track, 0);
+  spans_[static_cast<size_t>(id)].serve_track = track;
 }
 
 int64_t Tracer::CountCategory(const std::string& category) const {
@@ -127,15 +135,25 @@ std::string ChromeTraceJson(const Tracer& tracer) {
   w.BeginArray();
 
   // Track names: tid 0 = host wall-clock, tid 1 = simulated device time,
-  // tid 2 = serving clock (only when a serve span was traced).
+  // tid 2 = serving clock (only when a serve span was traced). Fleet runs
+  // put every replica's serve spans on its own track (tid 2 + serve_track):
+  // track 0 keeps the classic "serving clock" name, the rest are labelled by
+  // device id.
   WriteThreadName(w, 0, "host wall-clock");
   WriteThreadName(w, 1, "simulated device");
-  bool any_serve = false;
+  int max_serve_track = -1;
   for (const SpanRecord& span : tracer.spans()) {
-    any_serve = any_serve || IsServeSpan(span);
+    if (IsServeSpan(span)) {
+      max_serve_track = std::max(max_serve_track, span.serve_track);
+    }
   }
-  if (any_serve) {
-    WriteThreadName(w, 2, "serving clock");
+  for (int track = 0; track <= max_serve_track; ++track) {
+    if (track == 0) {
+      WriteThreadName(w, 2, "serving clock");
+    } else {
+      const std::string name = "serving clock dev" + std::to_string(track);
+      WriteThreadName(w, 2 + track, name.c_str());
+    }
   }
 
   const double host_now = tracer.HostNowUs();
@@ -151,7 +169,8 @@ std::string ChromeTraceJson(const Tracer& tracer) {
     WriteEvent(w, span, /*tid=*/0, span.host_begin_us, span.HostDurationUs());
     WriteEvent(w, span, /*tid=*/1, span.sim_begin_us, span.SimDurationUs());
     if (IsServeSpan(span)) {
-      WriteEvent(w, span, /*tid=*/2, span.serve_begin_us, span.ServeDurationUs());
+      WriteEvent(w, span, /*tid=*/2 + span.serve_track, span.serve_begin_us,
+                 span.ServeDurationUs());
     }
   }
   w.EndArray();

@@ -52,6 +52,10 @@ struct SpanRecord {
   // close while the serving clock stands still.
   double serve_begin_us = 0.0;
   double serve_end_us = 0.0;
+  // Which serving-clock track the span renders on: 0 is the classic single
+  // device, fleet schedulers give every replica its own track so per-device
+  // batch timelines don't overdraw each other (exported as tid 2 + track).
+  int serve_track = 0;
   bool closed = false;
   std::vector<std::pair<std::string, AttrValue>> attrs;
 
@@ -78,6 +82,11 @@ class Tracer {
   void CloseSpan(int64_t id);
 
   void SetAttr(int64_t id, std::string key, AttrValue value);
+
+  // Assigns a serve-category span to a per-device serving-clock track (see
+  // SpanRecord::serve_track). No-op semantics for non-serve spans: the field
+  // is recorded but only serve spans are exported on serving-clock tracks.
+  void SetServeTrack(int64_t id, int track);
 
   // Advances the simulated device clock; called by Device per kernel launch
   // while the kernel's span is open.

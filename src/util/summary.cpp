@@ -49,7 +49,9 @@ double MinValue(const std::vector<double>& values) {
 }
 
 double Percentile(std::vector<double> values, double p) {
-  MINUET_CHECK(!values.empty());
+  if (values.empty()) {
+    return kEmptyPercentile;
+  }
   MINUET_CHECK_GE(p, 0.0);
   MINUET_CHECK_LE(p, 100.0);
   std::sort(values.begin(), values.end());

@@ -18,6 +18,12 @@ double MinValue(const std::vector<double>& values);
 // p-th percentile (p in [0, 100]) with linear interpolation between order
 // statistics (the same convention as numpy.percentile's default). p=50
 // matches Median; p=0/100 match MinValue/MaxValue.
+//
+// An empty sample set returns kEmptyPercentile (0.0) instead of aborting:
+// all-shed serving runs legitimately produce empty latency populations, and
+// a report full of zeros round-trips through JSON where a NaN would decay to
+// null (JsonWriter spells non-finite doubles as null).
+inline constexpr double kEmptyPercentile = 0.0;
 double Percentile(std::vector<double> values, double p);
 
 // Fixed-bucket histogram over [lower, upper): `num_buckets` equal-width
@@ -39,8 +45,12 @@ class FixedHistogram {
   uint64_t underflow() const { return underflow_; }
   uint64_t overflow() const { return overflow_; }
   uint64_t total_count() const { return total_count_; }
+  bool empty() const { return total_count_ == 0; }
   double sum() const { return sum_; }
-  double min() const { return min_; }  // undefined when total_count() == 0
+  // min/max of the samples seen; the 0.0 sentinel when the histogram is
+  // empty (all-shed serving runs snapshot empty histograms — the accessors
+  // must stay finite so JSON snapshots never carry nulls).
+  double min() const { return min_; }
   double max() const { return max_; }
 
  private:

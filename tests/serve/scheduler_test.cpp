@@ -188,6 +188,47 @@ TEST_F(SchedulerTest, PartialBatchWaitsOutMaxQueueDelay) {
   EXPECT_EQ(result.summary.num_batches, 2);
 }
 
+TEST_F(SchedulerTest, ExpiredTimerBatchIsFrozenAgainstSameInstantArrivals) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.max_batch_size = 4;
+  config.max_queue_delay_us = 1000.0;
+  ServeScheduler scheduler(*engine, config);
+  // r0's delay timer expires at exactly t=1000 — the same instant r1 arrives.
+  // Event order at equal timestamps is completions, then arrivals, then
+  // dispatches: r1 is admitted before the dispatch fires, but the expired
+  // timer froze its batch at the firing instant, so r1 must NOT jump into the
+  // departing batch (it would retroactively ride a batch whose timer already
+  // ran out). The far-future r2 keeps batch-fill hope alive so neither r0 nor
+  // r1 dispatches early. Golden sequence: r0 alone at 1000, r1 later.
+  ServeResult result = scheduler.Run({Req(0, 0.0), Req(1, 1000.0), Req(2, 500000.0)});
+  ASSERT_EQ(result.requests.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.requests[0].dispatch_us, 1000.0);
+  ASSERT_GE(result.batches.size(), 2u);
+  EXPECT_EQ(result.batches[0].size, 1);
+  EXPECT_NE(result.requests[1].batch_id, result.requests[0].batch_id);
+  // r1 waits out its own timer (2000) or until the server frees up.
+  EXPECT_GE(result.requests[1].dispatch_us, 2000.0);
+  EXPECT_EQ(result.summary.completed, 3);
+}
+
+TEST_F(SchedulerTest, ZeroQueueDelayStillDispatchesSameInstantBatches) {
+  auto engine = NewEngine();
+  SchedulerConfig config;
+  config.max_batch_size = 4;
+  config.max_queue_delay_us = 0.0;  // timer expires the instant work queues
+  ServeScheduler scheduler(*engine, config);
+  // With zero delay the timer "fires" at the oldest arrival itself; the
+  // frozen-batch rule must fall back to the unfiltered queue (nothing arrived
+  // strictly before t=0), not dispatch an empty batch or stall forever.
+  ServeResult result = scheduler.Run({Req(0, 0.0), Req(1, 0.0)});
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.summary.completed, 2);
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].size, 2);
+  EXPECT_DOUBLE_EQ(result.batches[0].dispatch_us, 0.0);
+}
+
 TEST_F(SchedulerTest, FullBatchOverlapsOnTheStreamPool) {
   auto engine = NewEngine();
   SchedulerConfig config;

@@ -146,6 +146,29 @@ TEST(SummaryTest, PercentileInterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 37.0);
 }
 
+TEST(SummaryTest, PercentileOfEmptySampleIsSentinel) {
+  // All-shed serving runs produce empty latency populations; the percentile
+  // must come back as the finite sentinel, not abort or return NaN (which
+  // JsonWriter would decay to null in reports).
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), kEmptyPercentile);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.0), kEmptyPercentile);
+  EXPECT_DOUBLE_EQ(Percentile({}, 100.0), kEmptyPercentile);
+  EXPECT_TRUE(std::isfinite(Percentile({}, 99.0)));
+}
+
+TEST(FixedHistogramTest, EmptyHistogramStaysFinite) {
+  FixedHistogram hist(0.0, 100.0, 10);
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+  hist.Add(7.0);
+  EXPECT_FALSE(hist.empty());
+  EXPECT_DOUBLE_EQ(hist.min(), 7.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 7.0);
+}
+
 TEST(FixedHistogramTest, BucketPlacement) {
   FixedHistogram hist(0.0, 10.0, 5);  // width 2
   hist.Add(0.0);   // bucket 0 (inclusive lower edge)

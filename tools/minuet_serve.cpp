@@ -1,12 +1,18 @@
 // minuet_serve: serving-scheduler driver — replays or generates a request
-// arrival trace against one engine deployment and reports SLO accounting.
+// arrival trace against one engine deployment (or a heterogeneous pool of
+// them) and reports SLO accounting.
 //
 //   minuet_serve [--gpu 3090] [--network tiny] [--engine minuet]
+//                [--pool 3090,a100,2080ti] [--routing least-loaded]
 //                [--process poisson|mmpp|closed] [--rate RPS] [--requests N]
 //                [--policy fifo|sjf|priority] [--queue-capacity N]
 //                [--max-batch N] [--max-delay-us D] [--slo-us S] [--seed N]
 //                [--arrivals in.json] [--dump-arrivals out.json]
 //                [--json report.json] [--trace trace.json] [--metrics m.json]
+//
+// --pool serves the trace on an N-replica fleet (one engine per listed
+// device preset; --gpu is ignored) routed by --routing; the report gains a
+// "fleet" section and the Chrome trace one serving-clock track per replica.
 //
 // Everything downstream of the flags is deterministic: arrivals come from
 // seeded RNG streams, time is the virtual serving clock, and the device runs
@@ -17,13 +23,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/data/generators.h"
 #include "src/engine/engine.h"
 #include "src/gpusim/device_config.h"
 #include "src/serve/arrival.h"
+#include "src/serve/fleet.h"
 #include "src/serve/report.h"
 #include "src/serve/scheduler.h"
 #include "src/trace/metrics.h"
@@ -39,6 +48,8 @@ struct Options {
   std::string engine = "minuet";
   bool fp16 = false;
   bool autotune = false;
+  std::string pool;  // comma-separated gpu presets; non-empty = fleet mode
+  serve::RoutingPolicy routing = serve::RoutingPolicy::kLeastLoaded;
   serve::TraceConfig arrival;
   serve::SchedulerConfig scheduler;
   std::string arrivals_in;    // replay this trace file instead of generating
@@ -54,6 +65,8 @@ struct Options {
       "usage: minuet_serve [--gpu 2070s|2080ti|3090|a100] [--network unet42|resnet21|tiny]\n"
       "                    [--engine minuet|torchsparse|minkowski] [--precision fp32|fp16]\n"
       "                    [--autotune 0|1]\n"
+      "                    [--pool gpu[,gpu...]] "
+      "[--routing round-robin|least-loaded|affinity|sjf-spillover]\n"
       "                    [--process poisson|mmpp|closed] [--rate RPS] [--requests N]\n"
       "                    [--seed N] [--burst-mult M] [--base-dwell-us D]\n"
       "                    [--burst-dwell-us D] [--clients N] [--think-us D]\n"
@@ -62,6 +75,8 @@ struct Options {
       "                    [--arrivals in.json] [--dump-arrivals out.json]\n"
       "                    [--json report.json] [--trace trace.json] [--metrics m.json]\n"
       "\n"
+      "  --pool LIST           serve on a fleet of replicas (one per preset; see --routing)\n"
+      "  --routing POLICY      fleet router; default least-loaded\n"
       "  --arrivals FILE       replay a recorded arrival trace (overrides --process)\n"
       "  --dump-arrivals FILE  write the generated arrival trace and exit\n"
       "  --json FILE           serving report (summary, per-request records, batches,\n"
@@ -106,6 +121,12 @@ Options Parse(int argc, char** argv) {
       }
     } else if (arg == "--autotune") {
       opts.autotune = std::atoi(next().c_str()) != 0;
+    } else if (arg == "--pool") {
+      opts.pool = next();
+    } else if (arg == "--routing") {
+      if (!serve::ParseRoutingPolicy(next(), &opts.routing)) {
+        Usage();
+      }
     } else if (arg == "--process") {
       if (!serve::ParseArrivalProcess(next(), &opts.arrival.process)) {
         Usage();
@@ -202,8 +223,149 @@ EngineKind ParseEngine(const std::string& name) {
   Usage();
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) {
+      comma = list.size();
+    }
+    if (comma > begin) {
+      parts.push_back(list.substr(begin, comma - begin));
+    }
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+int FleetMain(Options opts) {
+  const std::vector<std::string> presets = SplitCommaList(opts.pool);
+  if (presets.empty()) {
+    std::fprintf(stderr, "--pool needs at least one device preset\n");
+    Usage();
+  }
+
+  Network net = ParseNetwork(opts.network);
+  EngineConfig config;
+  config.kind = ParseEngine(opts.engine);
+  config.precision = opts.fp16 ? Precision::kFp16 : Precision::kFp32;
+  config.functional = false;  // serving measures time; skip the arithmetic
+
+  std::vector<DeviceConfig> devices;
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<Engine*> engine_ptrs;
+  for (const std::string& preset : presets) {
+    DeviceConfig device = ParseGpu(preset);
+    device.deterministic_addressing = true;  // byte-stable fleet reports
+    devices.push_back(device);
+    engines.push_back(std::make_unique<Engine>(config, devices.back()));
+    engines.back()->Prepare(net, opts.arrival.seed);
+    if (opts.autotune && config.kind == EngineKind::kMinuet) {
+      GeneratorConfig gen;
+      gen.target_points = 2000;
+      gen.channels = net.in_channels;
+      gen.seed = opts.arrival.seed + 1;
+      PointCloud sample = GenerateCloud(DatasetKind::kRandom, gen);
+      engines.back()->Autotune(sample);
+    }
+    engine_ptrs.push_back(engines.back().get());
+  }
+
+  trace::Tracer tracer;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(&tracer);
+  }
+
+  serve::FleetConfig fleet_config;
+  fleet_config.routing = opts.routing;
+  fleet_config.scheduler = opts.scheduler;
+  serve::FleetScheduler fleet(engine_ptrs, fleet_config);
+  serve::FleetResult result;
+  if (!opts.arrivals_in.empty()) {
+    std::vector<serve::Request> trace;
+    std::string error;
+    if (!serve::ReadArrivalTraceFile(opts.arrivals_in, &trace, &error)) {
+      std::fprintf(stderr, "could not read %s: %s\n", opts.arrivals_in.c_str(), error.c_str());
+      return 1;
+    }
+    opts.arrival.num_requests = static_cast<int64_t>(trace.size());
+    result = fleet.Run(std::move(trace));
+  } else {
+    result = fleet.Run(opts.arrival);
+  }
+
+  trace::MetricsRegistry registry;
+  serve::PublishFleetMetrics(result, registry);
+  for (size_t k = 0; k < engines.size(); ++k) {
+    engines[k]->device().PublishMetrics(registry, "dev" + std::to_string(k));
+  }
+
+  bool ok = true;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(nullptr);
+    if (!WriteChromeTrace(tracer, opts.trace_json)) {
+      std::fprintf(stderr, "could not write trace to %s\n", opts.trace_json.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_json.empty() && !registry.WriteSnapshot(opts.metrics_json)) {
+    std::fprintf(stderr, "could not write metrics to %s\n", opts.metrics_json.c_str());
+    ok = false;
+  }
+  if (!opts.report_json.empty()) {
+    serve::ServeReportContext context;
+    context.device = opts.pool;
+    context.network = net.name;
+    context.engine = EngineKindName(config.kind);
+    context.precision = opts.fp16 ? "fp16" : "fp32";
+    std::string json = serve::FleetReportJson(result, opts.arrival, context, &registry);
+    if (!serve::WriteServeReport(json, opts.report_json)) {
+      std::fprintf(stderr, "could not write report to %s\n", opts.report_json.c_str());
+      ok = false;
+    }
+  }
+
+  const serve::ServeSummary& s = result.summary.fleet;
+  std::printf(
+      "fleet %s | %s | %s | %s | routing %s | policy %s, queue %lld, batch %lld, delay %.0f us\n",
+      opts.pool.c_str(), net.name.c_str(), EngineKindName(config.kind),
+      opts.fp16 ? "fp16" : "fp32", serve::RoutingPolicyName(result.config.routing),
+      serve::AdmissionPolicyName(opts.scheduler.policy),
+      static_cast<long long>(opts.scheduler.queue_capacity),
+      static_cast<long long>(opts.scheduler.max_batch_size),
+      opts.scheduler.max_queue_delay_us);
+  std::printf("offered %lld (%.0f rps) | completed %lld | shed %lld (%.1f%%) | "
+              "batches %lld (mean %.2f) | warm %lld\n",
+              static_cast<long long>(s.offered), s.offered_rps,
+              static_cast<long long>(s.completed), static_cast<long long>(s.shed),
+              100.0 * s.shed_rate, static_cast<long long>(s.num_batches), s.mean_batch_size,
+              static_cast<long long>(s.warm_requests));
+  std::printf("latency p50/p95/p99 %8.1f /%8.1f /%8.1f us | goodput %.1f rps "
+              "(SLO %.0f us, attainment %.1f%%) | utilization %.1f%%\n",
+              s.latency_p50_us, s.latency_p95_us, s.latency_p99_us, s.goodput_rps,
+              opts.scheduler.slo_us, 100.0 * s.slo_attainment, 100.0 * s.utilization);
+  for (const serve::DeviceSummary& dev : result.summary.devices) {
+    std::printf("  dev%d %-8s | completed %6lld | shed %5lld | batches %5lld | "
+                "plan hit %5.1f%% | util %5.1f%% | p99 %8.1f us\n",
+                dev.device, dev.name.c_str(), static_cast<long long>(dev.summary.completed),
+                static_cast<long long>(dev.summary.shed),
+                static_cast<long long>(dev.summary.num_batches), 100.0 * dev.plan_hit_rate,
+                100.0 * dev.summary.utilization, dev.summary.latency_p99_us);
+  }
+  std::printf("plan-cache hit asymmetry %.3f (min %.3f, max %.3f across %lld devices)\n",
+              result.summary.plan_hit_asymmetry, result.summary.plan_hit_rate_min,
+              result.summary.plan_hit_rate_max,
+              static_cast<long long>(result.summary.devices.size()));
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Options opts = Parse(argc, argv);
+
+  if (!opts.pool.empty() && opts.dump_arrivals.empty()) {
+    return FleetMain(std::move(opts));
+  }
 
   if (!opts.dump_arrivals.empty()) {
     std::vector<serve::Request> trace = serve::GenerateArrivalTrace(opts.arrival);
