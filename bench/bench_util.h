@@ -153,6 +153,24 @@ class JsonReport {
   std::vector<Fields> rows_;
 };
 
+// `--timeline=FILE` (or `--timeline FILE`): where a serving bench writes the
+// streaming-telemetry JSONL of its designated representative sweep cell
+// (telemetry is one-instance-per-run, so a sweep exports one cell, not all).
+// Empty when the flag is absent — telemetry stays detached and the bench is
+// byte-identical to a run without the flag.
+inline std::string TimelineFromArgs(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--timeline=", 0) == 0) {
+      path = arg.substr(11);
+    } else if (arg == "--timeline" && i + 1 < argc) {
+      path = argv[++i];
+    }
+  }
+  return path;
+}
+
 // Benches read their point-count scale from MINUET_BENCH_POINTS when set, so
 // the full suite can be re-run quickly at reduced scale.
 inline int64_t PointsFromEnv(int64_t default_points) {

@@ -5,19 +5,37 @@
 #
 # Runs fig03 + fig12 (both under --deterministic, so cache statistics do not
 # depend on allocator layout or ASLR) and the pinned-arrivals serve smokes —
-# single-device and a 2-replica heterogeneous fleet (deterministic addressing
-# is the serving default) — out of each build tree,
-# then diffs every JSON artifact after stripping host-clock data:
+# single-device, a 2-replica heterogeneous fleet, and an overloaded fleet with
+# streaming telemetry (deterministic addressing is the serving default) — out
+# of each build tree, then diffs every JSON artifact after stripping
+# host-clock data:
 #   - any object key containing "host" or "wall" (case-insensitive), the same
 #     exemption the perf baseline gate applies (see src/prof IsHostTimeKey);
 #   - Chrome-trace events on tid 0, the host wall-clock track.
 # Everything that remains — simulated cycles, cache hits/misses, queue/SLO
 # accounting, per-kernel aggregates — must match byte for byte.
 #
+# The telemetry sinks (overload_timeline.jsonl, overload_incident.json) carry
+# only simulated-clock data, so they byte-compare directly with cmp — no
+# filtering. They are a hard gate: a telemetry change that lets host state
+# leak into window contents or alert ordering fails here.
+#
 # With one argument the suite runs twice out of the same build, which catches
 # run-to-run nondeterminism (the serve-smoke CI check, extended to benches).
 # With two arguments it is the host-optimisation gate: a host-side change may
 # make the simulator faster, never change what it simulates.
+#
+# History: fig03/fig12 used to mismatch intermittently (~1 run in 3) in
+# TorchSparse-prefixed keys only. Root cause: deterministic_addressing
+# renumbers 16-byte granules by first touch, which is independent of address
+# *values* but not address *identity* — a fresh allocation landing on a
+# previously-munmap'd range inherits that range's granule ids. glibc serves
+# the TorchSparse path's multi-MB transient buffers (the K^3|Q| query array,
+# cuckoo slabs) via mmap, whose kernel placement shifts with ASLR, so whether
+# ranges were recycled differed per process. Fixed host-side: binaries that
+# byte-compare across processes call PinHostHeapForReplay() (mallopt
+# M_MMAP_MAX=0, src/gpusim/device_config.cpp) so every allocation replays
+# through the brk arena, whose reuse depends only on the request sequence.
 set -euo pipefail
 
 if [[ $# -lt 1 || $# -gt 2 ]]; then
@@ -49,6 +67,14 @@ run_suite() {
     --arrivals "$out/arrivals.json" --queue-capacity 16 --max-batch 4 \
     --json "$out/fleet.json" --trace "$out/fleet_trace.json" \
     --metrics "$out/fleet_metrics.json" > /dev/null
+  # Overloaded fleet with streaming telemetry: tight queues force shedding so
+  # burn-rate alerts fire and the flight recorder freezes an incident.
+  "$build/tools/minuet_serve" --process poisson --rate 20000 --requests 120 \
+    --seed 31 --dump-arrivals "$out/overload_arrivals.json" > /dev/null
+  "$build/tools/minuet_serve" --pool 3090,a100 --routing least-loaded \
+    --arrivals "$out/overload_arrivals.json" --queue-capacity 2 --max-batch 2 \
+    --json "$out/overload.json" --timeline "$out/overload_timeline.jsonl" \
+    --incident "$out/overload_incident.json" > /dev/null
 }
 
 echo "byte_compare: running suite from $BUILD_A"
@@ -83,9 +109,19 @@ with open(sys.argv[2], 'w') as f:
 PY
 
 STATUS=0
+# Telemetry sinks are pure simulated-clock data: compare raw bytes.
+for name in overload_timeline.jsonl overload_incident.json; do
+  if cmp -s "$WORK/a/$name" "$WORK/b/$name"; then
+    echo "byte_compare: $name OK"
+  else
+    echo "byte_compare: $name MISMATCH" >&2
+    diff -u "$WORK/a/$name" "$WORK/b/$name" | head -40 >&2 || true
+    STATUS=1
+  fi
+done
 for name in fig03.json fig03_metrics.json fig12.json fig12_metrics.json \
             serve.json serve_trace.json serve_metrics.json \
-            fleet.json fleet_trace.json fleet_metrics.json; do
+            fleet.json fleet_trace.json fleet_metrics.json overload.json; do
   python3 "$FILTER" "$WORK/a/$name" "$WORK/a/$name.filtered"
   python3 "$FILTER" "$WORK/b/$name" "$WORK/b/$name.filtered"
   if cmp -s "$WORK/a/$name.filtered" "$WORK/b/$name.filtered"; then

@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
   bench::PrintNote("point counts scaled ~5x down from the paper (1e5..5e6 -> 2e4..1e6)");
   report.Meta("device", std::string("RTX 3090"));
   if (deterministic) {
+    PinHostHeapForReplay();  // byte-compared across processes (byte_compare.sh)
     report.Meta("deterministic_addressing", static_cast<int64_t>(1));
   }
   trace::MetricsRegistry metrics;

@@ -171,6 +171,7 @@ int main(int argc, char** argv) {
   bench::PrintNote("100K-point clouds (MINUET_BENCH_POINTS overrides), timing-only mode;");
   bench::PrintNote("Minuet autotuned per layer beforehand (tuning excluded, as in the paper)");
   if (options.deterministic) {
+    PinHostHeapForReplay();  // byte-compared across processes (byte_compare.sh)
     report.Meta("deterministic_addressing", static_cast<int64_t>(1));
   }
   trace::MetricsRegistry metrics;

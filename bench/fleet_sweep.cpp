@@ -30,6 +30,7 @@
 #include "src/serve/arrival.h"
 #include "src/serve/fleet.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/telemetry.h"
 
 namespace minuet {
 namespace {
@@ -78,7 +79,12 @@ double CalibrateServiceUs(const Network& net, const DeviceConfig& device) {
   return mean_us;
 }
 
-void BenchPool(const Pool& pool, const Network& net, bench::JsonReport& report) {
+// `timeline_path`, when non-empty, selects this sweep's representative cell
+// (least-loaded routing at 3.0x load — deep overload, where shed and burn
+// signals are visible) for a streaming-telemetry export; the path is cleared
+// after the write so only the first pool exports.
+void BenchPool(const Pool& pool, const Network& net, bench::JsonReport& report,
+               std::string* timeline_path) {
   // Pool saturation = sum of per-replica saturation rates; load 1.0 offers
   // exactly what the whole pool can drain warm at batch 1.
   double pool_rate_rps = 0.0;
@@ -131,7 +137,24 @@ void BenchPool(const Pool& pool, const Network& net, bench::JsonReport& report) 
       arrival.rate_rps = pool_rate_rps * load;
       arrival.num_requests = kRequests;
       arrival.seed = 7;
+      std::unique_ptr<serve::ServeTelemetry> telemetry;
+      if (!timeline_path->empty() && policy == serve::RoutingPolicy::kLeastLoaded &&
+          load == 3.0) {
+        serve::TelemetryConfig tcfg;
+        tcfg.interval_us = 2.0 * service_us;
+        tcfg.dump_on_alert = false;  // this bench exports a timeline, not incidents
+        telemetry = std::make_unique<serve::ServeTelemetry>(tcfg);
+        fleet.AttachTelemetry(telemetry.get());
+      }
       serve::FleetResult result = fleet.Run(arrival);
+      if (telemetry != nullptr) {
+        fleet.AttachTelemetry(nullptr);
+        if (telemetry->series().WriteTimeline(*timeline_path)) {
+          std::printf("timeline (%s %s load=%.1fx) written to %s\n", pool.label.c_str(),
+                      serve::RoutingPolicyName(policy), load, timeline_path->c_str());
+        }
+        timeline_path->clear();
+      }
       const serve::ServeSummary& s = result.summary.fleet;
 
       bench::Row("%-22s %-13s %5.1fx %9.0f %7.1f%% %10.1f %9.0f %7.1f%% %7.3f",
@@ -186,8 +209,9 @@ int Main(int argc, char** argv) {
   bench::Row("%-22s %-13s %6s %9s %8s %10s %9s %8s %7s", "pool", "routing", "load", "rps",
              "shed", "p99(us)", "goodput", "util", "asym");
   bench::Rule();
+  std::string timeline_path = bench::TimelineFromArgs(argc, argv);
   for (const Pool& pool : pools) {
-    BenchPool(pool, net, report);
+    BenchPool(pool, net, report, &timeline_path);
     bench::Rule();
   }
   return report.Write() ? 0 : 1;

@@ -18,6 +18,7 @@
 // heap-address recycling and their cycle-derived columns drift by well under
 // a percent; record_baseline.sh samples that drift into the gate's envelope.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "src/gpusim/device_config.h"
 #include "src/serve/arrival.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/telemetry.h"
 #include "src/util/summary.h"
 
 namespace minuet {
@@ -62,7 +64,12 @@ double CalibrateServiceUs(const Network& net, const DeviceConfig& device) {
   return mean_us;  // DefaultShapes weights sum to 1
 }
 
-void BenchDevice(const DeviceConfig& preset, const Network& net, bench::JsonReport& report) {
+// `timeline_path`, when non-empty, selects this sweep's representative cell
+// (max batch 4 at 2.0x load — deep enough into overload that shedding and
+// queue growth show up window by window) for a streaming-telemetry export;
+// the path is cleared after the write so only the first device exports.
+void BenchDevice(const DeviceConfig& preset, const Network& net, bench::JsonReport& report,
+                 std::string* timeline_path) {
   DeviceConfig device = preset;
   device.deterministic_addressing = true;
 
@@ -108,7 +115,26 @@ void BenchDevice(const DeviceConfig& preset, const Network& net, bench::JsonRepo
       arrival.rate_rps = base_rate_rps * load;
       arrival.num_requests = kRequests;
       arrival.seed = 7;
+      std::unique_ptr<serve::ServeTelemetry> telemetry;
+      if (!timeline_path->empty() && max_batch == 4 && load == 2.0) {
+        serve::TelemetryConfig tcfg;
+        // Scale the window to the deployment so the ~60-service-time run
+        // spans a few dozen windows instead of one or two.
+        tcfg.interval_us = 2.0 * service_us;
+        tcfg.dump_on_alert = false;  // this bench exports a timeline, not incidents
+        telemetry = std::make_unique<serve::ServeTelemetry>(tcfg);
+        scheduler.AttachTelemetry(telemetry.get());
+      }
       serve::ServeResult result = scheduler.Run(arrival);
+      if (telemetry != nullptr) {
+        scheduler.AttachTelemetry(nullptr);
+        if (telemetry->series().WriteTimeline(*timeline_path)) {
+          std::printf("timeline (%s batch=%lld load=%.1fx) written to %s\n",
+                      device.name.c_str(), static_cast<long long>(max_batch), load,
+                      timeline_path->c_str());
+        }
+        timeline_path->clear();
+      }
       const serve::ServeSummary& s = result.summary;
 
       bench::Row("%-10s %6lld %5.1fx %9.0f %7.1f%% %10.1f %10.1f %9.0f %7.1f%% %6.2f",
@@ -156,8 +182,9 @@ int Main(int argc, char** argv) {
   bench::Row("%-10s %6s %6s %9s %8s %10s %10s %9s %8s %6s", "device", "batch", "load", "rps",
              "shed", "p50(us)", "p99(us)", "goodput", "util", "mBatch");
   bench::Rule();
+  std::string timeline_path = bench::TimelineFromArgs(argc, argv);
   for (const DeviceConfig& preset : {MakeRtx3090(), MakeA100()}) {
-    BenchDevice(preset, net, report);
+    BenchDevice(preset, net, report, &timeline_path);
     bench::Rule();
   }
   return report.Write() ? 0 : 1;

@@ -79,6 +79,28 @@ DeviceConfig MakeA100();
 // is index 2.
 std::vector<DeviceConfig> AllDeviceConfigs();
 
+// Pins the host allocator so the heap replay deterministic_addressing depends
+// on is itself reproducible across processes. First-touch renumbering makes
+// line identity independent of address *values*, but not of address
+// *identity*: a new allocation that lands on a previously-freed range reuses
+// that range's granule ids (modelling a device allocator recycling a slab),
+// while a fresh range mints new ids. For arena (brk) memory glibc's reuse
+// decisions depend only on the request sequence, so they replay exactly — but
+// allocations above the mmap threshold are placed by the kernel, and whether
+// a later mmap lands back on an earlier munmap'd range shifts with ASLR.
+// Large transient buffers (multi-MB query arrays, hash-table slabs) cross
+// that threshold, which made ~1e-3 of simulated cache statistics flap across
+// otherwise identical --deterministic runs (observed on fig12's first
+// TorchSparse row; see bench/byte_compare.sh).
+//
+// Calling this before any such allocation routes every malloc through the
+// main arena (mallopt M_MMAP_MAX = 0), whose replay is address-independent.
+// Call it from binaries that byte-compare simulated statistics across
+// processes (benches under --deterministic, minuet_serve). No-op on
+// non-glibc platforms. Must be called before the allocations it is meant to
+// pin — ideally first thing in main().
+void PinHostHeapForReplay();
+
 }  // namespace minuet
 
 #endif  // SRC_GPUSIM_DEVICE_CONFIG_H_

@@ -1,0 +1,76 @@
+// Offline timeline rendering for minuet_prof: loads the JSONL artifacts
+// minuet_serve --timeline writes (src/trace/timeseries.h) back into memory,
+// renders per-window tables plus an ASCII sparkline per series, and diffs
+// two timelines window-by-window — the reader half of the streaming
+// telemetry layer.
+//
+// The in-memory model mirrors the JSONL schema, not the live registry:
+// distribution windows arrive as their exported rollup (count/sum/min/max/
+// p50/p95/p99), never as raw digest buckets, so a loaded timeline can be
+// rendered and diffed but not re-aggregated.
+#ifndef SRC_PROF_TIMELINE_H_
+#define SRC_PROF_TIMELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace prof {
+
+struct TimelineGauge {
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t samples = 0;
+};
+
+struct TimelineDist {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct TimelineWindow {
+  int64_t index = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::map<std::string, double> counters;
+  std::map<std::string, TimelineGauge> gauges;
+  std::map<std::string, TimelineDist> dists;
+};
+
+struct Timeline {
+  double interval_us = 0.0;
+  std::vector<TimelineWindow> windows;
+};
+
+// Parses an already-read JSONL document (header line + one window per line).
+bool LoadTimeline(const std::vector<JsonValue>& lines, Timeline* out, std::string* error);
+bool LoadTimelineFile(const std::string& path, Timeline* out, std::string* error);
+
+// Human-oriented rendering: a fleet-level per-window table followed by one
+// sparkline per series (counters by per-window value, gauges by per-window
+// max, distributions by per-window p99).
+std::string FormatTimeline(const Timeline& timeline);
+
+// Window-by-window comparison over the union of series. `differences` counts
+// every (window, series, field) cell that disagrees — 0 means the timelines
+// are semantically identical.
+struct TimelineDiff {
+  int64_t differences = 0;
+  std::string text;
+};
+TimelineDiff DiffTimelines(const Timeline& a, const Timeline& b);
+
+}  // namespace prof
+}  // namespace minuet
+
+#endif  // SRC_PROF_TIMELINE_H_

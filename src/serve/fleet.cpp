@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "src/serve/telemetry.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/check.h"
@@ -215,6 +216,9 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
   trace::Tracer* tracer = trace::Tracer::Get();
   const SchedulerConfig& cfg = config_.scheduler;
   const bool single = replicas_.size() == 1;
+  if (telemetry_ != nullptr) {
+    telemetry_->BeginRun(static_cast<int>(replicas_.size()), cfg);
+  }
 
   // Per-run replica state and session baselines: sessions persist across
   // Run() calls (warm redeploys), so per-run cache stats are deltas.
@@ -240,6 +244,9 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     if (closed == nullptr || issued >= closed->num_requests) {
       return;
     }
+    if (telemetry_ != nullptr && telemetry_->stop_requested()) {
+      return;  // draining: clients stop re-issuing
+    }
     const double arrival = not_before_us + Exponential(timing_rng, closed->think_time_us);
     Request request = sampler.Sample(issued++, arrival, body_rng);
     request.client = client;
@@ -257,7 +264,38 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
   std::vector<BatchRecord> batches;
 
   double now_us = 0.0;
+  bool drained = false;
   for (;;) {
+    // Cooperative stop (SIGINT via telemetry): shed everything not yet
+    // running — pending arrivals at their own timestamps (all >= now; they
+    // have not been processed), queued requests at `now` — and let in-flight
+    // batches complete, so the truncated run still satisfies every end-of-
+    // loop invariant and its report is well-formed.
+    if (!drained && telemetry_ != nullptr && telemetry_->stop_requested()) {
+      drained = true;
+      while (!pending.empty()) {
+        Request request = pending.top();
+        pending.pop();
+        RequestRecord record;
+        record.request = request;
+        record.shed = true;
+        record.device = 0;
+        telemetry_->OnShed(request.arrival_us, 0, request.id);
+        records.push_back(record);
+      }
+      for (auto& rp : replicas_) {
+        for (const Replica::Pending& p : rp->queue_) {
+          RequestRecord record;
+          record.request = p.request;
+          record.shed = true;
+          record.device = rp->id_;
+          telemetry_->OnShed(now_us, rp->id_, p.request.id);
+          records.push_back(record);
+        }
+        rp->queue_.clear();
+      }
+    }
+
     // 1. Earliest batch completion; equal timestamps resolve to the lowest
     // device id (one completion per loop iteration keeps the order total).
     double completion_t = kInf;
@@ -352,6 +390,12 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       break;
     }
     now_us = t;
+    if (telemetry_ != nullptr) {
+      // Close every telemetry window the clock just passed *before* the
+      // event at t is processed: the event belongs to the window containing
+      // t, and alerts from the closed windows sequence ahead of it.
+      telemetry_->AdvanceTo(now_us);
+    }
 
     if (completion_t <= t) {
       // 1. Batch completion: the whole batch finishes together.
@@ -360,6 +404,11 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       batches[static_cast<size_t>(replica.flight_batch_)].completion_us = now_us;
       for (RequestRecord& record : replica.flight_) {
         record.completion_us = now_us;
+        if (telemetry_ != nullptr) {
+          telemetry_->OnCompletion(now_us, completion_dev, record.request.id,
+                                   record.QueueUs(), record.LatencyUs(),
+                                   record.LatencyUs() <= cfg.slo_us);
+        }
         issue(record.request.client, now_us);
         records.push_back(record);
       }
@@ -391,11 +440,18 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
           }
         }
         record.device = blame;
+        if (telemetry_ != nullptr) {
+          telemetry_->OnShed(now_us, blame, request.id);
+        }
         issue(request.client, now_us);
         records.push_back(record);
       } else {
         Replica& replica = *replicas_[static_cast<size_t>(dev)];
         replica.queue_.push_back({request, replica.admit_counter_++});
+        if (telemetry_ != nullptr) {
+          telemetry_->OnArrival(now_us, dev, request.id,
+                                static_cast<int64_t>(replica.queue_.size()));
+        }
       }
       continue;
     }
@@ -421,6 +477,7 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     std::vector<double> member_cycles;
     member_cycles.reserve(dispatch_batch.size());
     replica.flight_.clear();
+    const SessionStats batch_stats_before = replica.session_.stats();
     for (size_t idx : dispatch_batch) {
       const Replica::Pending& p = replica.queue_[idx];
       const SessionStats before = replica.session_.stats();
@@ -471,6 +528,20 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     std::sort(doomed.begin(), doomed.end());
     for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
       replica.queue_.erase(replica.queue_.begin() + static_cast<int64_t>(*it));
+    }
+
+    if (telemetry_ != nullptr) {
+      int64_t warm = 0;
+      for (const RequestRecord& record : replica.flight_) {
+        warm += record.warm ? 1 : 0;
+      }
+      const SessionStats batch_stats_after = replica.session_.stats();
+      telemetry_->OnDispatch(
+          now_us, dispatch_dev, batch_id, batch.size, warm,
+          static_cast<int64_t>(batch_stats_after.plan.hits - batch_stats_before.plan.hits),
+          static_cast<int64_t>(batch_stats_after.plan.misses -
+                               batch_stats_before.plan.misses),
+          replica.flight_end_us_, static_cast<int64_t>(replica.queue_.size()));
     }
 
     // Long-lived serving loops must not accumulate the device's launch trace
@@ -532,6 +603,10 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
   result.requests = std::move(records);
   result.batches = std::move(batches);
   result.summary = SummarizeFleet(result.requests, result.batches, config_, devices);
+  if (telemetry_ != nullptr) {
+    telemetry_->Finish();
+    result.alerts = telemetry_->alerts();
+  }
   return result;
 }
 

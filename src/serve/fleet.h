@@ -48,6 +48,7 @@
 
 #include "src/engine/engine.h"
 #include "src/serve/arrival.h"
+#include "src/serve/health.h"
 #include "src/serve/request.h"
 #include "src/serve/scheduler.h"
 
@@ -58,6 +59,8 @@ class MetricsRegistry;
 }  // namespace trace
 
 namespace serve {
+
+class ServeTelemetry;
 
 enum class RoutingPolicy { kRoundRobin, kLeastLoaded, kAffinity, kSjfSpillover };
 
@@ -114,6 +117,10 @@ struct FleetResult {
   std::vector<RequestRecord> requests;  // ordered by request id
   std::vector<BatchRecord> batches;     // dispatch order (time, device id)
   FleetSummary summary;
+  // Burn-rate / health alert edges, in firing order (empty without an
+  // attached ServeTelemetry). Part of the deterministic event stream: the
+  // sequence is byte-identical across runs of one workload.
+  std::vector<AlertEvent> alerts;
 };
 
 // One replica of the fleet: an engine plus everything the scheduler keeps
@@ -180,6 +187,14 @@ class FleetScheduler {
   size_t num_replicas() const { return replicas_.size(); }
   Replica& replica(size_t i) { return *replicas_[i]; }
 
+  // Streams every loop event into `telemetry` for the next Run() call (one
+  // telemetry instance covers exactly one run; detach with nullptr). The
+  // telemetry object also carries the cooperative stop flag: when its
+  // stop_requested() goes high mid-run, the loop sheds all pending and
+  // queued requests, lets in-flight batches finish, and returns a complete,
+  // well-formed result for the truncated run.
+  void AttachTelemetry(ServeTelemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   FleetResult RunLoop(std::vector<Request> arrivals, const TraceConfig* closed);
   // Picks the replica for `request` under the routing policy, or -1 to shed
@@ -189,6 +204,7 @@ class FleetScheduler {
 
   FleetConfig config_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  ServeTelemetry* telemetry_ = nullptr;  // not owned; may be null
   int64_t round_robin_next_ = 0;
   // Shape -> owning replica for kAffinity (first-touch, stable thereafter).
   std::map<std::tuple<int, int64_t, uint64_t>, int> affinity_;

@@ -134,6 +134,26 @@ void WriteDeviceMetrics(JsonWriter& w, const trace::MetricsRegistry* registry) {
   }
 }
 
+// Alert edges from the run's telemetry (empty array without telemetry —
+// the section is always present so report consumers need no feature probe).
+void WriteAlerts(JsonWriter& w, const std::vector<AlertEvent>& alerts) {
+  int64_t firing = 0;
+  for (const AlertEvent& alert : alerts) {
+    firing += alert.firing ? 1 : 0;
+  }
+  w.Key("alerts");
+  w.BeginObject();
+  w.KV("count", static_cast<int64_t>(alerts.size()));
+  w.KV("firing", firing);
+  w.Key("events");
+  w.BeginArray();
+  for (const AlertEvent& alert : alerts) {
+    w.RawValue(AlertJson(alert));
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
 }  // namespace
 
 std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
@@ -148,6 +168,7 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
   WriteSummary(w, result.summary);
   WriteRequests(w, result.requests);
   WriteBatches(w, result.batches);
+  WriteAlerts(w, result.alerts);
   WriteDeviceMetrics(w, registry);
   w.EndObject();
   return w.TakeString();
@@ -166,6 +187,7 @@ std::string FleetReportJson(const FleetResult& result, const TraceConfig& arriva
   WriteSummary(w, fs.fleet);
   WriteRequests(w, result.requests);
   WriteBatches(w, result.batches);
+  WriteAlerts(w, result.alerts);
 
   w.Key("fleet");
   w.BeginObject();

@@ -88,6 +88,10 @@ ServeScheduler::~ServeScheduler() = default;
 
 RunSession& ServeScheduler::session() { return fleet_->replica(0).session(); }
 
+void ServeScheduler::AttachTelemetry(ServeTelemetry* telemetry) {
+  fleet_->AttachTelemetry(telemetry);
+}
+
 namespace {
 
 ServeResult ToServeResult(FleetResult fleet, const SchedulerConfig& config) {
@@ -96,6 +100,7 @@ ServeResult ToServeResult(FleetResult fleet, const SchedulerConfig& config) {
   result.requests = std::move(fleet.requests);
   result.batches = std::move(fleet.batches);
   result.summary = fleet.summary.fleet;
+  result.alerts = std::move(fleet.alerts);
   return result;
 }
 

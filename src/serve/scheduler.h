@@ -50,6 +50,7 @@
 
 #include "src/engine/engine.h"
 #include "src/serve/arrival.h"
+#include "src/serve/health.h"
 #include "src/serve/request.h"
 
 namespace minuet {
@@ -61,6 +62,7 @@ class MetricsRegistry;
 namespace serve {
 
 class FleetScheduler;
+class ServeTelemetry;
 
 struct SchedulerConfig {
   AdmissionPolicy policy = AdmissionPolicy::kFifo;
@@ -108,6 +110,8 @@ struct ServeResult {
   std::vector<RequestRecord> requests;  // ordered by request id
   std::vector<BatchRecord> batches;     // in dispatch order
   ServeSummary summary;
+  // Alert edges in firing order (empty without attached telemetry).
+  std::vector<AlertEvent> alerts;
 };
 
 ServeSummary Summarize(const std::vector<RequestRecord>& requests,
@@ -149,6 +153,10 @@ class ServeScheduler {
   ServeResult Run(const TraceConfig& trace);
 
   RunSession& session();
+
+  // Streams loop events into `telemetry` for the next Run() (see
+  // FleetScheduler::AttachTelemetry).
+  void AttachTelemetry(ServeTelemetry* telemetry);
 
  private:
   SchedulerConfig config_;

@@ -379,4 +379,61 @@ bool ReadJsonFile(const std::string& path, JsonValue* out, std::string* error) {
   return true;
 }
 
+bool ParseJsonLines(std::string_view text, std::vector<JsonValue>* out, std::string* error) {
+  out->clear();
+  size_t line_no = 0;
+  while (!text.empty()) {
+    size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view{} : text.substr(newline + 1);
+    ++line_no;
+    // Tolerate blank lines (a trailing newline is the normal JSONL ending).
+    size_t content = line.find_first_not_of(" \t\r");
+    if (content == std::string_view::npos) {
+      continue;
+    }
+    JsonValue value;
+    if (!ParseJson(line, &value, error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + *error;
+      }
+      return false;
+    }
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+bool ReadJsonLinesFile(const std::string& path, std::vector<JsonValue>* out,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "could not open " + path;
+    }
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) {
+      *error = "could not read " + path;
+    }
+    return false;
+  }
+  if (!ParseJsonLines(text, out, error)) {
+    if (error != nullptr) {
+      *error = path + ": " + *error;
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace minuet

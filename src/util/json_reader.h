@@ -80,6 +80,14 @@ bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullp
 // Reads and parses a whole file. False on I/O or parse failure.
 bool ReadJsonFile(const std::string& path, JsonValue* out, std::string* error = nullptr);
 
+// JSONL: one JSON value per line, blank lines skipped. Used for the timeline
+// artifacts written by minuet_serve --timeline (src/trace/timeseries). Errors
+// carry the 1-based line number of the offending line.
+bool ParseJsonLines(std::string_view text, std::vector<JsonValue>* out,
+                    std::string* error = nullptr);
+bool ReadJsonLinesFile(const std::string& path, std::vector<JsonValue>* out,
+                       std::string* error = nullptr);
+
 }  // namespace minuet
 
 #endif  // SRC_UTIL_JSON_READER_H_

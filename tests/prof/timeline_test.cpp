@@ -1,0 +1,92 @@
+// minuet_prof's timeline reader/renderer/differ over hand-built JSONL: header
+// validation, window parsing, sparkline rendering, and cell-level diffing.
+#include "src/prof/timeline.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace prof {
+namespace {
+
+const char kTimeline[] =
+    R"({"timeline":1,"interval_us":1000,"windows":2}
+{"window":0,"start_us":0,"end_us":1000,"counters":{"fleet/completed":3,"fleet/offered":4,"fleet/shed":1},"gauges":{"dev0/queue_depth":{"last":2,"min":1,"max":3,"samples":4}},"dists":{"fleet/latency_us":{"count":3,"sum":900,"min":200,"max":400,"p50":300,"p95":390,"p99":398}}}
+{"window":1,"start_us":1000,"end_us":2000,"counters":{"fleet/completed":5,"fleet/offered":5}}
+)";
+
+Timeline Load(const std::string& text) {
+  std::vector<JsonValue> lines;
+  std::string error;
+  EXPECT_TRUE(ParseJsonLines(text, &lines, &error)) << error;
+  Timeline timeline;
+  EXPECT_TRUE(LoadTimeline(lines, &timeline, &error)) << error;
+  return timeline;
+}
+
+TEST(TimelineTest, LoadsHeaderWindowsAndSeries) {
+  Timeline timeline = Load(kTimeline);
+  EXPECT_DOUBLE_EQ(timeline.interval_us, 1000.0);
+  ASSERT_EQ(timeline.windows.size(), 2u);
+  EXPECT_EQ(timeline.windows[0].counters.at("fleet/completed"), 3.0);
+  EXPECT_EQ(timeline.windows[0].gauges.at("dev0/queue_depth").max, 3.0);
+  EXPECT_EQ(timeline.windows[0].dists.at("fleet/latency_us").p99, 398.0);
+  EXPECT_EQ(timeline.windows[1].index, 1);
+  EXPECT_EQ(timeline.windows[1].gauges.size(), 0u);
+}
+
+TEST(TimelineTest, RejectsNonTimelineDocuments) {
+  std::vector<JsonValue> lines;
+  std::string error;
+  ASSERT_TRUE(ParseJsonLines("{\"bench\":\"not-a-timeline\"}", &lines, &error));
+  Timeline timeline;
+  EXPECT_FALSE(LoadTimeline(lines, &timeline, &error));
+  EXPECT_NE(error.find("timeline"), std::string::npos);
+}
+
+TEST(TimelineTest, FormatRendersTableAndSparklines) {
+  const std::string text = FormatTimeline(Load(kTimeline));
+  EXPECT_NE(text.find("timeline: 2 windows x 1000 us"), std::string::npos);
+  // Table: the fleet columns with the prefix stripped, one row per window.
+  EXPECT_NE(text.find("completed"), std::string::npos);
+  EXPECT_NE(text.find("latency_p99"), std::string::npos);
+  // Sparklines: every series appears with its max annotated.
+  EXPECT_NE(text.find("fleet/shed"), std::string::npos);
+  EXPECT_NE(text.find("dev0/queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("fleet/latency_us"), std::string::npos);
+  EXPECT_NE(text.find("max 398"), std::string::npos);
+}
+
+TEST(TimelineTest, DiffIsZeroOnIdenticalTimelines) {
+  TimelineDiff diff = DiffTimelines(Load(kTimeline), Load(kTimeline));
+  EXPECT_EQ(diff.differences, 0);
+  EXPECT_NE(diff.text.find("timelines identical"), std::string::npos);
+}
+
+TEST(TimelineTest, DiffCountsEveryDisagreeingCell) {
+  Timeline a = Load(kTimeline);
+  Timeline b = Load(kTimeline);
+  b.windows[0].counters["fleet/completed"] = 7.0;
+  b.windows[1].counters.erase("fleet/offered");  // absent counts as 0
+  TimelineDiff diff = DiffTimelines(a, b);
+  EXPECT_EQ(diff.differences, 2);
+  EXPECT_NE(diff.text.find("fleet/completed 3 -> 7"), std::string::npos);
+  EXPECT_NE(diff.text.find("fleet/offered 5 -> 0"), std::string::npos);
+}
+
+TEST(TimelineTest, DiffFlagsWindowCountMismatch) {
+  Timeline a = Load(kTimeline);
+  Timeline b = Load(kTimeline);
+  b.windows.pop_back();
+  TimelineDiff diff = DiffTimelines(a, b);
+  EXPECT_GE(diff.differences, 1);
+  EXPECT_NE(diff.text.find("window count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace minuet

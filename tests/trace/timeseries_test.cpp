@@ -1,0 +1,213 @@
+// TimeSeriesRegistry: window placement and deterministic closing, dense
+// emission, future-window recording, the closed-window write CHECK, digest
+// quantiles/merging, and the JSONL export round-trip through json_reader.
+#include "src/trace/timeseries.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace trace {
+namespace {
+
+TEST(WindowDigestTest, EmptyDigestUsesZeroSentinels) {
+  WindowDigest digest;
+  EXPECT_EQ(digest.count(), 0u);
+  EXPECT_EQ(digest.sum(), 0.0);
+  EXPECT_EQ(digest.min(), 0.0);
+  EXPECT_EQ(digest.max(), 0.0);
+  EXPECT_EQ(digest.Quantile(0.5), 0.0);
+}
+
+TEST(WindowDigestTest, QuantilesStayInsideObservedRange) {
+  WindowDigest digest;
+  for (int i = 1; i <= 1000; ++i) {
+    digest.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(digest.count(), 1000u);
+  EXPECT_DOUBLE_EQ(digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 1000.0);
+  const double p50 = digest.Quantile(0.5);
+  const double p99 = digest.Quantile(0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_LE(p50, p99);
+  // Log-bucket interpolation: the median of 1..1000 lands near 500 (sub-bucket
+  // resolution is 1/8 of an octave, so within ~12.5%).
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.15);
+}
+
+TEST(WindowDigestTest, MergeEqualsUnionOfSamples) {
+  WindowDigest a, b, both;
+  for (int i = 0; i < 100; ++i) {
+    const double va = 10.0 + i;
+    const double vb = 500.0 + 3.0 * i;
+    a.Add(va);
+    b.Add(vb);
+    both.Add(va);
+    both.Add(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), both.Quantile(q));
+  }
+}
+
+TEST(WindowDigestTest, NegativeValuesClampIntoUnderflowBucket) {
+  WindowDigest digest;
+  digest.Add(-5.0);
+  digest.Add(0.5);
+  EXPECT_EQ(digest.count(), 2u);
+  // min()/max() report observed values even though both share the underflow
+  // bucket; quantiles clamp to that range.
+  EXPECT_DOUBLE_EQ(digest.min(), -5.0);
+  EXPECT_GE(digest.Quantile(0.0), -5.0);
+  EXPECT_LE(digest.Quantile(1.0), 0.5);
+}
+
+TEST(TimeSeriesTest, EventsLandInFloorWindowAndBoundaryOpensNext) {
+  TimeSeriesRegistry registry(100.0);
+  registry.Count("c", 0.0, 1.0);
+  registry.Count("c", 99.9, 1.0);
+  registry.Count("c", 100.0, 1.0);  // boundary: window 1, not window 0
+  auto [begin, end] = registry.AdvanceTo(200.0);
+  ASSERT_EQ(end - begin, 2u);
+  EXPECT_EQ(registry.closed()[0].CounterOr("c", -1.0), 2.0);
+  EXPECT_EQ(registry.closed()[1].CounterOr("c", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(registry.closed()[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(registry.closed()[0].end_us, 100.0);
+  EXPECT_DOUBLE_EQ(registry.closed()[1].start_us, 100.0);
+}
+
+TEST(TimeSeriesTest, EmptyWindowsEmitDensely) {
+  TimeSeriesRegistry registry(50.0);
+  registry.Count("c", 10.0, 1.0);
+  registry.Count("c", 260.0, 1.0);  // window 5; windows 1..4 are empty
+  registry.Flush();
+  ASSERT_EQ(registry.closed().size(), 6u);
+  for (size_t i = 0; i < registry.closed().size(); ++i) {
+    EXPECT_EQ(registry.closed()[i].index, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(registry.closed()[3].counters.size(), 0u);
+  EXPECT_EQ(registry.closed()[5].CounterOr("c", 0.0), 1.0);
+}
+
+TEST(TimeSeriesTest, FutureWindowRecordingSurvivesIntermediateCloses) {
+  // The serving scheduler attributes a batch's busy time into windows it has
+  // not reached yet; those samples must surface when their window closes.
+  TimeSeriesRegistry registry(100.0);
+  registry.Count("busy", 50.0, 25.0);
+  registry.Count("busy", 150.0, 100.0);  // future: window 1
+  registry.Count("busy", 250.0, 30.0);   // future: window 2
+  auto [b0, e0] = registry.AdvanceTo(100.0);
+  EXPECT_EQ(e0 - b0, 1u);
+  EXPECT_EQ(registry.closed()[0].CounterOr("busy", 0.0), 25.0);
+  auto [b1, e1] = registry.AdvanceTo(300.0);
+  EXPECT_EQ(e1 - b1, 2u);
+  EXPECT_EQ(registry.closed()[1].CounterOr("busy", 0.0), 100.0);
+  EXPECT_EQ(registry.closed()[2].CounterOr("busy", 0.0), 30.0);
+}
+
+TEST(TimeSeriesTest, GaugeRollupTracksLastMinMaxSamples) {
+  TimeSeriesRegistry registry(1000.0);
+  registry.Sample("queue", 10.0, 4.0);
+  registry.Sample("queue", 20.0, 9.0);
+  registry.Sample("queue", 30.0, 2.0);
+  registry.Flush();
+  const GaugeWindow* gauge = registry.closed()[0].Gauge("queue");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->last, 2.0);
+  EXPECT_DOUBLE_EQ(gauge->min, 2.0);
+  EXPECT_DOUBLE_EQ(gauge->max, 9.0);
+  EXPECT_EQ(gauge->samples, 3);
+}
+
+TEST(TimeSeriesTest, WritingIntoClosedWindowDies) {
+  TimeSeriesRegistry registry(100.0);
+  registry.Count("c", 10.0, 1.0);
+  registry.AdvanceTo(100.0);
+  EXPECT_DEATH(registry.Count("c", 50.0, 1.0), "");
+  EXPECT_DEATH(registry.Sample("g", 99.0, 1.0), "");
+  EXPECT_DEATH(registry.Observe("d", 0.0, 1.0), "");
+}
+
+TEST(TimeSeriesTest, ClockMayNotMoveBackwards) {
+  TimeSeriesRegistry registry(100.0);
+  registry.AdvanceTo(500.0);
+  EXPECT_DEATH(registry.AdvanceTo(400.0), "");
+}
+
+TEST(TimeSeriesTest, CounterTotalsMatchWindowSums) {
+  TimeSeriesRegistry registry(100.0);
+  double expect = 0.0;
+  for (int i = 0; i < 37; ++i) {
+    registry.Count("c", 13.0 * i, 1.5);
+    expect += 1.5;
+  }
+  registry.Flush();
+  auto totals = registry.CounterTotals();
+  ASSERT_EQ(totals.count("c"), 1u);
+  EXPECT_DOUBLE_EQ(totals["c"], expect);
+}
+
+TEST(TimeSeriesTest, JsonlRoundTripsThroughJsonReader) {
+  TimeSeriesRegistry registry(250.0);
+  registry.Count("fleet/completed", 10.0, 3.0);
+  registry.Sample("dev0/queue_depth", 40.0, 7.0);
+  registry.Observe("fleet/latency_us", 260.0, 123.0);
+  registry.Observe("fleet/latency_us", 270.0, 456.0);
+  registry.Flush();
+
+  const std::string jsonl = registry.TimelineJsonl();
+  std::vector<JsonValue> lines;
+  std::string error;
+  ASSERT_TRUE(ParseJsonLines(jsonl, &lines, &error)) << error;
+  ASSERT_EQ(lines.size(), 1u + registry.closed().size());
+
+  const JsonValue* magic = lines[0].Find("timeline");
+  ASSERT_NE(magic, nullptr);
+  EXPECT_EQ(magic->AsDouble(), 1.0);
+  EXPECT_EQ(lines[0].Find("interval_us")->AsDouble(), 250.0);
+
+  const JsonValue& w0 = lines[1];
+  EXPECT_EQ(w0.Find("counters")->Find("fleet/completed")->AsDouble(), 3.0);
+  EXPECT_EQ(w0.Find("gauges")->Find("dev0/queue_depth")->Find("max")->AsDouble(), 7.0);
+  const JsonValue& w1 = lines[2];
+  const JsonValue* dist = w1.Find("dists")->Find("fleet/latency_us");
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->Find("count")->AsDouble(), 2.0);
+  EXPECT_EQ(dist->Find("sum")->AsDouble(), 579.0);
+}
+
+TEST(TimeSeriesTest, IdenticalFeedsProduceByteIdenticalJsonl) {
+  auto feed = [](TimeSeriesRegistry& registry) {
+    for (int i = 0; i < 200; ++i) {
+      const double t = 37.0 * i;
+      registry.Count("a", t, 1.0 + (i % 3));
+      registry.Sample("g", t, static_cast<double>(i % 11));
+      registry.Observe("d", t, 10.0 + (i % 17) * 5.0);
+      if (i % 10 == 9) {
+        registry.AdvanceTo(t);
+      }
+    }
+    registry.Flush();
+  };
+  TimeSeriesRegistry first(100.0), second(100.0);
+  feed(first);
+  feed(second);
+  EXPECT_EQ(first.TimelineJsonl(), second.TimelineJsonl());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace minuet

@@ -24,6 +24,12 @@
 //       when any metric escapes its envelope
 //       (noise * --noise-mult + max(|mean| * --rel-tol, --abs-tol)).
 //
+//   minuet_prof timeline RUN.jsonl [OTHER.jsonl]
+//       Renders a streaming-telemetry timeline (minuet_serve --timeline):
+//       per-window fleet table plus an ASCII sparkline per series. With two
+//       files, diffs them window-by-window instead and exits 1 on any
+//       difference.
+//
 // Bare forms: `minuet_prof RUN.json` = report, `minuet_prof A.json B.json`
 // = diff. Exit codes: 0 ok, 1 regression/violation, 2 usage or input error.
 #include <cstdio>
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "src/prof/profile.h"
+#include "src/prof/timeline.h"
 #include "src/util/json_reader.h"
 
 namespace {
@@ -48,6 +55,7 @@ int Usage() {
                "       minuet_prof make-baseline [--out FILE] REPORT.json...\n"
                "       minuet_prof check-baseline BASELINE.json REPORT.json...\n"
                "                   [--noise-mult K] [--rel-tol F] [--abs-tol A]\n"
+               "       minuet_prof timeline RUN.jsonl [OTHER.jsonl]\n"
                "       minuet_prof RUN.json            (report)\n"
                "       minuet_prof BEFORE.json AFTER.json   (diff)\n");
   return 2;
@@ -130,7 +138,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     } else if (args->command.empty() &&
                (arg == "report" || arg == "diff" || arg == "make-baseline" ||
-                arg == "check-baseline")) {
+                arg == "check-baseline" || arg == "timeline")) {
       args->command = arg;
     } else {
       args->files.push_back(arg);
@@ -268,6 +276,30 @@ int RunCheckBaseline(const Args& args) {
   return violations.empty() ? 0 : 1;
 }
 
+int RunTimeline(const Args& args) {
+  if (args.files.empty() || args.files.size() > 2) {
+    return Usage();
+  }
+  prof::Timeline first;
+  std::string error;
+  if (!prof::LoadTimelineFile(args.files[0], &first, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  if (args.files.size() == 1) {
+    std::fputs(prof::FormatTimeline(first).c_str(), stdout);
+    return 0;
+  }
+  prof::Timeline second;
+  if (!prof::LoadTimelineFile(args.files[1], &second, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s\n", error.c_str());
+    return 2;
+  }
+  prof::TimelineDiff diff = prof::DiffTimelines(first, second);
+  std::fputs(diff.text.c_str(), stdout);
+  return diff.differences == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,6 +318,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "check-baseline") {
     return RunCheckBaseline(args);
+  }
+  if (args.command == "timeline") {
+    return RunTimeline(args);
   }
   return Usage();
 }

@@ -20,6 +20,7 @@
 // across invocations of the same command line (output file names may differ;
 // enabling/disabling other sinks like --trace changes the host allocation
 // interleaving and with it the last ~0.1% of simulated cache behaviour).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,7 @@
 #include "src/serve/fleet.h"
 #include "src/serve/report.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/telemetry.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 #include "src/util/check.h"
@@ -57,7 +59,68 @@ struct Options {
   std::string report_json;
   std::string trace_json;
   std::string metrics_json;
+  std::string timeline_jsonl;  // streaming telemetry timeline (JSONL)
+  std::string incident_json;   // flight-recorder incident dump
+  double telemetry_interval_us = 10000.0;
+  double slo_target = 0.999;  // burn-rate error budget
 };
+
+// SIGINT requests a cooperative stop through the run's telemetry: the
+// scheduler drains (sheds waiting work, finishes in-flight batches) and
+// every report/timeline/incident sink still gets written. One relaxed
+// atomic store, so the handler is async-signal-safe.
+serve::ServeTelemetry* g_stop_target = nullptr;
+
+void HandleSigint(int) {
+  if (g_stop_target != nullptr) {
+    g_stop_target->RequestStop();
+  }
+}
+
+// Telemetry is active when any telemetry sink is requested.
+std::unique_ptr<serve::ServeTelemetry> MakeTelemetry(const Options& opts) {
+  if (opts.timeline_jsonl.empty() && opts.incident_json.empty()) {
+    return nullptr;
+  }
+  serve::TelemetryConfig config;
+  config.interval_us = opts.telemetry_interval_us;
+  config.health.slo_target = opts.slo_target;
+  auto telemetry = std::make_unique<serve::ServeTelemetry>(config);
+  g_stop_target = telemetry.get();
+  std::signal(SIGINT, HandleSigint);
+  return telemetry;
+}
+
+// Writes the timeline and incident sinks and prints the alert tally.
+bool WriteTelemetrySinks(const Options& opts, const serve::ServeTelemetry& telemetry) {
+  bool ok = true;
+  if (!opts.timeline_jsonl.empty() &&
+      !telemetry.series().WriteTimeline(opts.timeline_jsonl)) {
+    std::fprintf(stderr, "could not write timeline to %s\n", opts.timeline_jsonl.c_str());
+    ok = false;
+  }
+  if (!opts.incident_json.empty()) {
+    // Prefer the incident frozen at the first firing alert; fall back to a
+    // synthetic end-of-run (or SIGINT) capture so the flag always delivers.
+    std::string incident = telemetry.incident_json();
+    if (incident.empty()) {
+      incident = telemetry.CaptureIncident(telemetry.stop_requested() ? "sigint" : "run_end");
+    }
+    if (!serve::WriteServeReport(incident, opts.incident_json)) {
+      std::fprintf(stderr, "could not write incident to %s\n", opts.incident_json.c_str());
+      ok = false;
+    }
+  }
+  int64_t firing = 0;
+  for (const serve::AlertEvent& alert : telemetry.alerts()) {
+    firing += alert.firing ? 1 : 0;
+  }
+  std::printf("telemetry: %zu windows (%.0f us each) | alerts %zu (%lld firing)%s\n",
+              telemetry.series().closed().size(), telemetry.config().interval_us,
+              telemetry.alerts().size(), static_cast<long long>(firing),
+              telemetry.stop_requested() ? " | interrupted (drained)" : "");
+  return ok;
+}
 
 [[noreturn]] void Usage() {
   std::fprintf(
@@ -74,6 +137,8 @@ struct Options {
       "                    [--max-batch N] [--max-delay-us D] [--slo-us S]\n"
       "                    [--arrivals in.json] [--dump-arrivals out.json]\n"
       "                    [--json report.json] [--trace trace.json] [--metrics m.json]\n"
+      "                    [--timeline out.jsonl] [--incident out.json]\n"
+      "                    [--telemetry-interval-us W] [--slo-target F]\n"
       "\n"
       "  --pool LIST           serve on a fleet of replicas (one per preset; see --routing)\n"
       "  --routing POLICY      fleet router; default least-loaded\n"
@@ -82,7 +147,12 @@ struct Options {
       "  --json FILE           serving report (summary, per-request records, batches,\n"
       "                        embedded device metrics) — deterministic, diffable\n"
       "  --trace FILE          Chrome trace with the serving-clock track (tid 2)\n"
-      "  --metrics FILE        metrics-registry snapshot (serve/* + device kernels)\n");
+      "  --metrics FILE        metrics-registry snapshot (serve/* + device kernels)\n"
+      "  --timeline FILE       streaming telemetry timeline, one JSON window per line\n"
+      "  --incident FILE       flight-recorder incident dump (first firing alert, or a\n"
+      "                        synthetic run-end/SIGINT trigger when none fired)\n"
+      "  --telemetry-interval-us W  time-series window width (default 10000)\n"
+      "  --slo-target F        burn-rate error budget target (default 0.999)\n");
   std::exit(2);
 }
 
@@ -170,6 +240,14 @@ Options Parse(int argc, char** argv) {
       opts.trace_json = next();
     } else if (arg == "--metrics") {
       opts.metrics_json = next();
+    } else if (arg == "--timeline") {
+      opts.timeline_jsonl = next();
+    } else if (arg == "--incident") {
+      opts.incident_json = next();
+    } else if (arg == "--telemetry-interval-us") {
+      opts.telemetry_interval_us = std::atof(next().c_str());
+    } else if (arg == "--slo-target") {
+      opts.slo_target = std::atof(next().c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
@@ -281,6 +359,8 @@ int FleetMain(Options opts) {
   fleet_config.routing = opts.routing;
   fleet_config.scheduler = opts.scheduler;
   serve::FleetScheduler fleet(engine_ptrs, fleet_config);
+  std::unique_ptr<serve::ServeTelemetry> telemetry = MakeTelemetry(opts);
+  fleet.AttachTelemetry(telemetry.get());
   serve::FleetResult result;
   if (!opts.arrivals_in.empty()) {
     std::vector<serve::Request> trace;
@@ -325,6 +405,10 @@ int FleetMain(Options opts) {
       ok = false;
     }
   }
+  if (telemetry != nullptr) {
+    ok = WriteTelemetrySinks(opts, *telemetry) && ok;
+    g_stop_target = nullptr;
+  }
 
   const serve::ServeSummary& s = result.summary.fleet;
   std::printf(
@@ -361,6 +445,9 @@ int FleetMain(Options opts) {
 }
 
 int Main(int argc, char** argv) {
+  // Serving always runs with deterministic_addressing and its reports are
+  // byte-compared across processes (CI serve smoke, bench/byte_compare.sh).
+  PinHostHeapForReplay();
   Options opts = Parse(argc, argv);
 
   if (!opts.pool.empty() && opts.dump_arrivals.empty()) {
@@ -407,6 +494,8 @@ int Main(int argc, char** argv) {
   }
 
   serve::ServeScheduler scheduler(engine, opts.scheduler);
+  std::unique_ptr<serve::ServeTelemetry> telemetry = MakeTelemetry(opts);
+  scheduler.AttachTelemetry(telemetry.get());
   serve::ServeResult result;
   if (!opts.arrivals_in.empty()) {
     std::vector<serve::Request> trace;
@@ -449,6 +538,10 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "could not write report to %s\n", opts.report_json.c_str());
       ok = false;
     }
+  }
+  if (telemetry != nullptr) {
+    ok = WriteTelemetrySinks(opts, *telemetry) && ok;
+    g_stop_target = nullptr;
   }
 
   const serve::ServeSummary& s = result.summary;
