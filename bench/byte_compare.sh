@@ -15,10 +15,12 @@
 # Everything that remains — simulated cycles, cache hits/misses, queue/SLO
 # accounting, per-kernel aggregates — must match byte for byte.
 #
-# The telemetry sinks (overload_timeline.jsonl, overload_incident.json) carry
-# only simulated-clock data, so they byte-compare directly with cmp — no
-# filtering. They are a hard gate: a telemetry change that lets host state
-# leak into window contents or alert ordering fails here.
+# The telemetry sinks (overload_timeline.jsonl, overload_incident.json) and
+# the per-request causal-trace dump (overload_requests.jsonl) carry only
+# simulated-clock data, so they byte-compare directly with cmp — no
+# filtering. They are a hard gate: a telemetry or tracing change that lets
+# host state leak into window contents, alert ordering, or request phase
+# segments fails here.
 #
 # With one argument the suite runs twice out of the same build, which catches
 # run-to-run nondeterminism (the serve-smoke CI check, extended to benches).
@@ -74,7 +76,8 @@ run_suite() {
   "$build/tools/minuet_serve" --pool 3090,a100 --routing least-loaded \
     --arrivals "$out/overload_arrivals.json" --queue-capacity 2 --max-batch 2 \
     --json "$out/overload.json" --timeline "$out/overload_timeline.jsonl" \
-    --incident "$out/overload_incident.json" > /dev/null
+    --incident "$out/overload_incident.json" \
+    --dump-requests "$out/overload_requests.jsonl" > /dev/null
 }
 
 echo "byte_compare: running suite from $BUILD_A"
@@ -109,8 +112,10 @@ with open(sys.argv[2], 'w') as f:
 PY
 
 STATUS=0
-# Telemetry sinks are pure simulated-clock data: compare raw bytes.
-for name in overload_timeline.jsonl overload_incident.json; do
+# Telemetry sinks and the per-request causal-trace dump are pure
+# simulated-clock data: compare raw bytes.
+for name in overload_timeline.jsonl overload_incident.json \
+            overload_requests.jsonl; do
   if cmp -s "$WORK/a/$name" "$WORK/b/$name"; then
     echo "byte_compare: $name OK"
   else

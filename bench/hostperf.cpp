@@ -31,15 +31,22 @@
 //                       without a ServeTelemetry attached; the pair bounds the
 //                       per-event/per-window host tax minuet_serve --timeline
 //                       adds to the scheduler loop.
+//   serve_reqtrace_*    the same stream replayed with and without a
+//                       ReqTraceRecorder driven at the admit/dispatch/
+//                       completion points; the pair bounds the per-request
+//                       host tax of always-on causal phase tracing (the
+//                       segment-sum CHECK included).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/gpusim/device.h"
 #include "src/gpusim/device_config.h"
+#include "src/serve/reqtrace.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/telemetry.h"
 #include "src/util/timer.h"
@@ -219,7 +226,7 @@ Scenario RunServeTelemetry(const char* name, bool attached, int64_t requests) {
         t->OnDispatch(now, dev, i >> 2, /*batch_size=*/4, /*warm=*/2,
                       /*plan_hits=*/3, /*plan_misses=*/1, now + 2600.0, i % 5);
       }
-      t->OnCompletion(now, dev, i, queue_us, latency_us, (i % 17) != 0);
+      t->OnCompletion(now, dev, i, queue_us, queue_us * 0.25, latency_us, (i % 17) != 0);
     }
   }
   if (t != nullptr) {
@@ -228,6 +235,67 @@ Scenario RunServeTelemetry(const char* name, bool attached, int64_t requests) {
   }
   s.host_ms = timer.ElapsedMillis();
   s.sim_cycles = sink;  // deterministic checksum; keeps the detached loop honest
+  return s;
+}
+
+// Request-tracing recording tax: the telemetry bench's synthetic serving
+// stream (arithmetic arrivals every 130 us, batches of four, 400 us service)
+// replayed through a ReqTraceRecorder at the same points the fleet loop
+// drives it — admit, per-member finalize (with the segment-sum CHECK), batch
+// begin/end. The `off` run pays only the stream arithmetic, so on-minus-off
+// is the per-request cost of always-on causal tracing; `launches` carries the
+// finalized-trace count for the on row. No simulated cycles anywhere: the
+// non-host keys byte-compare exactly.
+Scenario RunReqTrace(const char* name, bool attached, int64_t requests) {
+  serve::ReqTraceRecorder recorder;
+  recorder.Reset(/*num_devices=*/1);
+  Scenario s;
+  s.name = name;
+  double sink = 0.0;
+  int64_t finalized = 0;
+  WallTimer timer;
+  double now = 0.0;
+  double flight_completion = -1.0;  // <0: no flight outstanding
+  std::vector<std::pair<int64_t, double>> queue;  // (id, arrival_us)
+  for (int64_t i = 0; i < requests; ++i) {
+    now += 130.0;
+    // Completions sequence before arrivals, as in the real event loop.
+    if (attached && flight_completion >= 0.0 && flight_completion <= now) {
+      recorder.EndBatch(0, flight_completion);
+      flight_completion = -1.0;
+    }
+    if (attached) {
+      recorder.AdmitRequest(0, i, now);
+    }
+    queue.emplace_back(i, now);
+    sink += 300.0 + static_cast<double>(i % 5) * 10.0;  // both variants pay this
+    if (queue.size() == 4) {
+      // Batch spans 520 us of arrivals, serves in 400: the flight always
+      // closes before the next dispatch, members 2-4 arrive mid-flight.
+      const double dispatch_us = now;
+      const double completion_us = now + 400.0;
+      if (attached) {
+        for (const auto& [id, arrival_us] : queue) {
+          serve::ExecPhaseCycles cycles;
+          cycles.map = 1.0;
+          cycles.gather = 2.0;
+          cycles.gemm = 5.0;
+          cycles.scatter = 1.5;
+          cycles.other = 0.5;
+          const double own_us = 300.0 + static_cast<double>(id % 5) * 10.0;
+          recorder.FinalizeRequest(0, id, arrival_us, dispatch_us, completion_us,
+                                   own_us, cycles);
+          ++finalized;
+        }
+        recorder.BeginBatch(0, dispatch_us);
+        flight_completion = completion_us;
+      }
+      queue.clear();
+    }
+  }
+  s.host_ms = timer.ElapsedMillis();
+  s.sim_cycles = sink;  // deterministic checksum; keeps the detached loop honest
+  s.launches = finalized;
   return s;
 }
 
@@ -284,6 +352,12 @@ int main(int argc, char** argv) {
                                    telemetry_requests));
   Report(report, RunServeTelemetry("serve_telemetry_on", /*attached=*/true,
                                    telemetry_requests));
+  // Request-trace tax pair: on-minus-off host ms over `launches` finalized
+  // traces is the per-request cost of always-on causal tracing.
+  Report(report, RunReqTrace("serve_reqtrace_off", /*attached=*/false,
+                             telemetry_requests));
+  Report(report, RunReqTrace("serve_reqtrace_on", /*attached=*/true,
+                             telemetry_requests));
   bench::Rule();
   return report.Write() ? 0 : 1;
 }

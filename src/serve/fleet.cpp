@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "src/serve/reqtrace.h"
 #include "src/serve/telemetry.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -220,6 +221,11 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     telemetry_->BeginRun(static_cast<int>(replicas_.size()), cfg);
   }
 
+  // Per-request causal tracing is always on: every completed request's phase
+  // segments are CHECKed to sum bit-exactly to its e2e latency, every run.
+  ReqTraceRecorder reqtrace;
+  reqtrace.Reset(static_cast<int>(replicas_.size()));
+
   // Per-run replica state and session baselines: sessions persist across
   // Run() calls (warm redeploys), so per-run cache stats are deltas.
   std::vector<SessionStats> session_base;
@@ -401,12 +407,24 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       // 1. Batch completion: the whole batch finishes together.
       Replica& replica = *replicas_[static_cast<size_t>(completion_dev)];
       replica.busy_ = false;
+      reqtrace.EndBatch(completion_dev, now_us);
       batches[static_cast<size_t>(replica.flight_batch_)].completion_us = now_us;
+      if (tracer != nullptr) {
+        tracer->SetServeNow(now_us);
+      }
       for (RequestRecord& record : replica.flight_) {
         record.completion_us = now_us;
+        if (tracer != nullptr) {
+          // Flow arrow lands on the batch span's end: request causality in
+          // Perfetto reads arrival -> dispatch -> completion.
+          tracer->AddServeFlow("req#" + std::to_string(record.request.id),
+                               record.request.id, 'f', completion_dev);
+        }
         if (telemetry_ != nullptr) {
           telemetry_->OnCompletion(now_us, completion_dev, record.request.id,
-                                   record.QueueUs(), record.LatencyUs(),
+                                   record.QueueUs(),
+                                   static_cast<double>(record.trace.batch_delay_ns) * 1e-3,
+                                   record.LatencyUs(),
                                    record.LatencyUs() <= cfg.slo_us);
         }
         issue(record.request.client, now_us);
@@ -440,6 +458,18 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
           }
         }
         record.device = blame;
+        if (tracer != nullptr) {
+          // Anchor slice for the refused request; no flow arrows — a shed
+          // request has no dispatch or completion to link to.
+          tracer->SetServeNow(now_us);
+          const int64_t req_span = tracer->OpenSpan(
+              "serve/req#" + std::to_string(request.id), "serve.req");
+          tracer->SetServeTrack(req_span, blame);
+          tracer->SetAttr(req_span, "priority", static_cast<int64_t>(request.priority));
+          tracer->SetAttr(req_span, "points", request.points);
+          tracer->SetAttr(req_span, "shed", static_cast<int64_t>(1));
+          tracer->CloseSpan(req_span);
+        }
         if (telemetry_ != nullptr) {
           telemetry_->OnShed(now_us, blame, request.id);
         }
@@ -448,6 +478,20 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       } else {
         Replica& replica = *replicas_[static_cast<size_t>(dev)];
         replica.queue_.push_back({request, replica.admit_counter_++});
+        reqtrace.AdmitRequest(dev, request.id, now_us);
+        if (tracer != nullptr) {
+          // Zero-duration arrival slice on the routed replica's track plus
+          // the flow start; the dispatch step ("t") and completion finish
+          // ("f") bind to the batch span the request later rides.
+          tracer->SetServeNow(now_us);
+          const int64_t req_span = tracer->OpenSpan(
+              "serve/req#" + std::to_string(request.id), "serve.req");
+          tracer->SetServeTrack(req_span, dev);
+          tracer->SetAttr(req_span, "priority", static_cast<int64_t>(request.priority));
+          tracer->SetAttr(req_span, "points", request.points);
+          tracer->CloseSpan(req_span);
+          tracer->AddServeFlow("req#" + std::to_string(request.id), request.id, 's', dev);
+        }
         if (telemetry_ != nullptr) {
           telemetry_->OnArrival(now_us, dev, request.id,
                                 static_cast<int64_t>(replica.queue_.size()));
@@ -475,7 +519,9 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     }
 
     std::vector<double> member_cycles;
+    std::vector<ExecPhaseCycles> member_exec;
     member_cycles.reserve(dispatch_batch.size());
+    member_exec.reserve(dispatch_batch.size());
     replica.flight_.clear();
     const SessionStats batch_stats_before = replica.session_.stats();
     for (size_t idx : dispatch_batch) {
@@ -492,6 +538,15 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       record.dispatch_us = now_us;
       record.service_cycles = run.total.TotalCycles();
       member_cycles.push_back(record.service_cycles);
+      // Kernel-span linkage for the blame profiler: the engine's per-step
+      // cycle breakdown, bucketed into the PhaseTrace execution phases.
+      ExecPhaseCycles exec;
+      exec.map = run.total.MapCycles();
+      exec.gather = run.total.gather;
+      exec.gemm = run.total.gemm;
+      exec.scatter = run.total.scatter;
+      exec.other = run.total.metadata + run.total.elementwise;
+      member_exec.push_back(exec);
       replica.flight_.push_back(record);
     }
 
@@ -513,12 +568,29 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
     replica.busy_us_ += service_us;
     batches.push_back(batch);
 
+    // Finalise each member's phase trace now: the deterministic clock already
+    // knows the completion time, and the replica's busy integral is fully
+    // closed (BeginBatch below opens the new flight interval).
+    for (size_t m = 0; m < replica.flight_.size(); ++m) {
+      RequestRecord& record = replica.flight_[m];
+      record.trace = reqtrace.FinalizeRequest(
+          dispatch_dev, record.request.id, record.request.arrival_us, now_us,
+          replica.flight_end_us_, CyclesToUs(device_config, member_cycles[m]),
+          member_exec[m]);
+    }
+    reqtrace.BeginBatch(dispatch_dev, now_us);
+
     if (span_id >= 0) {
       tracer->SetAttr(span_id, "batch_size", batch.size);
       tracer->SetAttr(span_id, "batch_class", static_cast<int64_t>(batch.batch_class));
       tracer->SetAttr(span_id, "device", static_cast<int64_t>(dispatch_dev));
       tracer->SetAttr(span_id, "service_cycles", batch.service_cycles);
       tracer->SetAttr(span_id, "serial_cycles", batch.serial_cycles);
+      for (const RequestRecord& record : replica.flight_) {
+        // Flow step at dispatch, bound inside the batch span.
+        tracer->AddServeFlow("req#" + std::to_string(record.request.id),
+                             record.request.id, 't', dispatch_dev);
+      }
       tracer->SetServeNow(replica.flight_end_us_);
       tracer->CloseSpan(span_id);
     }

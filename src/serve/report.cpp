@@ -102,6 +102,18 @@ void WriteRequests(JsonWriter& w, const std::vector<RequestRecord>& requests) {
       w.KV("queue_us", record.QueueUs());
       w.KV("service_us", record.ServiceUs());
       w.KV("latency_us", record.LatencyUs());
+      // Causal phase segments (integer ns; sum == e2e_ns bit-exactly — the
+      // fleet loop CHECKs the invariant when it records them).
+      const PhaseTrace& t = record.trace;
+      w.KV("e2e_ns", t.e2e_ns);
+      w.KV("server_wait_ns", t.server_wait_ns);
+      w.KV("batch_delay_ns", t.batch_delay_ns);
+      w.KV("map_ns", t.map_ns);
+      w.KV("gather_ns", t.gather_ns);
+      w.KV("gemm_ns", t.gemm_ns);
+      w.KV("scatter_ns", t.scatter_ns);
+      w.KV("exec_other_ns", t.exec_other_ns);
+      w.KV("stream_wait_ns", t.stream_wait_ns);
     }
     w.EndObject();
   }
@@ -154,6 +166,56 @@ void WriteAlerts(JsonWriter& w, const std::vector<AlertEvent>& alerts) {
   w.EndObject();
 }
 
+// Aggregate causal blame: total ns per phase over completed requests, plus
+// each phase's share of total e2e. The per-request decomposition lives in
+// the request rows (and in the --dump-requests JSONL that minuet_prof
+// explain reads); this section is the one-look answer to "where did the
+// latency of this run go".
+void WriteBlame(JsonWriter& w, const std::vector<RequestRecord>& requests) {
+  struct Phase {
+    const char* key;
+    int64_t PhaseTrace::* field;
+  };
+  static constexpr Phase kPhases[] = {
+      {"server_wait_ns", &PhaseTrace::server_wait_ns},
+      {"batch_delay_ns", &PhaseTrace::batch_delay_ns},
+      {"map_ns", &PhaseTrace::map_ns},
+      {"gather_ns", &PhaseTrace::gather_ns},
+      {"gemm_ns", &PhaseTrace::gemm_ns},
+      {"scatter_ns", &PhaseTrace::scatter_ns},
+      {"exec_other_ns", &PhaseTrace::exec_other_ns},
+      {"stream_wait_ns", &PhaseTrace::stream_wait_ns},
+  };
+  int64_t completed = 0;
+  int64_t e2e_total = 0;
+  int64_t phase_total[8] = {};
+  for (const RequestRecord& record : requests) {
+    if (record.shed) {
+      continue;
+    }
+    ++completed;
+    e2e_total += record.trace.e2e_ns;
+    for (size_t i = 0; i < 8; ++i) {
+      phase_total[i] += record.trace.*kPhases[i].field;
+    }
+  }
+  w.Key("blame");
+  w.BeginObject();
+  w.KV("completed", completed);
+  w.KV("e2e_total_ns", e2e_total);
+  for (size_t i = 0; i < 8; ++i) {
+    w.KV(kPhases[i].key, phase_total[i]);
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    const std::string key = std::string(kPhases[i].key) + "_share";
+    const double share = e2e_total > 0 ? static_cast<double>(phase_total[i]) /
+                                             static_cast<double>(e2e_total)
+                                       : 0.0;
+    w.KV(key, share);
+  }
+  w.EndObject();
+}
+
 }  // namespace
 
 std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
@@ -168,6 +230,7 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
   WriteSummary(w, result.summary);
   WriteRequests(w, result.requests);
   WriteBatches(w, result.batches);
+  WriteBlame(w, result.requests);
   WriteAlerts(w, result.alerts);
   WriteDeviceMetrics(w, registry);
   w.EndObject();
@@ -187,6 +250,7 @@ std::string FleetReportJson(const FleetResult& result, const TraceConfig& arriva
   WriteSummary(w, fs.fleet);
   WriteRequests(w, result.requests);
   WriteBatches(w, result.batches);
+  WriteBlame(w, result.requests);
   WriteAlerts(w, result.alerts);
 
   w.Key("fleet");

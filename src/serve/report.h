@@ -9,9 +9,14 @@
 //    "summary":  {<every ServeSummary field>},
 //    "requests": [{"id":..,"arrival_us":..,"device":..,"shed":..,"warm":..,
 //                  "batch":..,"queue_us":..,"service_us":..,"latency_us":..,
-//                  "points":..}, ...],
+//                  "points":..,
+//                  "e2e_ns":..,"server_wait_ns":..,"batch_delay_ns":..,
+//                  "map_ns":..,"gather_ns":..,"gemm_ns":..,"scatter_ns":..,
+//                  "exec_other_ns":..,"stream_wait_ns":..}, ...],
 //    "batches":  [{"id":..,"class":..,"device":..,"size":..,"dispatch_us":..,
 //                  "service_us":..,"overlap":..}, ...],
+//    "blame":    {"completed":..,"e2e_total_ns":..,
+//                 "<phase>_ns":.., "<phase>_share":.., ...},
 //    "fleet":    {"routing":.., "plan_hit_asymmetry":..,                (fleet
 //                 "devices":[{"device":..,"name":..,"plan_hits":..,     runs
 //                             "summary":{..}}, ...],                    only)

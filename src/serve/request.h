@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/data/generators.h"
+#include "src/serve/reqtrace.h"
 
 namespace minuet {
 namespace serve {
@@ -50,6 +51,10 @@ struct RequestRecord {
   double dispatch_us = 0.0;
   double completion_us = 0.0;
   double service_cycles = 0.0;  // this request's own simulated device cycles
+  // Causal phase decomposition of the end-to-end latency (integer-ns
+  // segments, sum == e2e bit-exactly; all zero for shed requests). Recorded
+  // by the fleet loop's ReqTraceRecorder at its own decision points.
+  PhaseTrace trace;
 
   double QueueUs() const { return dispatch_us - request.arrival_us; }
   double ServiceUs() const { return completion_us - dispatch_us; }

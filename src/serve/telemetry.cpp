@@ -130,7 +130,8 @@ void ServeTelemetry::OnDispatch(double t_us, int device, int64_t batch_id,
 }
 
 void ServeTelemetry::OnCompletion(double t_us, int device, int64_t request_id,
-                                  double queue_us, double latency_us, bool slo_ok) {
+                                  double queue_us, double batch_delay_us,
+                                  double latency_us, bool slo_ok) {
   const std::string prefix = DevPrefix(device);
   series_.Count("fleet/completed", t_us, 1.0);
   series_.Count(prefix + "completed", t_us, 1.0);
@@ -140,6 +141,7 @@ void ServeTelemetry::OnCompletion(double t_us, int device, int64_t request_id,
   }
   series_.Observe("fleet/latency_us", t_us, latency_us);
   series_.Observe("fleet/queue_us", t_us, queue_us);
+  series_.Observe("fleet/batch_delay_us", t_us, batch_delay_us);
   series_.Observe(prefix + "latency_us", t_us, latency_us);
   recorder_.RecordEvent({t_us, device, "completion", request_id, latency_us});
 }

@@ -73,8 +73,12 @@ class ServeTelemetry {
   void OnDispatch(double t_us, int device, int64_t batch_id, int64_t batch_size,
                   int64_t warm, int64_t plan_hits, int64_t plan_misses,
                   double flight_end_us, int64_t queue_depth);
+  // `batch_delay_us` is the causal batching share of the request's queue
+  // time (PhaseTrace::batch_delay_ns): how long the batcher held it while
+  // its replica sat idle. Windowed as "fleet/batch_delay_us" so burn-rate
+  // dashboards can separate batching stalls from genuine backlog.
   void OnCompletion(double t_us, int device, int64_t request_id, double queue_us,
-                    double latency_us, bool slo_ok);
+                    double batch_delay_us, double latency_us, bool slo_ok);
   // Closes every remaining window (feeding the health engine) at run end.
   void Finish();
 

@@ -57,6 +57,19 @@ void Tracer::SetServeTrack(int64_t id, int track) {
   spans_[static_cast<size_t>(id)].serve_track = track;
 }
 
+void Tracer::AddServeFlow(std::string name, int64_t flow_id, char phase, int track) {
+  MINUET_CHECK(phase == 's' || phase == 't' || phase == 'f')
+      << "flow phase must be s/t/f, got '" << phase << "'";
+  MINUET_CHECK_GE(track, 0);
+  FlowRecord flow;
+  flow.name = std::move(name);
+  flow.flow_id = flow_id;
+  flow.phase = phase;
+  flow.track = track;
+  flow.serve_us = serve_now_us_;
+  flows_.push_back(std::move(flow));
+}
+
 int64_t Tracer::CountCategory(const std::string& category) const {
   int64_t count = 0;
   for (const SpanRecord& span : spans_) {
@@ -147,6 +160,9 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       max_serve_track = std::max(max_serve_track, span.serve_track);
     }
   }
+  for (const FlowRecord& flow : tracer.flows()) {
+    max_serve_track = std::max(max_serve_track, flow.track);
+  }
   for (int track = 0; track <= max_serve_track; ++track) {
     if (track == 0) {
       WriteThreadName(w, 2, "serving clock");
@@ -172,6 +188,24 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       WriteEvent(w, span, /*tid=*/2 + span.serve_track, span.serve_begin_us,
                  span.ServeDurationUs());
     }
+  }
+  // Flow arrows between serving-clock slices. "bp":"e" binds step/finish
+  // events to the slice that encloses their timestamp (the batch span), so
+  // the arrow lands where the request actually ran.
+  for (const FlowRecord& flow : tracer.flows()) {
+    w.BeginObject();
+    w.KV("name", flow.name);
+    w.KV("cat", "serve.flow");
+    w.Key("ph");
+    w.Value(std::string_view(&flow.phase, 1));
+    w.KV("id", flow.flow_id);
+    w.KV("pid", 0);
+    w.KV("tid", 2 + flow.track);
+    w.KV("ts", flow.serve_us);
+    if (flow.phase != 's') {
+      w.KV("bp", "e");
+    }
+    w.EndObject();
   }
   w.EndArray();
   w.EndObject();

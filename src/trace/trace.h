@@ -64,6 +64,20 @@ struct SpanRecord {
   double ServeDurationUs() const { return serve_end_us - serve_begin_us; }
 };
 
+// One Chrome trace flow event on a serving-clock track: "s" (start), "t"
+// (step) and "f" (finish) events sharing a flow id render as arrows between
+// the slices that enclose them, so Perfetto draws each request's causal path
+// arrival -> batch dispatch -> batch completion across replica tracks. Flow
+// events live purely on the serving clock (no host timestamps), so they
+// byte-compare across replays like every other serve artifact.
+struct FlowRecord {
+  std::string name;      // display name, e.g. "req#12"
+  int64_t flow_id = 0;   // shared across the s/t/f events of one request
+  char phase = 's';      // 's' | 't' | 'f'
+  int track = 0;         // serving-clock track (exported as tid 2 + track)
+  double serve_us = 0.0; // serving-clock timestamp (captured at record time)
+};
+
 class Tracer {
  public:
   Tracer();
@@ -88,6 +102,10 @@ class Tracer {
   // is recorded but only serve spans are exported on serving-clock tracks.
   void SetServeTrack(int64_t id, int track);
 
+  // Records a flow event at the current serving clock (position it with
+  // SetServeNow first, like serve spans). `phase` is 's', 't' or 'f'.
+  void AddServeFlow(std::string name, int64_t flow_id, char phase, int track);
+
   // Advances the simulated device clock; called by Device per kernel launch
   // while the kernel's span is open.
   void AdvanceSim(double sim_us) { sim_now_us_ += sim_us; }
@@ -103,6 +121,7 @@ class Tracer {
   double serve_now_us() const { return serve_now_us_; }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<FlowRecord>& flows() const { return flows_; }
   // Number of spans opened but not yet closed. 0 == balanced.
   int64_t open_spans() const { return static_cast<int64_t>(stack_.size()); }
   bool Balanced() const { return stack_.empty(); }
@@ -117,6 +136,7 @@ class Tracer {
   double sim_now_us_ = 0.0;
   double serve_now_us_ = 0.0;
   std::vector<SpanRecord> spans_;
+  std::vector<FlowRecord> flows_;
   std::vector<int64_t> stack_;  // open span ids, innermost last
 };
 

@@ -1,0 +1,268 @@
+// Tail-latency blame profiler: dump loading, tail selection (above-SLO and
+// worst-k), blame aggregation, plan-miss penalty, degenerate dumps (empty /
+// all-shed) staying finite, and deterministic rendering of report and diff.
+#include "src/prof/explain.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_reader.h"
+
+namespace minuet {
+namespace prof {
+namespace {
+
+// A coherent synthetic request: derived totals computed from the segments so
+// the dump obeys the same invariant real dumps do.
+DumpRequest Req(int64_t id, int64_t server_wait_ns, int64_t batch_delay_ns,
+                int64_t gemm_ns, int64_t stream_wait_ns, int64_t priority = 0,
+                int64_t device = 0, bool warm = true) {
+  DumpRequest r;
+  r.id = id;
+  r.priority = priority;
+  r.device = device;
+  r.warm = warm;
+  r.batch = id;
+  r.server_wait_ns = server_wait_ns;
+  r.batch_delay_ns = batch_delay_ns;
+  r.gemm_ns = gemm_ns;
+  r.stream_wait_ns = stream_wait_ns;
+  r.queue_ns = server_wait_ns + batch_delay_ns;
+  r.exec_ns = gemm_ns;
+  r.service_ns = r.exec_ns + stream_wait_ns;
+  r.e2e_ns = r.queue_ns + r.service_ns;
+  return r;
+}
+
+DumpRequest Shed(int64_t id, int64_t priority = 0, int64_t device = 0) {
+  DumpRequest r;
+  r.id = id;
+  r.priority = priority;
+  r.device = device;
+  r.shed = true;
+  return r;
+}
+
+TEST(LoadRequestDumpTest, RejectsMissingOrWrongHeader) {
+  RequestDump dump;
+  std::string error;
+  EXPECT_FALSE(LoadRequestDump({}, &dump, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  std::vector<JsonValue> lines;
+  ASSERT_TRUE(ParseJsonLines("{\"timeline\":1}\n", &lines, &error)) << error;
+  EXPECT_FALSE(LoadRequestDump(lines, &dump, &error));
+  EXPECT_NE(error.find("request_dump"), std::string::npos);
+}
+
+TEST(LoadRequestDumpTest, ReadsHeaderAndEveryRequestField) {
+  const char* text =
+      "{\"request_dump\":1,\"slo_us\":2500,\"requests\":2}\n"
+      "{\"id\":0,\"arrival_us\":1.5,\"priority\":1,\"device\":2,\"shed\":false,"
+      "\"warm\":true,\"batch\":4,\"e2e_ns\":1000,\"server_wait_ns\":300,"
+      "\"batch_delay_ns\":200,\"gemm_ns\":400,\"stream_wait_ns\":100,"
+      "\"exec_ns\":400,\"queue_ns\":500,\"service_ns\":500}\n"
+      "{\"id\":1,\"shed\":true}\n";
+  std::vector<JsonValue> lines;
+  std::string error;
+  ASSERT_TRUE(ParseJsonLines(text, &lines, &error)) << error;
+  RequestDump dump;
+  ASSERT_TRUE(LoadRequestDump(lines, &dump, &error)) << error;
+  EXPECT_DOUBLE_EQ(dump.slo_us, 2500.0);
+  ASSERT_EQ(dump.requests.size(), 2u);
+  const DumpRequest& r = dump.requests[0];
+  EXPECT_EQ(r.id, 0);
+  EXPECT_DOUBLE_EQ(r.arrival_us, 1.5);
+  EXPECT_EQ(r.priority, 1);
+  EXPECT_EQ(r.device, 2);
+  EXPECT_FALSE(r.shed);
+  EXPECT_TRUE(r.warm);
+  EXPECT_EQ(r.batch, 4);
+  EXPECT_EQ(r.e2e_ns, 1000);
+  EXPECT_EQ(r.server_wait_ns, 300);
+  EXPECT_EQ(r.batch_delay_ns, 200);
+  EXPECT_EQ(r.gemm_ns, 400);
+  EXPECT_EQ(r.stream_wait_ns, 100);
+  EXPECT_TRUE(dump.requests[1].shed);
+}
+
+TEST(BuildExplainTest, AboveSloTailSelectsStrictlySlowerRequests) {
+  RequestDump dump;
+  dump.slo_us = 1.0;  // 1000 ns
+  dump.requests = {Req(0, 0, 0, 500, 0),      // 500 ns: under
+                   Req(1, 0, 0, 1000, 0),     // exactly the SLO: not tail
+                   Req(2, 900, 0, 400, 0),    // 1300 ns: tail
+                   Req(3, 0, 2000, 500, 0)};  // 2500 ns: tail
+  Explain e = BuildExplain(dump, ExplainOptions{});
+  EXPECT_EQ(e.tail_rule, "above-slo");
+  EXPECT_EQ(e.offered, 4);
+  EXPECT_EQ(e.completed, 4);
+  EXPECT_EQ(e.tail_count, 2);
+  // The CLI --slo-us override widens the tail.
+  ExplainOptions wide;
+  wide.slo_us = 0.4;
+  EXPECT_EQ(BuildExplain(dump, wide).tail_count, 4);
+}
+
+TEST(BuildExplainTest, WorstKTailIsStableOnTies) {
+  RequestDump dump;
+  dump.requests = {Req(0, 0, 0, 700, 0), Req(1, 0, 0, 900, 0), Req(2, 0, 0, 900, 0),
+                   Req(3, 0, 0, 100, 0)};
+  ExplainOptions options;
+  options.worst_k = 2;
+  Explain e = BuildExplain(dump, options);
+  EXPECT_EQ(e.tail_rule, "worst-k");
+  EXPECT_EQ(e.tail_count, 2);
+  // Both 900 ns requests beat the 700; the tie keeps dump order, so the tail
+  // is ids 1 and 2 — its gemm total is exactly 1800 ns.
+  ASSERT_EQ(e.phases.size(), 8u);
+  int64_t gemm_total = 0;
+  for (const PhaseBlame& p : e.phases) {
+    if (p.phase == "gemm") {
+      gemm_total = p.tail_total_ns;
+    }
+  }
+  EXPECT_EQ(gemm_total, 1800);
+}
+
+TEST(BuildExplainTest, BlameSharesPartitionTailLatency) {
+  RequestDump dump;
+  dump.slo_us = 0.0;  // everything completed is tail
+  dump.requests = {Req(0, 300, 200, 400, 100), Req(1, 100, 0, 800, 100),
+                   Shed(2)};
+  Explain e = BuildExplain(dump, ExplainOptions{});
+  EXPECT_EQ(e.completed, 2);
+  EXPECT_EQ(e.shed, 1);
+  EXPECT_EQ(e.tail_count, 2);
+  double tail_share_sum = 0.0;
+  double all_share_sum = 0.0;
+  for (const PhaseBlame& p : e.phases) {
+    tail_share_sum += p.tail_share;
+    all_share_sum += p.all_share;
+  }
+  // The eight phases partition e2e exactly (admission is 0 by construction).
+  EXPECT_NEAR(tail_share_sum, 1.0, 1e-12);
+  EXPECT_NEAR(all_share_sum, 1.0, 1e-12);
+  for (const PhaseBlame& p : e.phases) {
+    if (p.phase == "server_wait") {
+      EXPECT_EQ(p.tail_total_ns, 400);
+      // Per-request percentiles over the tail, in µs (Percentile
+      // interpolates: p99 over {0.1, 0.3} is 0.1 + 0.99 * 0.2).
+      EXPECT_NEAR(p.p99_us, 0.298, 1e-12);
+    }
+  }
+}
+
+TEST(BuildExplainTest, GroupsSliceByTierAndReplica) {
+  RequestDump dump;
+  dump.slo_us = 1.0;
+  dump.requests = {Req(0, 2000, 0, 400, 0, /*priority=*/0, /*device=*/0),
+                   Req(1, 0, 0, 300, 0, /*priority=*/0, /*device=*/1),
+                   Req(2, 0, 0, 5000, 0, /*priority=*/1, /*device=*/1),
+                   Shed(3, /*priority=*/1, /*device=*/0)};
+  Explain e = BuildExplain(dump, ExplainOptions{});
+  ASSERT_EQ(e.tiers.size(), 2u);
+  EXPECT_EQ(e.tiers[0].name, "tier0");
+  EXPECT_EQ(e.tiers[0].offered, 2);
+  EXPECT_EQ(e.tiers[0].completed, 2);
+  EXPECT_EQ(e.tiers[0].tail, 1);
+  EXPECT_EQ(e.tiers[0].top_phase, "server_wait");
+  EXPECT_EQ(e.tiers[1].name, "tier1");
+  EXPECT_EQ(e.tiers[1].shed, 1);
+  EXPECT_EQ(e.tiers[1].top_phase, "gemm");
+
+  ASSERT_EQ(e.devices.size(), 2u);
+  EXPECT_EQ(e.devices[0].name, "dev0");
+  EXPECT_EQ(e.devices[0].offered, 2);
+  EXPECT_EQ(e.devices[0].shed, 1);
+  EXPECT_EQ(e.devices[1].name, "dev1");
+  EXPECT_EQ(e.devices[1].completed, 2);
+  // dev1's completed mean exec: (300 + 5000) / 2 ns = 2.65 µs.
+  EXPECT_NEAR(e.devices[1].mean_exec_us, 2.65, 1e-12);
+  // A group with no tail members reports "-" instead of a top phase.
+  RequestDump calm;
+  calm.slo_us = 100.0;
+  calm.requests = {Req(0, 0, 0, 400, 0)};
+  Explain c = BuildExplain(calm, ExplainOptions{});
+  ASSERT_EQ(c.tiers.size(), 1u);
+  EXPECT_EQ(c.tiers[0].top_phase, "-");
+  EXPECT_EQ(c.tiers[0].tail, 0);
+}
+
+TEST(BuildExplainTest, PlanMissPenaltyComparesColdAndWarmMeans) {
+  RequestDump dump;
+  dump.requests = {Req(0, 0, 0, 1000, 0, 0, 0, /*warm=*/true),
+                   Req(1, 0, 0, 1200, 0, 0, 0, /*warm=*/true),
+                   Req(2, 0, 0, 2100, 0, 0, 0, /*warm=*/false)};
+  Explain e = BuildExplain(dump, ExplainOptions{});
+  EXPECT_EQ(e.warm_count, 2);
+  EXPECT_EQ(e.cold_count, 1);
+  EXPECT_NEAR(e.warm_exec_mean_us, 1.1, 1e-12);
+  EXPECT_NEAR(e.cold_exec_mean_us, 2.1, 1e-12);
+  EXPECT_NEAR(e.plan_miss_penalty_us, 1.0, 1e-12);
+
+  // All-warm: no cold population, penalty pinned to 0.
+  RequestDump warm_only;
+  warm_only.requests = {Req(0, 0, 0, 1000, 0)};
+  EXPECT_DOUBLE_EQ(BuildExplain(warm_only, ExplainOptions{}).plan_miss_penalty_us, 0.0);
+}
+
+TEST(BuildExplainTest, EmptyAndAllShedDumpsStayFinite) {
+  for (const RequestDump& dump :
+       {RequestDump{}, RequestDump{0.0, {Shed(0), Shed(1)}}}) {
+    Explain e = BuildExplain(dump, ExplainOptions{});
+    EXPECT_EQ(e.completed, 0);
+    EXPECT_EQ(e.tail_count, 0);
+    for (double value : {e.e2e_p50_us, e.e2e_p95_us, e.e2e_p99_us,
+                         e.plan_miss_penalty_us, e.warm_exec_mean_us}) {
+      EXPECT_TRUE(std::isfinite(value));
+      EXPECT_DOUBLE_EQ(value, 0.0);
+    }
+    for (const PhaseBlame& p : e.phases) {
+      EXPECT_TRUE(std::isfinite(p.tail_share));
+      EXPECT_DOUBLE_EQ(p.tail_share, 0.0);
+    }
+    std::string report = FormatExplain(e);
+    EXPECT_NE(report.find("nothing to blame"), std::string::npos);
+    EXPECT_EQ(report.find("nan"), std::string::npos);
+  }
+}
+
+TEST(FormatExplainTest, RendersDeterministicallyWithAllSections) {
+  RequestDump dump;
+  dump.slo_us = 1.0;
+  dump.requests = {Req(0, 2000, 500, 400, 100, 0, 0, false),
+                   Req(1, 0, 0, 300, 0, 1, 1, true), Shed(2, 1, 0)};
+  Explain e = BuildExplain(dump, ExplainOptions{});
+  std::string a = FormatExplain(e);
+  std::string b = FormatExplain(BuildExplain(dump, ExplainOptions{}));
+  EXPECT_EQ(a, b);
+  for (const char* needle :
+       {"blame decomposition", "server_wait", "stream_wait", "plan-miss penalty",
+        "per priority tier", "per replica", "tier0", "tier1", "dev0", "dev1"}) {
+    EXPECT_NE(a.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(FormatExplainDiffTest, ReportsTransitionsAndShareDeltas) {
+  RequestDump before;
+  before.slo_us = 1.0;
+  before.requests = {Req(0, 3000, 0, 400, 100), Req(1, 2500, 0, 300, 0)};
+  RequestDump after;
+  after.slo_us = 1.0;
+  after.requests = {Req(0, 100, 0, 400, 2900), Req(1, 0, 0, 300, 0), Shed(2)};
+  std::string diff = FormatExplainDiff(BuildExplain(before, ExplainOptions{}),
+                                       BuildExplain(after, ExplainOptions{}));
+  for (const char* needle :
+       {"explain diff", "completed: 2 -> 2", "shed: 0 -> 1", "tail blame shares",
+        "server_wait", "stream_wait"}) {
+    EXPECT_NE(diff.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace minuet

@@ -30,6 +30,16 @@
 //       files, diffs them window-by-window instead and exits 1 on any
 //       difference.
 //
+//   minuet_prof explain DUMP.jsonl [OTHER.jsonl] [--worst N] [--slo-us S]
+//       Tail-latency blame report over a per-request dump (minuet_serve
+//       --dump-requests): selects the tail (above-SLO by default, worst-N
+//       with --worst), renders the causal phase decomposition — queueing vs
+//       batch-formation delay vs gather/GEMM/scatter execution vs stream
+//       wait — overall and per priority tier / per replica, plus the
+//       plan-cache miss penalty. With two files, compares the two runs'
+//       blame decompositions instead. Deterministic output: replaying the
+//       workload reproduces the report byte for byte.
+//
 // Bare forms: `minuet_prof RUN.json` = report, `minuet_prof A.json B.json`
 // = diff. Exit codes: 0 ok, 1 regression/violation, 2 usage or input error.
 #include <cstdio>
@@ -38,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "src/prof/explain.h"
 #include "src/prof/profile.h"
 #include "src/prof/timeline.h"
 #include "src/util/json_reader.h"
@@ -56,6 +67,7 @@ int Usage() {
                "       minuet_prof check-baseline BASELINE.json REPORT.json...\n"
                "                   [--noise-mult K] [--rel-tol F] [--abs-tol A]\n"
                "       minuet_prof timeline RUN.jsonl [OTHER.jsonl]\n"
+               "       minuet_prof explain DUMP.jsonl [OTHER.jsonl] [--worst N] [--slo-us S]\n"
                "       minuet_prof RUN.json            (report)\n"
                "       minuet_prof BEFORE.json AFTER.json   (diff)\n");
   return 2;
@@ -78,6 +90,7 @@ struct Args {
   double min_ms = 0.0005;
   std::string out_path;
   prof::BaselineCheckOptions check;
+  prof::ExplainOptions explain;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -126,6 +139,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
     } else if (ParseDoubleFlag(arg, "--abs-tol", &args->check.abs_tol)) {
+    } else if (arg == "--worst") {
+      double v;
+      if (!next(&v)) {
+        return false;
+      }
+      args->explain.worst_k = static_cast<int64_t>(v);
+    } else if (double scratch; ParseDoubleFlag(arg, "--worst", &scratch)) {
+      args->explain.worst_k = static_cast<int64_t>(scratch);
+    } else if (arg == "--slo-us") {
+      if (!next(&args->explain.slo_us)) {
+        return false;
+      }
+    } else if (ParseDoubleFlag(arg, "--slo-us", &args->explain.slo_us)) {
     } else if (arg == "--out") {
       if (i + 1 >= raw.size()) {
         return false;
@@ -138,7 +164,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     } else if (args->command.empty() &&
                (arg == "report" || arg == "diff" || arg == "make-baseline" ||
-                arg == "check-baseline" || arg == "timeline")) {
+                arg == "check-baseline" || arg == "timeline" || arg == "explain")) {
       args->command = arg;
     } else {
       args->files.push_back(arg);
@@ -300,6 +326,31 @@ int RunTimeline(const Args& args) {
   return diff.differences == 0 ? 0 : 1;
 }
 
+int RunExplain(const Args& args) {
+  if (args.files.empty() || args.files.size() > 2) {
+    return Usage();
+  }
+  prof::RequestDump first;
+  std::string error;
+  if (!prof::LoadRequestDumpFile(args.files[0], &first, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s: %s\n", args.files[0].c_str(), error.c_str());
+    return 2;
+  }
+  const prof::Explain before = prof::BuildExplain(first, args.explain);
+  if (args.files.size() == 1) {
+    std::fputs(prof::FormatExplain(before).c_str(), stdout);
+    return 0;
+  }
+  prof::RequestDump second;
+  if (!prof::LoadRequestDumpFile(args.files[1], &second, &error)) {
+    std::fprintf(stderr, "minuet_prof: %s: %s\n", args.files[1].c_str(), error.c_str());
+    return 2;
+  }
+  const prof::Explain after = prof::BuildExplain(second, args.explain);
+  std::fputs(prof::FormatExplainDiff(before, after).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +372,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "timeline") {
     return RunTimeline(args);
+  }
+  if (args.command == "explain") {
+    return RunExplain(args);
   }
   return Usage();
 }

@@ -35,6 +35,7 @@
 #include "src/serve/arrival.h"
 #include "src/serve/fleet.h"
 #include "src/serve/report.h"
+#include "src/serve/reqtrace.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/telemetry.h"
 #include "src/trace/metrics.h"
@@ -61,6 +62,7 @@ struct Options {
   std::string metrics_json;
   std::string timeline_jsonl;  // streaming telemetry timeline (JSONL)
   std::string incident_json;   // flight-recorder incident dump
+  std::string dump_requests;   // per-request causal-trace dump (JSONL)
   double telemetry_interval_us = 10000.0;
   double slo_target = 0.999;  // burn-rate error budget
 };
@@ -138,6 +140,7 @@ bool WriteTelemetrySinks(const Options& opts, const serve::ServeTelemetry& telem
       "                    [--arrivals in.json] [--dump-arrivals out.json]\n"
       "                    [--json report.json] [--trace trace.json] [--metrics m.json]\n"
       "                    [--timeline out.jsonl] [--incident out.json]\n"
+      "                    [--dump-requests out.jsonl]\n"
       "                    [--telemetry-interval-us W] [--slo-target F]\n"
       "\n"
       "  --pool LIST           serve on a fleet of replicas (one per preset; see --routing)\n"
@@ -152,7 +155,12 @@ bool WriteTelemetrySinks(const Options& opts, const serve::ServeTelemetry& telem
       "  --incident FILE       flight-recorder incident dump (first firing alert, or a\n"
       "                        synthetic run-end/SIGINT trigger when none fired)\n"
       "  --telemetry-interval-us W  time-series window width (default 10000)\n"
-      "  --slo-target F        burn-rate error budget target (default 0.999)\n");
+      "  --slo-target F        burn-rate error budget target (default 0.999)\n"
+      "  --dump-requests FILE  per-request causal phase traces, one JSON object per\n"
+      "                        line (minuet_prof explain reads this). Off by default;\n"
+      "                        recording is always on (the segment-sum invariant is\n"
+      "                        CHECKed every run — see bench/hostperf serve_reqtrace_*\n"
+      "                        for the per-request cost), the flag only writes the file\n");
   std::exit(2);
 }
 
@@ -244,6 +252,8 @@ Options Parse(int argc, char** argv) {
       opts.timeline_jsonl = next();
     } else if (arg == "--incident") {
       opts.incident_json = next();
+    } else if (arg == "--dump-requests") {
+      opts.dump_requests = next();
     } else if (arg == "--telemetry-interval-us") {
       opts.telemetry_interval_us = std::atof(next().c_str());
     } else if (arg == "--slo-target") {
@@ -405,6 +415,11 @@ int FleetMain(Options opts) {
       ok = false;
     }
   }
+  if (!opts.dump_requests.empty() &&
+      !serve::WriteRequestDump(result.requests, opts.scheduler.slo_us, opts.dump_requests)) {
+    std::fprintf(stderr, "could not write request dump to %s\n", opts.dump_requests.c_str());
+    ok = false;
+  }
   if (telemetry != nullptr) {
     ok = WriteTelemetrySinks(opts, *telemetry) && ok;
     g_stop_target = nullptr;
@@ -538,6 +553,11 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "could not write report to %s\n", opts.report_json.c_str());
       ok = false;
     }
+  }
+  if (!opts.dump_requests.empty() &&
+      !serve::WriteRequestDump(result.requests, opts.scheduler.slo_us, opts.dump_requests)) {
+    std::fprintf(stderr, "could not write request dump to %s\n", opts.dump_requests.c_str());
+    ok = false;
   }
   if (telemetry != nullptr) {
     ok = WriteTelemetrySinks(opts, *telemetry) && ok;
