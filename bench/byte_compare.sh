@@ -5,8 +5,9 @@
 #
 # Runs fig03 + fig12 (both under --deterministic, so cache statistics do not
 # depend on allocator layout or ASLR) and the pinned-arrivals serve smokes —
-# single-device, a 2-replica heterogeneous fleet, and an overloaded fleet with
-# streaming telemetry (deterministic addressing is the serving default) — out
+# single-device, a 2-replica heterogeneous fleet, an overloaded fleet with
+# streaming telemetry, and a pinned video-rate stream replay with incremental
+# kernel maps (deterministic addressing is the serving default) — out
 # of each build tree, then diffs every JSON artifact after stripping
 # host-clock data:
 #   - any object key containing "host" or "wall" (case-insensitive), the same
@@ -78,6 +79,14 @@ run_suite() {
     --json "$out/overload.json" --timeline "$out/overload_timeline.jsonl" \
     --incident "$out/overload_incident.json" \
     --dump-requests "$out/overload_requests.jsonl" > /dev/null
+  # Video-rate stream smoke: a pinned LiDAR-style sequence replayed as three
+  # closed-loop streams on a 2-replica pool with incremental kernel maps.
+  "$build/tools/minuet_dataset" sequence gen --points 600 --frames 6 \
+    --channels 4 --seed 13 --churn 0.05 --out "$out/sequence.json" > /dev/null
+  "$build/tools/minuet_serve" --stream "$out/sequence.json" --network tiny \
+    --pool 3090,3090 --streams 3 --frame-period-us 4000 \
+    --json "$out/stream.json" --metrics "$out/stream_metrics.json" \
+    --dump-requests "$out/stream_requests.jsonl" > /dev/null
 }
 
 echo "byte_compare: running suite from $BUILD_A"
@@ -115,7 +124,8 @@ STATUS=0
 # Telemetry sinks and the per-request causal-trace dump are pure
 # simulated-clock data: compare raw bytes.
 for name in overload_timeline.jsonl overload_incident.json \
-            overload_requests.jsonl; do
+            overload_requests.jsonl \
+            sequence.json stream.json stream_requests.jsonl; do
   if cmp -s "$WORK/a/$name" "$WORK/b/$name"; then
     echo "byte_compare: $name OK"
   else
@@ -126,7 +136,8 @@ for name in overload_timeline.jsonl overload_incident.json \
 done
 for name in fig03.json fig03_metrics.json fig12.json fig12_metrics.json \
             serve.json serve_trace.json serve_metrics.json \
-            fleet.json fleet_trace.json fleet_metrics.json overload.json; do
+            fleet.json fleet_trace.json fleet_metrics.json overload.json \
+            stream_metrics.json; do
   python3 "$FILTER" "$WORK/a/$name" "$WORK/a/$name.filtered"
   python3 "$FILTER" "$WORK/b/$name" "$WORK/b/$name.filtered"
   if cmp -s "$WORK/a/$name.filtered" "$WORK/b/$name.filtered"; then

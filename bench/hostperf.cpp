@@ -36,16 +36,29 @@
 //                       completion points; the pair bounds the per-request
 //                       host tax of always-on causal phase tracing (the
 //                       segment-sum CHECK included).
+//   map_incremental_*   a temporally coherent frame sequence's sorted key
+//                       array maintained frame to frame: `off` re-sorts every
+//                       frame (the full radix-sort host loop), `on` runs the
+//                       rebias + delta-merge kernels over the retained array
+//                       (src/map/incremental.h). The pair measures the host
+//                       side of the streaming map path; sim_cycles also
+//                       shrinks on the `on` row (that is the point of the
+//                       feature, bench/stream_sequence quantifies it).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/point_cloud.h"
+#include "src/data/sequence.h"
 #include "src/gpusim/device.h"
 #include "src/gpusim/device_config.h"
+#include "src/gpusort/radix_sort.h"
+#include "src/map/incremental.h"
 #include "src/serve/reqtrace.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/telemetry.h"
@@ -299,6 +312,67 @@ Scenario RunReqTrace(const char* name, bool attached, int64_t requests) {
   return s;
 }
 
+// Streaming-map maintenance pair: a pre-generated frame sequence's packed
+// key lists replayed through the two maintenance paths. `off` radix-sorts
+// every frame from scratch (the per-frame cost the incremental path removes);
+// `on` keeps the sorted array and advances it with the rebias + delta-merge
+// kernels. Sequence generation and key packing happen before the timer, so
+// host_ms isolates the maintenance loop itself. Simulated keys (cycles, L2,
+// launches) are deterministic and byte-compare.
+Scenario RunMapIncremental(const char* name, bool incremental, int64_t points, int frames) {
+  SequenceConfig cfg;
+  cfg.base_points = points;
+  cfg.num_frames = frames;
+  cfg.seed = 5;
+  cfg.churn_rate = 0.05;
+  Sequence sequence = GenerateSequence(cfg);
+  struct FrameKeys {
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> deleted;
+    std::vector<uint64_t> inserted;
+    uint64_t motion = 0;
+  };
+  std::vector<FrameKeys> packed;
+  packed.reserve(sequence.frames.size());
+  for (const SequenceFrame& frame : sequence.frames) {
+    FrameKeys fk;
+    fk.keys = PackCoords(frame.cloud.coords);
+    fk.deleted = PackCoords(frame.deleted);
+    fk.inserted = PackCoords(frame.inserted);
+    fk.motion = PackDelta(frame.motion);
+    packed.push_back(std::move(fk));
+  }
+
+  Device device(MakeHostperfConfig(/*deterministic=*/true));
+  Scenario s;
+  s.name = name;
+  WallTimer timer;
+  std::vector<uint64_t> retained = packed[0].keys;  // frame 0 arrives sorted
+  for (size_t f = 1; f < packed.size(); ++f) {
+    if (incremental) {
+      KernelStats stats = ChargeDeltaMerge(device, retained, packed[f].motion,
+                                           packed[f].deleted, packed[f].inserted,
+                                           /*threads_per_block=*/128);
+      s.sim_cycles += stats.cycles;
+      s.l2_hits += stats.l2_hits;
+      s.l2_misses += stats.l2_misses;
+      s.launches += stats.num_launches;
+    } else {
+      std::vector<uint64_t> keys = packed[f].keys;
+      std::vector<uint32_t> values(keys.size());
+      std::iota(values.begin(), values.end(), 0u);
+      SortStats stats = RadixSortCoordPairs(device, keys, values);
+      s.sim_cycles += stats.kernels.cycles;
+      s.l2_hits += stats.kernels.l2_hits;
+      s.l2_misses += stats.kernels.l2_misses;
+      s.launches += stats.kernels.num_launches;
+    }
+  }
+  s.host_ms = timer.ElapsedMillis();
+  s.granules = static_cast<int64_t>(device.granule_count());
+  return s;
+}
+
 void Report(bench::JsonReport& report, const Scenario& s) {
   const double host_seconds = s.host_ms / 1e3;
   const double cycles_per_host_s = host_seconds > 0.0 ? s.sim_cycles / host_seconds : 0.0;
@@ -358,6 +432,14 @@ int main(int argc, char** argv) {
                              telemetry_requests));
   Report(report, RunReqTrace("serve_reqtrace_on", /*attached=*/true,
                              telemetry_requests));
+  // Streaming-map pair: per-frame full re-sort vs retained-array delta merge
+  // over the same 5%-churn sequence.
+  const int64_t seq_points = std::max<int64_t>(4096, scale);
+  report.Meta("sequence_points", seq_points);
+  Report(report, RunMapIncremental("map_incremental_off", /*incremental=*/false, seq_points,
+                                   /*frames=*/8));
+  Report(report, RunMapIncremental("map_incremental_on", /*incremental=*/true, seq_points,
+                                   /*frames=*/8));
   bench::Rule();
   return report.Write() ? 0 : 1;
 }

@@ -35,7 +35,7 @@ export MINUET_BENCH_POINTS="${MINUET_BENCH_POINTS:-8000}"
 # hostperf is informational: its host_* keys are excluded like every other
 # host-time key, and its simulated keys (cycles, l2 counters, granule counts)
 # are deterministic, so the envelope it contributes is exact.
-BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop serve_scheduler fleet_sweep hostperf)
+BENCHES=(fig03_map_l2_hitratio fig05_gemm_grouping fig12_end_to_end serve_warm_loop serve_scheduler fleet_sweep stream_sequence hostperf)
 
 PROF="$BUILD_DIR/tools/minuet_prof"
 if [[ ! -x "$PROF" ]]; then

@@ -1,0 +1,91 @@
+// Streaming LiDAR-style frame sequences: a seeded temporal workload.
+//
+// A sequence models what an AV/robotics perception pipeline actually feeds a
+// sparse-conv engine: 10-30 Hz frames where the scene moves rigidly between
+// captures and only a small fraction of voxels churns (surfaces entering or
+// leaving the view). Frame t is derived from frame t-1 by
+//
+//   1. a rigid integer translation (the ego-motion step),
+//   2. deleting a churn_rate fraction of voxels, and
+//   3. inserting an equal number of fresh voxels near surviving geometry.
+//
+// Everything is a pure function of the config seed. Feature rows travel with
+// their voxel across frames (temporal coherence); an inserted voxel's row is
+// a pure function of (seed, birth frame, packed key), so a sequence can be
+// reconstructed bit-identically from its structural deltas alone — the JSON
+// dump stores frame 0 in full and every later frame as (motion, deleted,
+// inserted) coordinate lists, never feature data and never packed keys
+// (63-bit keys do not survive a double round trip; [x,y,z] triples do).
+//
+// The delta lists are exactly the contract the incremental map builder
+// (src/map/incremental.h) consumes: because packing is order-preserving and
+// PackCoord(c) + PackDelta(d) == PackCoord(c + d), a rigid translation is one
+// constant added to every key and the sorted order survives frame-to-frame.
+#ifndef SRC_DATA_SEQUENCE_H_
+#define SRC_DATA_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/point_cloud.h"
+#include "src/data/generators.h"
+#include "src/util/json_reader.h"
+
+namespace minuet {
+
+struct SequenceConfig {
+  DatasetKind dataset = DatasetKind::kRandom;
+  int64_t base_points = 4096;  // frame size (held constant: inserts == deletes)
+  int64_t channels = 4;
+  int64_t num_frames = 16;
+  uint64_t seed = 1;
+  double churn_rate = 0.05;  // fraction of voxels replaced per frame, in [0, 1]
+  int32_t max_step = 2;      // per-axis rigid motion bound per frame (inclusive)
+  int32_t random_volume = 400;  // bounding half-extent for kRandom frame 0
+};
+
+// One frame of a sequence. `cloud` is the fully materialised sparse tensor,
+// sorted by packed key; `motion`/`deleted`/`inserted` describe how it was
+// derived from the previous frame (frame 0 has zero motion and empty deltas).
+// Deleted/inserted coordinates are expressed in frame-t space, i.e. after the
+// translation has been applied, and are sorted by packed key.
+struct SequenceFrame {
+  int64_t frame = 0;
+  Coord3 motion;
+  std::vector<Coord3> deleted;
+  std::vector<Coord3> inserted;
+  PointCloud cloud;
+};
+
+struct Sequence {
+  SequenceConfig config;
+  std::vector<SequenceFrame> frames;
+};
+
+// Deterministic generation: same config, same sequence, bit for bit.
+Sequence GenerateSequence(const SequenceConfig& config);
+
+// The feature row policy (exposed for the replay path and tests): channel
+// values for a voxel inserted at `frame` with packed key `key`.
+void InsertedFeatureRow(uint64_t seed, int64_t frame, uint64_t key, std::span<float> row);
+
+// JSON round trip, schema:
+//   {"sequence_trace": 1,
+//    "dataset":"random","base_points":..,"channels":..,"num_frames":..,
+//    "seed":..,"churn_rate":..,"max_step":..,"random_volume":..,
+//    "frames":[{"frame":0,"motion":[0,0,0],"coords":[[x,y,z],...]},
+//              {"frame":1,"motion":[dx,dy,dz],
+//               "deleted":[[x,y,z],...],"inserted":[[x,y,z],...]}, ...]}
+//
+// The dump is structural only; ReadSequenceTraceFile re-materialises every
+// frame's cloud (including features) bit-identically via the pure feature
+// function. Dumps of the same sequence are byte-identical.
+std::string SequenceTraceJson(const Sequence& sequence);
+bool WriteSequenceTrace(const Sequence& sequence, const std::string& path);
+bool ParseSequenceTrace(const JsonValue& doc, Sequence* out, std::string* error);
+bool ReadSequenceTraceFile(const std::string& path, Sequence* out, std::string* error);
+
+}  // namespace minuet
+
+#endif  // SRC_DATA_SEQUENCE_H_

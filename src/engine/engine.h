@@ -59,6 +59,11 @@ struct EngineConfig {
 struct StepBreakdown {
   double map_build = 0.0;   // hash build / coordinate sorting
   double map_query = 0.0;   // kernel-map queries
+  // Incremental sorted-array maintenance on sequence runs (rebias + delta
+  // merge instead of the input sort). Kept out of MapCycles() so consumers
+  // that split "map" vs "map reuse" (PhaseTrace, minuet_prof explain) can
+  // attribute the two separately without double counting.
+  double map_delta = 0.0;
   double metadata = 0.0;
   double gather = 0.0;
   double gemm = 0.0;        // with stream-pool overlap
@@ -73,7 +78,7 @@ struct StepBreakdown {
 
   double MapCycles() const { return map_build + map_query; }
   double GmasCycles() const { return metadata + gather + gemm + scatter; }
-  double TotalCycles() const { return MapCycles() + GmasCycles() + elementwise; }
+  double TotalCycles() const { return MapCycles() + map_delta + GmasCycles() + elementwise; }
   // Figure 5's convention: (padded - actual) / actual feature vectors. Same
   // metric as GroupingPlan::PaddingOverhead(), aggregated over the run.
   double PaddingOverhead() const {
@@ -196,6 +201,15 @@ class RunSession {
 
   // Semantically identical to engine.Run(input) — cold or warm.
   RunResult Run(const PointCloud& input);
+
+  // Sequence-session entry: like Run(), but a cold run adopts `root` (a
+  // pre-maintained sorted stride-1 level matching `input`, see
+  // SequenceSession) instead of paying the input radix sort, and
+  // `delta_cycles`/`delta_launches` — the sorted-array maintenance kernels
+  // the caller already launched — are attributed to StepBreakdown::map_delta.
+  // A null `root` is exactly Run().
+  RunResult RunIncremental(const PointCloud& input, LevelPtr root, double delta_cycles,
+                           int64_t delta_launches);
 
   // Snapshot including the current plan-cache and workspace-pool counters.
   SessionStats stats() const;

@@ -142,6 +142,13 @@ struct SessionCtx {
   // Replay cursors (consumed in program order).
   size_t conv_cursor = 0;
   size_t pool_cursor = 0;
+  // Sequence runs (incremental kernel maps): a pre-maintained sorted stride-1
+  // level adopted as the root instead of paying the input radix sort. The
+  // caller already launched the sorted-array maintenance kernels; their cost
+  // rides along here and is attributed to StepBreakdown::map_delta.
+  LevelPtr incremental_root;
+  double incremental_cycles = 0.0;
+  int64_t incremental_launches = 0;
 };
 
 }  // namespace minuet

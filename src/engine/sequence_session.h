@@ -1,0 +1,97 @@
+// Stateful per-stream inference session over a temporally coherent frame
+// sequence (the engine half of the incremental-kernel-map path).
+//
+// A RunSession already makes *repeated* coordinate sets cheap (plan cache).
+// A video stream never repeats exactly — every frame's coordinates drift —
+// but frame t is frame t-1 under a rigid motion plus small churn, so the
+// sorted stride-1 root that the Minuet engine needs can be *maintained*
+// instead of re-sorted: SequenceSession keeps the previous frame's sorted key
+// array, advances it with the delta-merge kernels (src/map/incremental.h),
+// and hands the resulting root to the engine through SessionCtx. The input
+// radix sort — the dominant per-frame map-build cost — drops out; the far
+// cheaper maintenance cost is attributed to StepBreakdown::map_delta so the
+// serving layer can blame map reuse (and its misses) explicitly.
+//
+// The chain breaks on the first frame, after ResetChain() (e.g. the serving
+// loop dropped a frame and the retained state no longer matches), or when
+// churn exceeds the rebuild threshold; those frames take the full path and
+// count as frames_rebuilt() — the "map reuse miss" counter.
+//
+// Correctness invariant, CHECK-enforced every frame: the maintained root is
+// bit-identical to what sorting the frame from scratch would produce, so
+// results (features, downstream coordinate levels, kernel maps) are the same
+// either way.
+#ifndef SRC_ENGINE_SEQUENCE_SESSION_H_
+#define SRC_ENGINE_SEQUENCE_SESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/map/incremental.h"
+
+namespace minuet {
+
+struct SequenceSessionConfig {
+  size_t plan_capacity = 8;
+  // false: every frame pays the full input sort (the comparison baseline —
+  // identical results, different charges).
+  bool incremental = true;
+  // Churn fraction max(deleted, inserted) / previous size above which the
+  // frame takes the full path.
+  double rebuild_threshold = 0.5;
+  int threads_per_block = 128;
+};
+
+struct FrameRunResult {
+  RunResult run;
+  bool incremental = false;  // delta path taken for this frame
+  double churn = 0.0;        // max(deleted, inserted) / previous size
+};
+
+class SequenceSession {
+ public:
+  explicit SequenceSession(Engine& engine, const SequenceSessionConfig& config = {});
+
+  // Runs one frame. `cloud` must be key-sorted; `motion`/`deleted`/`inserted`
+  // describe its derivation from the cloud of the previous RunFrame call
+  // (same contract as SequenceFrame in src/data/sequence.h: delta coordinate
+  // lists key-sorted, expressed post-motion, and the motion may not push any
+  // retained voxel out of the lattice). The first frame of a chain ignores
+  // the deltas and takes the full path.
+  FrameRunResult RunFrame(const PointCloud& cloud, const Coord3& motion,
+                          std::span<const Coord3> deleted, std::span<const Coord3> inserted);
+
+  // Entry for a frame with no usable predecessor (frame 0, or the frame after
+  // a drop): resets the chain and takes the full path.
+  FrameRunResult RunFrame(const PointCloud& cloud);
+
+  // Drops the retained key array; the next frame rebuilds from scratch.
+  void ResetChain();
+
+  bool has_chain() const { return has_chain_; }
+  int64_t frames_incremental() const { return frames_incremental_; }
+  int64_t frames_rebuilt() const { return frames_rebuilt_; }
+  RunSession& session() { return session_; }
+  const SequenceSessionConfig& config() const { return config_; }
+
+ private:
+  Engine* engine_;
+  SequenceSessionConfig config_;
+  RunSession session_;
+  std::vector<uint64_t> keys_;  // previous frame's sorted key array
+  // Stable-address buffers for the charged delta kernels: the cache sim keys
+  // on host addresses, so per-frame allocations here would change simulated
+  // charges run over run and break warmed byte-identical replays.
+  std::vector<uint64_t> deleted_keys_;
+  std::vector<uint64_t> inserted_keys_;
+  DeltaMergeScratch scratch_;
+  bool has_chain_ = false;
+  int64_t frames_incremental_ = 0;
+  int64_t frames_rebuilt_ = 0;
+};
+
+}  // namespace minuet
+
+#endif  // SRC_ENGINE_SEQUENCE_SESSION_H_

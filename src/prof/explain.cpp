@@ -40,7 +40,7 @@ double SafeDiv(double num, double den) { return den != 0.0 ? num / den : 0.0; }
 
 double UsFromNs(int64_t ns) { return static_cast<double>(ns) * 1e-3; }
 
-// The eight blame phases in causal order (admission is always 0 on the event
+// The nine blame phases in causal order (admission is always 0 on the event
 // clock and stays out of the tables; it still participates in the dump's
 // segment-sum invariant).
 struct PhaseDef {
@@ -51,6 +51,7 @@ constexpr PhaseDef kPhases[] = {
     {"server_wait", &DumpRequest::server_wait_ns},
     {"batch_delay", &DumpRequest::batch_delay_ns},
     {"map", &DumpRequest::map_ns},
+    {"map_delta", &DumpRequest::map_delta_ns},
     {"gather", &DumpRequest::gather_ns},
     {"gemm", &DumpRequest::gemm_ns},
     {"scatter", &DumpRequest::scatter_ns},
@@ -163,6 +164,7 @@ bool LoadRequestDump(const std::vector<JsonValue>& lines, RequestDump* out,
     r.server_wait_ns = IntOr(line.Find("server_wait_ns"), 0);
     r.batch_delay_ns = IntOr(line.Find("batch_delay_ns"), 0);
     r.map_ns = IntOr(line.Find("map_ns"), 0);
+    r.map_delta_ns = IntOr(line.Find("map_delta_ns"), 0);
     r.gather_ns = IntOr(line.Find("gather_ns"), 0);
     r.gemm_ns = IntOr(line.Find("gemm_ns"), 0);
     r.scatter_ns = IntOr(line.Find("scatter_ns"), 0);

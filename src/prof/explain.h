@@ -47,6 +47,7 @@ struct DumpRequest {
   int64_t server_wait_ns = 0;
   int64_t batch_delay_ns = 0;
   int64_t map_ns = 0;
+  int64_t map_delta_ns = 0;
   int64_t gather_ns = 0;
   int64_t gemm_ns = 0;
   int64_t scatter_ns = 0;

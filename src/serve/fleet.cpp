@@ -542,6 +542,7 @@ FleetResult FleetScheduler::RunLoop(std::vector<Request> arrivals, const TraceCo
       // cycle breakdown, bucketed into the PhaseTrace execution phases.
       ExecPhaseCycles exec;
       exec.map = run.total.MapCycles();
+      exec.map_delta = run.total.map_delta;
       exec.gather = run.total.gather;
       exec.gemm = run.total.gemm;
       exec.scatter = run.total.scatter;

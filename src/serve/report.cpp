@@ -109,6 +109,7 @@ void WriteRequests(JsonWriter& w, const std::vector<RequestRecord>& requests) {
       w.KV("server_wait_ns", t.server_wait_ns);
       w.KV("batch_delay_ns", t.batch_delay_ns);
       w.KV("map_ns", t.map_ns);
+      w.KV("map_delta_ns", t.map_delta_ns);
       w.KV("gather_ns", t.gather_ns);
       w.KV("gemm_ns", t.gemm_ns);
       w.KV("scatter_ns", t.scatter_ns);
@@ -180,6 +181,7 @@ void WriteBlame(JsonWriter& w, const std::vector<RequestRecord>& requests) {
       {"server_wait_ns", &PhaseTrace::server_wait_ns},
       {"batch_delay_ns", &PhaseTrace::batch_delay_ns},
       {"map_ns", &PhaseTrace::map_ns},
+      {"map_delta_ns", &PhaseTrace::map_delta_ns},
       {"gather_ns", &PhaseTrace::gather_ns},
       {"gemm_ns", &PhaseTrace::gemm_ns},
       {"scatter_ns", &PhaseTrace::scatter_ns},
@@ -188,14 +190,14 @@ void WriteBlame(JsonWriter& w, const std::vector<RequestRecord>& requests) {
   };
   int64_t completed = 0;
   int64_t e2e_total = 0;
-  int64_t phase_total[8] = {};
+  int64_t phase_total[9] = {};
   for (const RequestRecord& record : requests) {
     if (record.shed) {
       continue;
     }
     ++completed;
     e2e_total += record.trace.e2e_ns;
-    for (size_t i = 0; i < 8; ++i) {
+    for (size_t i = 0; i < 9; ++i) {
       phase_total[i] += record.trace.*kPhases[i].field;
     }
   }
@@ -203,10 +205,10 @@ void WriteBlame(JsonWriter& w, const std::vector<RequestRecord>& requests) {
   w.BeginObject();
   w.KV("completed", completed);
   w.KV("e2e_total_ns", e2e_total);
-  for (size_t i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 9; ++i) {
     w.KV(kPhases[i].key, phase_total[i]);
   }
-  for (size_t i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 9; ++i) {
     const std::string key = std::string(kPhases[i].key) + "_share";
     const double share = e2e_total > 0 ? static_cast<double>(phase_total[i]) /
                                              static_cast<double>(e2e_total)
@@ -217,6 +219,79 @@ void WriteBlame(JsonWriter& w, const std::vector<RequestRecord>& requests) {
 }
 
 }  // namespace
+
+std::string StreamReportJson(const StreamServeResult& result,
+                             const ServeReportContext& context,
+                             const trace::MetricsRegistry* registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("stream_report", 1);
+  WriteContext(w, context);
+
+  // The workload identity: which seeded sequence was replayed, on what clock.
+  w.Key("sequence");
+  w.BeginObject();
+  w.KV("dataset", DatasetName(result.sequence.dataset));
+  w.KV("base_points", result.sequence.base_points);
+  w.KV("channels", result.sequence.channels);
+  w.KV("num_frames", result.sequence.num_frames);
+  w.KV("seed", result.sequence.seed);
+  w.KV("churn_rate", result.sequence.churn_rate);
+  w.KV("max_step", static_cast<int64_t>(result.sequence.max_step));
+  w.EndObject();
+
+  w.Key("config");
+  w.BeginObject();
+  w.KV("num_streams", result.config.num_streams);
+  w.KV("frame_period_us", result.config.frame_period_us);
+  w.KV("frame_deadline_us", result.config.frame_deadline_us);
+  w.KV("drop_slo", result.config.drop_slo);
+  w.KV("incremental", result.config.incremental);
+  w.KV("rebuild_threshold", result.config.rebuild_threshold);
+  w.EndObject();
+
+  WriteSummary(w, result.summary.serve);
+
+  // The scenario's headline: frame and drop accounting plus the
+  // frames-dropped SLO verdict (the map-reuse counters ride along so CI can
+  // assert the incremental path actually engaged).
+  w.Key("stream_summary");
+  w.BeginObject();
+  w.KV("frames_offered", result.summary.frames_offered);
+  w.KV("frames_completed", result.summary.frames_completed);
+  w.KV("frames_dropped", result.summary.frames_dropped);
+  w.KV("frames_incremental", result.summary.frames_incremental);
+  w.KV("frames_rebuilt", result.summary.frames_rebuilt);
+  w.KV("drop_rate", result.summary.drop_rate);
+  w.KV("drop_slo", result.summary.drop_slo);
+  w.KV("drop_slo_ok", result.summary.drop_slo_ok);
+  w.EndObject();
+
+  w.Key("streams");
+  w.BeginArray();
+  for (const StreamSummary& stream : result.streams) {
+    w.BeginObject();
+    w.KV("stream", stream.stream);
+    w.KV("device", static_cast<int64_t>(stream.device));
+    w.KV("frames", stream.frames);
+    w.KV("completed", stream.completed);
+    w.KV("dropped", stream.dropped);
+    w.KV("frames_incremental", stream.frames_incremental);
+    w.KV("frames_rebuilt", stream.frames_rebuilt);
+    w.KV("latency_p50_us", stream.latency_p50_us);
+    w.KV("latency_p99_us", stream.latency_p99_us);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  WriteRequests(w, result.requests);
+  WriteBatches(w, result.batches);
+  WriteBlame(w, result.requests);
+  WriteAlerts(w, result.alerts);
+  WriteDeviceMetrics(w, registry);
+  w.EndObject();
+  return w.TakeString();
+}
 
 std::string ServeReportJson(const ServeResult& result, const TraceConfig& arrival,
                             const ServeReportContext& context,

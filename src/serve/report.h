@@ -11,7 +11,8 @@
 //                  "batch":..,"queue_us":..,"service_us":..,"latency_us":..,
 //                  "points":..,
 //                  "e2e_ns":..,"server_wait_ns":..,"batch_delay_ns":..,
-//                  "map_ns":..,"gather_ns":..,"gemm_ns":..,"scatter_ns":..,
+//                  "map_ns":..,"map_delta_ns":..,
+//                  "gather_ns":..,"gemm_ns":..,"scatter_ns":..,
 //                  "exec_other_ns":..,"stream_wait_ns":..}, ...],
 //    "batches":  [{"id":..,"class":..,"device":..,"size":..,"dispatch_us":..,
 //                  "service_us":..,"overlap":..}, ...],
@@ -36,6 +37,7 @@
 #include "src/serve/arrival.h"
 #include "src/serve/fleet.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/stream.h"
 
 namespace minuet {
 
@@ -67,6 +69,14 @@ std::string ServeReportJson(const ServeResult& result, const TraceConfig& arriva
 std::string FleetReportJson(const FleetResult& result, const TraceConfig& arrival,
                             const ServeReportContext& context,
                             const trace::MetricsRegistry* registry);
+
+// The video-rate flavour (version key "stream_report"): the shared
+// summary/requests/batches/blame sections plus the stream envelope — the
+// sequence identity, the frame clock, per-stream frame/drop/incremental
+// counters, and the frames-dropped SLO verdict.
+std::string StreamReportJson(const StreamServeResult& result,
+                             const ServeReportContext& context,
+                             const trace::MetricsRegistry* registry);
 
 bool WriteServeReport(const std::string& json, const std::string& path);
 

@@ -105,16 +105,16 @@ PhaseTrace ReqTraceRecorder::FinalizeRequest(int device, int64_t request_id,
   // parts telescope to exec_ns exactly regardless of rounding.
   const double total_cycles = cycles.Total();
   if (total_cycles > 0.0) {
-    const double phase_cycles[5] = {cycles.map, cycles.gather, cycles.gemm,
-                                    cycles.scatter, cycles.other};
-    int64_t* const phase_ns[5] = {&trace.map_ns, &trace.gather_ns, &trace.gemm_ns,
-                                  &trace.scatter_ns, &trace.exec_other_ns};
+    const double phase_cycles[6] = {cycles.map,  cycles.map_delta, cycles.gather,
+                                    cycles.gemm, cycles.scatter,   cycles.other};
+    int64_t* const phase_ns[6] = {&trace.map_ns,     &trace.map_delta_ns, &trace.gather_ns,
+                                  &trace.gemm_ns,    &trace.scatter_ns,   &trace.exec_other_ns};
     double cum = 0.0;
     int64_t prev_bound = 0;
-    for (int i = 0; i < 5; ++i) {
+    for (int i = 0; i < 6; ++i) {
       cum += phase_cycles[i];
       const int64_t bound =
-          i == 4 ? trace.exec_ns
+          i == 5 ? trace.exec_ns
                  : std::llround(static_cast<double>(trace.exec_ns) * (cum / total_cycles));
       MINUET_CHECK_GE(bound, prev_bound);
       *phase_ns[i] = bound - prev_bound;
@@ -166,6 +166,7 @@ std::string RequestDumpJsonl(const std::vector<RequestRecord>& requests, double 
     w.KV("server_wait_ns", t.server_wait_ns);
     w.KV("batch_delay_ns", t.batch_delay_ns);
     w.KV("map_ns", t.map_ns);
+    w.KV("map_delta_ns", t.map_delta_ns);
     w.KV("gather_ns", t.gather_ns);
     w.KV("gemm_ns", t.gemm_ns);
     w.KV("scatter_ns", t.scatter_ns);

@@ -7,7 +7,8 @@
 // not reconstructed after the fact, and they obey a hard invariant:
 //
 //   admission + server_wait + batch_delay
-//     + map + gather + gemm + scatter + exec_other + stream_wait  ==  e2e
+//     + map + map_delta + gather + gemm + scatter + exec_other + stream_wait
+//     ==  e2e
 //
 // bit-exactly, CHECK-enforced at record time. To make "bit-exactly" mean
 // something, segments are integer nanoseconds: the serving clock is double
@@ -31,13 +32,18 @@
 //                     batcher held the request (delay timer building a fuller
 //                     batch, or the admission policy ordered others first).
 //                     Exact residual: queue - server_wait.
-//   map/gather/gemm/scatter/exec_other_ns
+//   map/map_delta/gather/gemm/scatter/exec_other_ns
 //                   — the request's own device execution, split by the
 //                     engine's per-step cycle breakdown (kernel-span
-//                     linkage): map = build + query, exec_other = metadata +
-//                     elementwise. The split quantises proportionally on
-//                     cumulative boundaries so the parts sum to exec_ns
-//                     exactly regardless of rounding.
+//                     linkage): map = build + query, map_delta = incremental
+//                     sorted-array maintenance on sequence frames (zero for
+//                     ordinary requests; a frame whose chain broke shows the
+//                     cost back in map instead — that contrast is how
+//                     `minuet_prof explain` blames map reuse misses),
+//                     exec_other = metadata + elementwise. The split
+//                     quantises proportionally on cumulative boundaries so
+//                     the parts sum to exec_ns exactly regardless of
+//                     rounding.
 //   stream_wait_ns  — service time beyond the request's own execution: the
 //                     batch's overlapped makespan is max(longest member,
 //                     serial/streams), so short members wait for the batch.
@@ -75,19 +81,21 @@ int64_t Ns(double serve_us);
 // execution time and splits it proportionally.
 struct ExecPhaseCycles {
   double map = 0.0;
+  double map_delta = 0.0;  // incremental map maintenance (sequence frames)
   double gather = 0.0;
   double gemm = 0.0;
   double scatter = 0.0;
   double other = 0.0;
-  double Total() const { return map + gather + gemm + scatter + other; }
+  double Total() const { return map + map_delta + gather + gemm + scatter + other; }
 };
 
 struct PhaseTrace {
-  // The nine segments (sum == e2e_ns exactly; see file comment).
+  // The ten segments (sum == e2e_ns exactly; see file comment).
   int64_t admission_ns = 0;
   int64_t server_wait_ns = 0;
   int64_t batch_delay_ns = 0;
   int64_t map_ns = 0;
+  int64_t map_delta_ns = 0;
   int64_t gather_ns = 0;
   int64_t gemm_ns = 0;
   int64_t scatter_ns = 0;
@@ -96,7 +104,7 @@ struct PhaseTrace {
 
   // Derived totals, serialised for consumers (each is an exact sum of the
   // segments above: queue = server_wait + batch_delay + admission, exec =
-  // map + gather + gemm + scatter + exec_other, service = exec +
+  // map + map_delta + gather + gemm + scatter + exec_other, service = exec +
   // stream_wait, e2e = queue + service).
   int64_t queue_ns = 0;
   int64_t exec_ns = 0;
@@ -104,7 +112,7 @@ struct PhaseTrace {
   int64_t e2e_ns = 0;
 
   int64_t SegmentSumNs() const {
-    return admission_ns + server_wait_ns + batch_delay_ns + map_ns + gather_ns +
+    return admission_ns + server_wait_ns + batch_delay_ns + map_ns + map_delta_ns + gather_ns +
            gemm_ns + scatter_ns + exec_other_ns + stream_wait_ns;
   }
 };

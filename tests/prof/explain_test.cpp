@@ -118,7 +118,7 @@ TEST(BuildExplainTest, WorstKTailIsStableOnTies) {
   EXPECT_EQ(e.tail_count, 2);
   // Both 900 ns requests beat the 700; the tie keeps dump order, so the tail
   // is ids 1 and 2 — its gemm total is exactly 1800 ns.
-  ASSERT_EQ(e.phases.size(), 8u);
+  ASSERT_EQ(e.phases.size(), 9u);
   int64_t gemm_total = 0;
   for (const PhaseBlame& p : e.phases) {
     if (p.phase == "gemm") {

@@ -14,6 +14,11 @@
 // device preset; --gpu is ignored) routed by --routing; the report gains a
 // "fleet" section and the Chrome trace one serving-clock track per replica.
 //
+// --stream switches to the video-rate mode: a recorded LiDAR-style sequence
+// trace (minuet_dataset sequence) replayed as N closed-loop frame streams on
+// the incremental kernel-map path, with per-frame deadline accounting and a
+// frames-dropped SLO (src/serve/stream.h).
+//
 // Everything downstream of the flags is deterministic: arrivals come from
 // seeded RNG streams, time is the virtual serving clock, and the device runs
 // with deterministic_addressing, so the --json report is byte-identical
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "src/data/generators.h"
+#include "src/data/sequence.h"
 #include "src/engine/engine.h"
 #include "src/gpusim/device_config.h"
 #include "src/serve/arrival.h"
@@ -37,6 +43,7 @@
 #include "src/serve/report.h"
 #include "src/serve/reqtrace.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/stream.h"
 #include "src/serve/telemetry.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
@@ -57,6 +64,8 @@ struct Options {
   serve::SchedulerConfig scheduler;
   std::string arrivals_in;    // replay this trace file instead of generating
   std::string dump_arrivals;  // write the generated trace and exit
+  std::string stream_in;      // sequence trace file: video-rate stream mode
+  serve::StreamServeConfig stream;
   std::string report_json;
   std::string trace_json;
   std::string metrics_json;
@@ -138,11 +147,25 @@ bool WriteTelemetrySinks(const Options& opts, const serve::ServeTelemetry& telem
       "                    [--policy fifo|sjf|priority] [--queue-capacity N]\n"
       "                    [--max-batch N] [--max-delay-us D] [--slo-us S]\n"
       "                    [--arrivals in.json] [--dump-arrivals out.json]\n"
+      "                    [--stream seq.json] [--streams N] [--frame-period-us P]\n"
+      "                    [--frame-deadline-us D] [--drop-slo F] [--incremental 0|1]\n"
+      "                    [--rebuild-threshold F]\n"
       "                    [--json report.json] [--trace trace.json] [--metrics m.json]\n"
       "                    [--timeline out.jsonl] [--incident out.json]\n"
       "                    [--dump-requests out.jsonl]\n"
       "                    [--telemetry-interval-us W] [--slo-target F]\n"
       "\n"
+      "  --stream FILE         video-rate mode: replay a sequence trace (see\n"
+      "                        minuet_dataset sequence) as N closed-loop frame streams\n"
+      "                        with incremental kernel maps; frames whose execution\n"
+      "                        cannot start within the deadline are dropped and the\n"
+      "                        stream's incremental chain rebuilds\n"
+      "  --streams N           concurrent streams, pinned stream%%replicas (default 1)\n"
+      "  --frame-period-us P   sensor frame period (default 100000 = 10 Hz)\n"
+      "  --frame-deadline-us D max start delay before a frame is dropped (default P)\n"
+      "  --drop-slo F          frames-dropped SLO as a fraction (default 0.01)\n"
+      "  --incremental 0|1     0 = full rebuild every frame (ablation; default 1)\n"
+      "  --rebuild-threshold F churn fraction above which a frame full-rebuilds\n"
       "  --pool LIST           serve on a fleet of replicas (one per preset; see --routing)\n"
       "  --routing POLICY      fleet router; default least-loaded\n"
       "  --arrivals FILE       replay a recorded arrival trace (overrides --process)\n"
@@ -166,6 +189,7 @@ bool WriteTelemetrySinks(const Options& opts, const serve::ServeTelemetry& telem
 
 Options Parse(int argc, char** argv) {
   Options opts;
+  bool deadline_set = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string inline_value;
@@ -242,6 +266,21 @@ Options Parse(int argc, char** argv) {
       opts.arrivals_in = next();
     } else if (arg == "--dump-arrivals") {
       opts.dump_arrivals = next();
+    } else if (arg == "--stream") {
+      opts.stream_in = next();
+    } else if (arg == "--streams") {
+      opts.stream.num_streams = std::atoll(next().c_str());
+    } else if (arg == "--frame-period-us") {
+      opts.stream.frame_period_us = std::atof(next().c_str());
+    } else if (arg == "--frame-deadline-us") {
+      opts.stream.frame_deadline_us = std::atof(next().c_str());
+      deadline_set = true;
+    } else if (arg == "--drop-slo") {
+      opts.stream.drop_slo = std::atof(next().c_str());
+    } else if (arg == "--incremental") {
+      opts.stream.incremental = std::atoi(next().c_str()) != 0;
+    } else if (arg == "--rebuild-threshold") {
+      opts.stream.rebuild_threshold = std::atof(next().c_str());
     } else if (arg == "--json") {
       opts.report_json = next();
     } else if (arg == "--trace") {
@@ -262,6 +301,9 @@ Options Parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
     }
+  }
+  if (!deadline_set) {
+    opts.stream.frame_deadline_us = opts.stream.frame_period_us;
   }
   return opts;
 }
@@ -459,11 +501,140 @@ int FleetMain(Options opts) {
   return ok ? 0 : 1;
 }
 
+// Video-rate stream mode: replay a sequence trace as N closed-loop frame
+// streams over one replica (--gpu) or a pool (--pool). The Minuet sorted-map
+// engine is required — the incremental path maintains sorted key arrays.
+int StreamMain(Options opts) {
+  Sequence sequence;
+  std::string error;
+  if (!ReadSequenceTraceFile(opts.stream_in, &sequence, &error)) {
+    std::fprintf(stderr, "could not read %s: %s\n", opts.stream_in.c_str(), error.c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> presets =
+      opts.pool.empty() ? std::vector<std::string>{opts.gpu} : SplitCommaList(opts.pool);
+  if (opts.engine != "minuet") {
+    std::fprintf(stderr, "--stream requires --engine minuet (incremental kernel maps)\n");
+    return 2;
+  }
+
+  Network net = ParseNetwork(opts.network);
+  if (net.in_channels != sequence.config.channels) {
+    std::fprintf(stderr, "network %s expects %d input channels; sequence has %lld\n",
+                 net.name.c_str(), net.in_channels,
+                 static_cast<long long>(sequence.config.channels));
+    return 2;
+  }
+  EngineConfig config;
+  config.kind = EngineKind::kMinuet;
+  config.precision = opts.fp16 ? Precision::kFp16 : Precision::kFp32;
+  config.functional = false;  // serving measures time; skip the arithmetic
+
+  std::vector<DeviceConfig> devices;
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<Engine*> engine_ptrs;
+  for (const std::string& preset : presets) {
+    DeviceConfig device = ParseGpu(preset);
+    device.deterministic_addressing = true;  // byte-stable stream reports
+    devices.push_back(device);
+    engines.push_back(std::make_unique<Engine>(config, devices.back()));
+    engines.back()->Prepare(net, sequence.config.seed);
+    engine_ptrs.push_back(engines.back().get());
+  }
+
+  trace::Tracer tracer;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(&tracer);
+  }
+
+  serve::StreamScheduler scheduler(engine_ptrs, opts.stream);
+  std::unique_ptr<serve::ServeTelemetry> telemetry = MakeTelemetry(opts);
+  scheduler.AttachTelemetry(telemetry.get());
+  serve::StreamServeResult result = scheduler.Run(sequence);
+
+  trace::MetricsRegistry registry;
+  serve::PublishStreamMetrics(result, registry);
+  for (size_t k = 0; k < engines.size(); ++k) {
+    engines[k]->device().PublishMetrics(
+        registry, engines.size() == 1 ? "device" : "dev" + std::to_string(k));
+  }
+
+  bool ok = true;
+  if (!opts.trace_json.empty()) {
+    trace::Tracer::Install(nullptr);
+    if (!WriteChromeTrace(tracer, opts.trace_json)) {
+      std::fprintf(stderr, "could not write trace to %s\n", opts.trace_json.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_json.empty() && !registry.WriteSnapshot(opts.metrics_json)) {
+    std::fprintf(stderr, "could not write metrics to %s\n", opts.metrics_json.c_str());
+    ok = false;
+  }
+  if (!opts.report_json.empty()) {
+    serve::ServeReportContext context;
+    context.device = opts.pool.empty() ? devices[0].name : opts.pool;
+    context.network = net.name;
+    context.engine = EngineKindName(config.kind);
+    context.precision = opts.fp16 ? "fp16" : "fp32";
+    std::string json = serve::StreamReportJson(result, context, &registry);
+    if (!serve::WriteServeReport(json, opts.report_json)) {
+      std::fprintf(stderr, "could not write report to %s\n", opts.report_json.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.dump_requests.empty() &&
+      !serve::WriteRequestDump(result.requests, opts.stream.frame_deadline_us,
+                               opts.dump_requests)) {
+    std::fprintf(stderr, "could not write request dump to %s\n", opts.dump_requests.c_str());
+    ok = false;
+  }
+  if (telemetry != nullptr) {
+    ok = WriteTelemetrySinks(opts, *telemetry) && ok;
+    g_stop_target = nullptr;
+  }
+
+  const serve::StreamServeSummary& s = result.summary;
+  std::printf(
+      "stream %s | %s | %s | %lld stream(s) x %lld frames @ %.0f us period "
+      "(deadline %.0f us) | %s maps\n",
+      opts.pool.empty() ? devices[0].name.c_str() : opts.pool.c_str(), net.name.c_str(),
+      opts.fp16 ? "fp16" : "fp32", static_cast<long long>(result.config.num_streams),
+      static_cast<long long>(result.sequence.num_frames), result.config.frame_period_us,
+      result.config.frame_deadline_us,
+      result.config.incremental ? "incremental" : "full-rebuild");
+  std::printf("frames offered %lld | completed %lld | dropped %lld (%.2f%%, SLO %.2f%%: %s)\n",
+              static_cast<long long>(s.frames_offered),
+              static_cast<long long>(s.frames_completed),
+              static_cast<long long>(s.frames_dropped), 100.0 * s.drop_rate,
+              100.0 * s.drop_slo, s.drop_slo_ok ? "ok" : "VIOLATED");
+  std::printf("map path: %lld incremental, %lld rebuilt | latency p50/p95/p99 "
+              "%8.1f /%8.1f /%8.1f us | utilization %.1f%%\n",
+              static_cast<long long>(s.frames_incremental),
+              static_cast<long long>(s.frames_rebuilt), s.serve.latency_p50_us,
+              s.serve.latency_p95_us, s.serve.latency_p99_us, 100.0 * s.serve.utilization);
+  for (const serve::StreamSummary& stream : result.streams) {
+    std::printf("  stream%lld dev%d | frames %5lld | dropped %4lld | incremental %5lld | "
+                "rebuilt %4lld | p99 %8.1f us\n",
+                static_cast<long long>(stream.stream), stream.device,
+                static_cast<long long>(stream.frames),
+                static_cast<long long>(stream.dropped),
+                static_cast<long long>(stream.frames_incremental),
+                static_cast<long long>(stream.frames_rebuilt), stream.latency_p99_us);
+  }
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   // Serving always runs with deterministic_addressing and its reports are
   // byte-compared across processes (CI serve smoke, bench/byte_compare.sh).
   PinHostHeapForReplay();
   Options opts = Parse(argc, argv);
+
+  if (!opts.stream_in.empty()) {
+    return StreamMain(std::move(opts));
+  }
 
   if (!opts.pool.empty() && opts.dump_arrivals.empty()) {
     return FleetMain(std::move(opts));
